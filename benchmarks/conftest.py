@@ -1,0 +1,51 @@
+"""Shared infrastructure for the paper-figure benchmarks.
+
+Each ``bench_*`` file regenerates one table or figure of the paper's
+evaluation section and prints it.  The cells (benchmark x scheduler runs)
+are cached in a process-wide runner, so figures that share cells (e.g.
+Figure 2 and Figure 3) only pay once.
+
+Scaling knobs (environment):
+
+* ``REPRO_SEEDS``  — repetitions per cell (default 10 here; paper: 30);
+* ``REPRO_ITERS``  — application timesteps (default: the models' 50);
+* ``REPRO_FULL=1`` — paper-parity scale (30 seeds, model defaults).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exp.runner import ExperimentConfig, Runner
+
+
+def bench_config() -> ExperimentConfig:
+    """Benchmark-suite scale: lighter default than the paper's 30 seeds."""
+    if os.environ.get("REPRO_FULL") == "1":
+        return ExperimentConfig()
+    seeds = int(os.environ.get("REPRO_SEEDS", "10"))
+    iters = os.environ.get("REPRO_ITERS")
+    return ExperimentConfig(seeds=seeds, timesteps=int(iters) if iters else None)
+
+
+_RUNNER: Runner | None = None
+
+
+@pytest.fixture(scope="session")
+def runner() -> Runner:
+    global _RUNNER
+    if _RUNNER is None:
+        _RUNNER = Runner(bench_config())
+    return _RUNNER
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic given their seed set, and a single
+    invocation already aggregates many simulated runs, so repeated
+    benchmark rounds would only re-measure the cache.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Define a custom application and watch per-taskloop moldability.
+
+The workload mixes a compute-bound dense kernel with a memory-bound
+irregular kernel (like an application alternating assembly and solve).
+A per-taskloop scheduler should learn *different* configurations for the
+two loops: the dense loop keeps the whole machine; the irregular loop is
+molded down to relieve memory contention.
+
+Run:
+    python examples/custom_workload.py
+"""
+
+from repro import OpenMPRuntime, zen4_9354
+from repro.core.scheduler import IlanScheduler
+from repro.memory.access import AccessPattern
+from repro.workloads import Application, RegionSpec, TaskloopSpec
+
+MIB = 1024 * 1024
+
+
+def build_app() -> Application:
+    return Application(
+        name="assemble-solve",
+        regions=[
+            RegionSpec("elements", 256 * MIB),
+            RegionSpec("csr_matrix", 768 * MIB),
+        ],
+        loops=[
+            TaskloopSpec(
+                name="assemble",
+                region="elements",
+                work_seconds=0.5,
+                mem_frac=0.15,          # dense element kernels: compute bound
+                pattern=AccessPattern.blocked(),
+                reuse=0.4,
+                gamma=0.1,
+                imbalance="uniform",
+            ),
+            TaskloopSpec(
+                name="solve_spmv",
+                region="csr_matrix",
+                work_seconds=0.45,
+                mem_frac=0.8,           # indirect access: bandwidth bound
+                pattern=AccessPattern.uniform(),
+                reuse=0.1,
+                gamma=1.5,              # superlinear penalty under saturation
+                imbalance="clustered",
+                imbalance_cv=0.5,
+            ),
+        ],
+        timesteps=30,
+    )
+
+
+def main() -> None:
+    machine = zen4_9354()
+    app = build_app()
+
+    base = OpenMPRuntime(machine, scheduler="baseline", seed=1).run_application(app)
+    sched = IlanScheduler()
+    ilan = OpenMPRuntime(machine, scheduler=sched, seed=1).run_application(app)
+
+    print(f"baseline: {base.total_time:.4f}s   ILAN: {ilan.total_time:.4f}s   "
+          f"speedup {base.total_time / ilan.total_time:.3f}")
+
+    print("\nper-taskloop learned configurations:")
+    for uid in app.loop_uids():
+        cfg = sched.controller(uid).settled_config
+        print(f"  {uid:28} -> {cfg.describe()}")
+
+    print("\nper-taskloop steady-state times (last 5 encounters, ms):")
+    for uid in app.loop_uids():
+        base_t = [f"{t * 1e3:.2f}" for t in base.loop_times(uid)[-5:]]
+        ilan_t = [f"{t * 1e3:.2f}" for t in ilan.loop_times(uid)[-5:]]
+        print(f"  {uid:28} baseline {base_t}")
+        print(f"  {'':28} ILAN     {ilan_t}")
+
+
+if __name__ == "__main__":
+    main()

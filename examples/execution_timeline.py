@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Visualise scheduler behaviour: per-core timelines of one taskloop.
+
+Runs the same imbalanced taskloop under the baseline (random placement and
+stealing) and under ILAN (hierarchical distribution), then renders ASCII
+Gantt charts from the execution traces.  The structural difference is
+visible directly: ILAN's rows start from each node's primary thread and
+stay node-local; the baseline's stolen-task marks scatter everywhere.
+
+Run:
+    python examples/execution_timeline.py
+"""
+
+from repro import OpenMPRuntime
+from repro.exp.timeline import render_node_utilisation, render_taskloop_timeline
+from repro.topology import dual_socket_small
+from repro.workloads import make_synthetic
+
+
+def main() -> None:
+    machine = dual_socket_small()  # 16 cores / 4 nodes: timelines stay readable
+    app = make_synthetic(
+        name="demo",
+        mem_frac=0.4,
+        blocked_fraction=1.0,
+        reuse=0.3,
+        gamma=0.3,
+        imbalance="linear",
+        imbalance_cv=0.4,
+        timesteps=6,
+        num_tasks=48,
+        total_iters=960,
+        region_mib=128,
+    )
+
+    for sched in ("baseline", "ilan"):
+        rt = OpenMPRuntime(machine, scheduler=sched, seed=0, trace=True)
+        rt.run_application(app)
+        trace = rt.last_ctx.trace
+        print(f"\n===== {sched} (last encounter) =====")
+        last = sum(1 for r in trace.taskloops if r.taskloop == "demo.loop") - 1
+        print(render_taskloop_timeline(trace, machine, "demo.loop", occurrence=last))
+        print()
+        print(render_node_utilisation(trace, machine, "demo.loop", occurrence=last))
+
+
+if __name__ == "__main__":
+    main()

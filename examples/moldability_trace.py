@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Inspect ILAN's exploration: the PTT and Algorithm 1 step by step.
+
+Runs the SP benchmark model (the paper's headline moldability case) under
+ILAN and prints each encounter's configuration with the measured time —
+the binary-search-like descent of Algorithm 1 made visible — followed by
+the final PTT contents.
+
+Run:
+    python examples/moldability_trace.py
+"""
+
+from repro import OpenMPRuntime, zen4_9354
+from repro.core.scheduler import IlanScheduler
+from repro.topology.affinity import NodeMask
+from repro.workloads import make_sp
+
+
+def main() -> None:
+    machine = zen4_9354()
+    app = make_sp(timesteps=16)
+    sched = IlanScheduler()
+    rt = OpenMPRuntime(machine, scheduler=sched, seed=0)
+    result = rt.run_application(app)
+
+    uid = "sp.x_sweep"
+    print(f"exploration trajectory of {uid!r}:")
+    print(f"{'enc':>4} {'threads':>8} {'node_mask':>14} {'steal':>7} {'time[ms]':>9}")
+    for i, r in enumerate(res for res in result.taskloops if res.uid == uid):
+        mask = NodeMask(bits=r.node_mask_bits, width=machine.num_nodes)
+        print(f"{i:>4} {r.num_threads:>8} {str(mask):>14} {r.steal_policy:>7} "
+              f"{r.elapsed * 1e3:>9.2f}")
+
+    ctrl = sched.controller(uid)
+    print(f"\nsettled: {ctrl.settled_config.describe()}")
+
+    print("\nPerformance Trace Table (strict rows, mean time per config):")
+    table = sched.ptt.table(uid)
+    rows = sorted(table.entries.items(), key=lambda kv: kv[0])
+    print(f"{'threads':>8} {'node_mask':>14} {'steal':>7} {'runs':>5} {'mean[ms]':>9}")
+    for (threads, bits, policy), stats in rows:
+        mask = NodeMask(bits=bits, width=machine.num_nodes)
+        print(f"{threads:>8} {str(mask):>14} {policy:>7} {stats.count:>5} "
+              f"{stats.mean * 1e3:>9.2f}")
+
+    perf = table.node_perf
+    print("\nper-node throughput trace (relative):")
+    best = max(p for p in perf if p == p)  # nanmax without numpy import
+    for node, p in enumerate(perf):
+        bar = "#" * int(30 * p / best) if p == p else ""
+        label = f"{p / best:5.2f}" if p == p else "  n/a"
+        print(f"  node {node}: {label} {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: run one benchmark under ILAN and the baseline scheduler.
+
+Builds the paper's 64-core Zen 4 platform, runs the CG benchmark model
+under the default LLVM-style work-stealing scheduler and under ILAN, and
+prints the speedup plus what ILAN learned per taskloop.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import OpenMPRuntime, zen4_9354
+from repro.core.scheduler import IlanScheduler
+from repro.workloads import make_cg
+
+
+def main() -> None:
+    machine = zen4_9354()
+    print(machine.describe())
+
+    app = make_cg(timesteps=30)
+    print(f"\nrunning {app.name!r}: {len(app.loops)} taskloops x {app.timesteps} timesteps")
+
+    baseline = OpenMPRuntime(machine, scheduler="baseline", seed=0)
+    base_result = baseline.run_application(app)
+    print(f"baseline total time: {base_result.total_time:.4f}s")
+
+    ilan_sched = IlanScheduler()
+    ilan = OpenMPRuntime(machine, scheduler=ilan_sched, seed=0)
+    ilan_result = ilan.run_application(app)
+    print(f"ILAN     total time: {ilan_result.total_time:.4f}s")
+
+    speedup = base_result.total_time / ilan_result.total_time
+    print(f"\nspeedup: {speedup:.3f}  ({(speedup - 1) * 100:+.1f}%)")
+    print(f"ILAN weighted average threads: {ilan_result.weighted_avg_threads:.1f} of {machine.num_cores}")
+
+    print("\nsettled configurations (what moldability learned):")
+    for uid in app.loop_uids():
+        ctrl = ilan_sched.controller(uid)
+        cfg = ctrl.settled_config
+        state = cfg.describe() if cfg else f"still exploring (phase={ctrl.phase.value})"
+        print(f"  {uid:16} {state}")
+
+
+if __name__ == "__main__":
+    main()

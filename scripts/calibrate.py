@@ -1,0 +1,19 @@
+"""Calibration helper: quick per-benchmark gain check (developer tool)."""
+import sys, time
+from repro import OpenMPRuntime, zen4_9354
+from repro.workloads import make_benchmark
+
+topo = zen4_9354()
+names = sys.argv[1:] or ["ft","bt","cg","lu","sp","matmul","lulesh"]
+scheds = ["baseline","ilan","ilan-nomold","worksharing"]
+print(f"{'bench':8} " + " ".join(f"{s:>11}" for s in scheds) + f" {'ilan%':>7} {'nomold%':>8} {'ws%':>7} {'thr':>6}")
+for name in names:
+    app = make_benchmark(name, timesteps=24)
+    times = {}; thr=0
+    for s in scheds:
+        res = OpenMPRuntime(topo, scheduler=s, seed=0).run_application(app)
+        times[s]=res.total_time
+        if s=="ilan": thr=res.weighted_avg_threads
+    b=times["baseline"]
+    print(f"{name:8} " + " ".join(f"{times[s]:11.4f}" for s in scheds) +
+          f" {100*(b/times['ilan']-1):+7.1f} {100*(b/times['ilan-nomold']-1):+8.1f} {100*(b/times['worksharing']-1):+7.1f} {thr:6.1f}")

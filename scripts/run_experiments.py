@@ -1,0 +1,26 @@
+"""Generate the EXPERIMENTS.md data: full campaign at paper parity."""
+import sys, time
+from repro.exp.runner import Runner, ExperimentConfig
+from repro.exp.figures import figure2, figure3, figure4, figure5, figure6, table1
+from repro.exp.report import (render_speedups, render_threads, render_overheads,
+                              render_figure6, render_variability)
+from repro.exp.persistence import results_to_dict, save_results
+
+seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+t0 = time.time()
+r = Runner(ExperimentConfig(seeds=seeds, timesteps=None, with_noise=True))
+print(f"campaign: seeds={seeds}, timesteps=model defaults (50), noise on")
+print()
+print(render_speedups("Figure 2: ILAN vs baseline", figure2(r)))
+print()
+print(render_threads("Figure 3: weighted average threads selected by ILAN", figure3(r)))
+print()
+print(render_speedups("Figure 4: ILAN without moldability vs baseline", figure4(r)))
+print()
+print(render_overheads("Figure 5: accumulated scheduling overhead", figure5(r)))
+print()
+print(render_figure6(figure6(r)))
+print()
+print(render_variability("Table 1: execution-time standard deviation", table1(r)))
+save_results("experiments_data.json", results_to_dict(r))
+print(f"\nwall time: {time.time()-t0:.0f}s; cell summaries saved to experiments_data.json")

@@ -1,0 +1,7 @@
+"""Legacy shim: this environment has no `wheel` package, so PEP 660
+editable installs cannot build; `pip install -e .` falls back to
+`setup.py develop` through this file. All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""repro: the ILAN NUMA taskloop scheduler, reproduced on a simulated platform.
+
+Reproduction of Mellberg, Carlsson, Chen, Pericas, *ILAN: The
+Interference- and Locality-Aware NUMA Scheduler* (SC Workshops '25).
+Because low-level thread scheduling is out of reach for pure Python, the
+whole platform is simulated: a Zen 4-like NUMA machine model, a
+discrete-event execution engine with a contention/locality cost model,
+and an OpenMP-like tasking runtime on which ILAN, the LLVM-default
+baseline, static work sharing, and the no-moldability ablation run.
+
+Quickstart::
+
+    from repro import OpenMPRuntime, zen4_9354
+    from repro.workloads import make_cg
+
+    machine = zen4_9354()
+    app = make_cg(timesteps=20)
+    base = OpenMPRuntime(machine, scheduler="baseline", seed=0).run_application(app)
+    ilan = OpenMPRuntime(machine, scheduler="ilan", seed=0).run_application(app)
+    print(f"speedup: {base.total_time / ilan.total_time:.3f}")
+"""
+
+from repro.core import IlanNoMoldScheduler, IlanScheduler
+from repro.counters import CounterBoard, TaskloopCounters
+from repro.energy import EnergyModel
+from repro.errors import (
+    ConfigurationError,
+    ExperimentError,
+    MemoryModelError,
+    ReproError,
+    RuntimeModelError,
+    SimulationError,
+    TopologyError,
+    WorkloadError,
+)
+from repro.runtime import (
+    AppRunResult,
+    BaselineScheduler,
+    OpenMPRuntime,
+    OverheadParams,
+    TaskloopResult,
+    WorksharingScheduler,
+    create_scheduler,
+)
+from repro.topology import (
+    DistanceMatrix,
+    MachineTopology,
+    NodeMask,
+    dual_socket_small,
+    single_node,
+    tiny_two_node,
+    zen4_9354,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IlanNoMoldScheduler",
+    "IlanScheduler",
+    "CounterBoard",
+    "TaskloopCounters",
+    "EnergyModel",
+    "ConfigurationError",
+    "ExperimentError",
+    "MemoryModelError",
+    "ReproError",
+    "RuntimeModelError",
+    "SimulationError",
+    "TopologyError",
+    "WorkloadError",
+    "AppRunResult",
+    "BaselineScheduler",
+    "OpenMPRuntime",
+    "OverheadParams",
+    "TaskloopResult",
+    "WorksharingScheduler",
+    "create_scheduler",
+    "DistanceMatrix",
+    "MachineTopology",
+    "NodeMask",
+    "dual_socket_small",
+    "single_node",
+    "tiny_two_node",
+    "zen4_9354",
+    "__version__",
+]

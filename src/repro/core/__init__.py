@@ -1,0 +1,43 @@
+"""The paper's contribution: the ILAN scheduler.
+
+Exposes the configuration model, the Performance Trace Table, Algorithm 1
+(thread-count selection), node-mask selection, the steal-policy trial, the
+moldability state machine, the hierarchical task distribution, and the two
+runtime scheduler plugins (``ilan`` and the ``ilan-nomold`` ablation).
+"""
+
+from repro.core.config import StealPolicyMode, TaskloopConfig
+from repro.core.distribution import DEFAULT_STRICT_FRACTION, distribute_chunks
+from repro.core.moldability import MoldabilityController, Phase
+from repro.core.node_mask import get_numa_mask, nodes_needed, worker_cores_for_mask
+from repro.core.ptt import ExecStats, PerformanceTraceTable, TaskloopPTT
+from repro.core.scheduler import IlanNoMoldScheduler, IlanScheduler
+from repro.core.selection import (
+    SelectionResult,
+    initial_threads,
+    midpoint_threads,
+    select_next_threads,
+)
+from repro.core.steal_eval import evaluate_steal_policy
+
+__all__ = [
+    "StealPolicyMode",
+    "TaskloopConfig",
+    "DEFAULT_STRICT_FRACTION",
+    "distribute_chunks",
+    "MoldabilityController",
+    "Phase",
+    "get_numa_mask",
+    "nodes_needed",
+    "worker_cores_for_mask",
+    "ExecStats",
+    "PerformanceTraceTable",
+    "TaskloopPTT",
+    "IlanNoMoldScheduler",
+    "IlanScheduler",
+    "SelectionResult",
+    "initial_threads",
+    "midpoint_threads",
+    "select_next_threads",
+    "evaluate_steal_policy",
+]

@@ -1,0 +1,65 @@
+"""Hierarchical task distribution (Section 3.3).
+
+Chunks are deterministically mapped to the configuration's NUMA nodes by
+contiguous iteration blocks ("tasks are deterministically mapped to
+individual NUMA nodes based on logical loop iteration indices"), exploiting
+the assumption that adjacent iterations share data.  All of a node's chunks
+are enqueued on the node's primary thread, in iteration order; intra-node
+work stealing spreads them to the node's workers.
+
+Per node, the initial fraction of chunks is NUMA-strict — it can never
+migrate to another node — while the remaining tail is stealable across
+nodes (only exercised when the taskloop runs with ``steal_policy = full``
+and a whole remote node has drained its queues).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.runtime.task import Chunk
+
+__all__ = ["distribute_chunks", "DEFAULT_STRICT_FRACTION"]
+
+DEFAULT_STRICT_FRACTION = 0.55
+
+
+def distribute_chunks(
+    chunks: list[Chunk],
+    nodes: list[int],
+    *,
+    strict_fraction: float = DEFAULT_STRICT_FRACTION,
+) -> dict[int, list[Chunk]]:
+    """Assign ``chunks`` to ``nodes`` in contiguous blocks.
+
+    Returns per-node chunk lists (iteration order preserved) and marks the
+    per-node strict prefix.  Chunk ``home_node``/``strict`` fields are set
+    in place.
+
+    ``nodes`` is the node-mask selection in priority order; block *j* of
+    the iteration space goes to ``nodes[j]``, so the fastest node gets the
+    first block.
+    """
+    if not nodes:
+        raise ConfigurationError("distribution needs at least one node")
+    if len(set(nodes)) != len(nodes):
+        raise ConfigurationError("duplicate nodes in distribution target")
+    if not (0.0 <= strict_fraction <= 1.0):
+        raise ConfigurationError(f"strict_fraction must lie in [0, 1], got {strict_fraction}")
+    if not chunks:
+        raise ConfigurationError("no chunks to distribute")
+
+    n_nodes = len(nodes)
+    n_chunks = len(chunks)
+    per_node: dict[int, list[Chunk]] = {node: [] for node in nodes}
+    for i, chunk in enumerate(chunks):
+        # contiguous blocks: chunk i -> node index floor(i * n_nodes / n_chunks)
+        idx = i * n_nodes // n_chunks
+        node = nodes[idx]
+        chunk.home_node = node
+        per_node[node].append(chunk)
+
+    for node, node_chunks in per_node.items():
+        strict_count = int(strict_fraction * len(node_chunks))
+        for j, chunk in enumerate(node_chunks):
+            chunk.strict = j < strict_count
+    return per_node

@@ -1,0 +1,182 @@
+"""Per-taskloop moldability controller: the exploration state machine.
+
+Drives one taskloop callsite through ILAN's lifecycle:
+
+1. **warmup** — the very first encounter runs with the default
+   configuration (all threads, strict) and is *not* recorded: it carries
+   one-off first-touch/cold-cache costs that would otherwise bias the
+   thread-count search (the paper likewise requires taskloops to execute
+   "numerous times" before the optimum pays off);
+2. **bootstrap** — executions k = 1 (``m_max`` threads) and k = 2
+   (``m_max / 2``), both recorded;
+3. **search** — Algorithm 1 picks midpoints until the fastest and
+   second-fastest thread counts are within one granularity step;
+4. **confirm** — if the settled (threads, mask) pair was never measured
+   under ``strict`` (the mask can drift while performance data evolves),
+   one strict execution fills the gap;
+5. **trial** — one execution with ``steal_policy = full``;
+6. **settled** — the winning configuration runs for the rest of the
+   application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.config import StealPolicyMode, TaskloopConfig
+from repro.core.node_mask import get_numa_mask
+from repro.core.ptt import TaskloopPTT
+from repro.core.selection import initial_threads, select_next_threads
+from repro.core.steal_eval import evaluate_steal_policy
+from repro.errors import ConfigurationError
+from repro.topology.distances import DistanceMatrix
+from repro.topology.machine import MachineTopology
+
+__all__ = ["Phase", "MoldabilityController"]
+
+
+class Phase(str, Enum):
+    WARMUP = "warmup"
+    BOOTSTRAP = "bootstrap"
+    SEARCH = "search"
+    CONFIRM = "confirm"
+    TRIAL = "trial"
+    SETTLED = "settled"
+
+
+@dataclass
+class MoldabilityController:
+    """Exploration state for one taskloop callsite.
+
+    Contract: each encounter calls :meth:`next_config` exactly once, runs
+    the returned configuration, then calls :meth:`observe` with whether the
+    execution was recorded into the PTT (warmup encounters are not).
+    """
+
+    topology: MachineTopology
+    distances: DistanceMatrix
+    granularity: int
+    phase: Phase = Phase.WARMUP
+    k: int = 0  # recorded execution counter (the paper's iteration count)
+    cur_threads: int = 0
+    best_threads: int = 0
+    settled_config: TaskloopConfig | None = None
+    record_next: bool = field(default=True, init=False)
+    # counter-driven shortcut (see repro.counters.hints): when set before
+    # the second recorded execution, the thread-count search is skipped and
+    # the full machine goes straight to the steal-policy trial
+    skip_search: bool = False
+
+    def __post_init__(self) -> None:
+        g = self.granularity
+        m_max = self.topology.num_cores
+        if g < 1 or g > m_max:
+            raise ConfigurationError(f"granularity {g} out of range for {m_max} cores")
+        if m_max % g:
+            raise ConfigurationError(
+                f"machine size {m_max} must be a multiple of granularity {g}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def m_max(self) -> int:
+        return self.topology.num_cores
+
+    def next_config(self, ptt: TaskloopPTT) -> TaskloopConfig:
+        """Configuration for the upcoming encounter (mutates phase state)."""
+        g = self.granularity
+        m_max = self.m_max
+
+        if self.phase is Phase.SETTLED:
+            assert self.settled_config is not None
+            return self.settled_config
+
+        if self.phase is Phase.WARMUP:
+            self.record_next = False
+            self.cur_threads = m_max
+            return self._config(m_max, ptt, StealPolicyMode.STRICT)
+
+        self.record_next = True
+
+        if self.phase is Phase.BOOTSTRAP:
+            upcoming = self.k + 1
+            if upcoming == 1:
+                self.cur_threads = initial_threads(1, m_max, g)
+                return self._config(self.cur_threads, ptt, StealPolicyMode.STRICT)
+            if self.skip_search:
+                # counters saw no contention at m_max: molding cannot pay,
+                # settle the width immediately and only trial the policy
+                self.best_threads = m_max
+                self.phase = Phase.TRIAL
+                return self._trial_config(ptt)
+            second = initial_threads(2, m_max, g)
+            if second == m_max:
+                # the machine cannot be halved at this granularity: the
+                # search space has one point, settle straight into the trial
+                self.best_threads = m_max
+                self.phase = Phase.TRIAL
+                return self._trial_config(ptt)
+            self.cur_threads = second
+            self.phase = Phase.SEARCH
+            return self._config(second, ptt, StealPolicyMode.STRICT)
+
+        if self.phase is Phase.SEARCH:
+            per = ptt.best_time_per_thread_count(policy=StealPolicyMode.STRICT.value)
+            sel = select_next_threads(per, self.cur_threads, self.k + 1, g)
+            if sel.search_finished:
+                self.best_threads = sel.threads
+                return self._enter_post_search(ptt)
+            self.cur_threads = sel.threads
+            return self._config(sel.threads, ptt, StealPolicyMode.STRICT)
+
+        if self.phase is Phase.CONFIRM:
+            return self._config(self.best_threads, ptt, StealPolicyMode.STRICT)
+
+        if self.phase is Phase.TRIAL:
+            return self._trial_config(ptt)
+
+        raise ConfigurationError(f"unhandled phase {self.phase}")  # pragma: no cover
+
+    def observe(self, recorded: bool) -> None:
+        """Advance the state machine after an encounter completed."""
+        if recorded:
+            self.k += 1
+        if self.phase is Phase.WARMUP:
+            self.phase = Phase.BOOTSTRAP
+        elif self.phase is Phase.CONFIRM:
+            self.phase = Phase.TRIAL
+
+    def finish_trial(self, ptt: TaskloopPTT) -> None:
+        """After the full-stealing trial: fix the final configuration."""
+        if self.phase is not Phase.TRIAL:
+            raise ConfigurationError(f"finish_trial called in phase {self.phase}")
+        mask = get_numa_mask(self.best_threads, ptt, self.topology, self.distances)
+        policy = evaluate_steal_policy(ptt, self.best_threads, mask.bits)
+        self.settled_config = TaskloopConfig(self.best_threads, mask, policy)
+        self.phase = Phase.SETTLED
+
+    # ------------------------------------------------------------------
+    def _enter_post_search(self, ptt: TaskloopPTT) -> TaskloopConfig:
+        """Search finished: go to CONFIRM if the settled strict point is
+        missing from the PTT, else straight to the TRIAL."""
+        mask = get_numa_mask(self.best_threads, ptt, self.topology, self.distances)
+        strict_key = (self.best_threads, mask.bits, StealPolicyMode.STRICT.value)
+        if ptt.mean_time(strict_key) is None:
+            self.phase = Phase.CONFIRM
+            self.cur_threads = self.best_threads
+            return TaskloopConfig(self.best_threads, mask, StealPolicyMode.STRICT)
+        self.phase = Phase.TRIAL
+        self.cur_threads = self.best_threads
+        return TaskloopConfig(self.best_threads, mask, StealPolicyMode.FULL)
+
+    def _trial_config(self, ptt: TaskloopPTT) -> TaskloopConfig:
+        mask = get_numa_mask(self.best_threads, ptt, self.topology, self.distances)
+        self.cur_threads = self.best_threads
+        return TaskloopConfig(self.best_threads, mask, StealPolicyMode.FULL)
+
+    def _config(
+        self, threads: int, ptt: TaskloopPTT, policy: StealPolicyMode
+    ) -> TaskloopConfig:
+        mask = get_numa_mask(threads, ptt, self.topology, self.distances)
+        return TaskloopConfig(threads, mask, policy)

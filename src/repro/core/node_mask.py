@@ -1,0 +1,81 @@
+"""``GetNUMAMask``: choose which NUMA nodes execute a taskloop.
+
+From Section 3.2: "The fastest NUMA node is retrieved from the PTT and is
+selected as the first node of the node mask.  To maintain good data
+locality and efficient inter-node data communication, any additional nodes
+are chosen according to the NUMA topology.  That is, nodes within the same
+socket are prioritized over nodes crossing socket domains."
+
+Ties between equally distant candidates break on measured per-node
+performance (faster first), then node id, keeping selection deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.ptt import TaskloopPTT
+from repro.errors import ConfigurationError
+from repro.topology.affinity import NodeMask
+from repro.topology.distances import DistanceMatrix
+from repro.topology.machine import MachineTopology
+
+__all__ = ["get_numa_mask", "worker_cores_for_mask", "nodes_needed"]
+
+
+def nodes_needed(num_threads: int, topology: MachineTopology) -> int:
+    """How many NUMA nodes ``num_threads`` pinned threads occupy."""
+    if num_threads < 1:
+        raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
+    n = math.ceil(num_threads / topology.cores_per_node)
+    return min(n, topology.num_nodes)
+
+
+def get_numa_mask(
+    num_threads: int,
+    ptt: TaskloopPTT,
+    topology: MachineTopology,
+    distances: DistanceMatrix,
+) -> NodeMask:
+    """Select the node mask for a configuration with ``num_threads`` threads."""
+    count = nodes_needed(num_threads, topology)
+    fastest = ptt.fastest_node()
+    perf = ptt.node_perf
+    dist_row = distances.matrix[fastest]
+
+    def order_key(node: int) -> tuple[float, float, int]:
+        p = perf[node]
+        p = -p if not np.isnan(p) else 0.0  # unknown perf ranks after known-fast
+        return (float(dist_row[node]), p, node)
+
+    candidates = sorted(topology.node_ids(), key=order_key)
+    # the fastest node always comes first (its self-distance is minimal by
+    # SLIT construction, but make the guarantee explicit)
+    chosen = [fastest] + [n for n in candidates if n != fastest]
+    return NodeMask.from_indices(chosen[:count], topology.num_nodes)
+
+
+def worker_cores_for_mask(
+    num_threads: int, mask: NodeMask, topology: MachineTopology
+) -> list[int]:
+    """Pinned worker cores for a configuration: node-major, cores ascending.
+
+    Fills the mask's nodes in ascending node order, taking whole nodes
+    until ``num_threads`` cores are selected (the last node may be
+    partial when the granularity is below the node size).
+    """
+    if num_threads < 1:
+        raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
+    cores: list[int] = []
+    for node in mask.indices():
+        for core in topology.cores_of_node(node):
+            cores.append(core)
+            if len(cores) == num_threads:
+                return cores
+    if len(cores) < num_threads:
+        raise ConfigurationError(
+            f"mask {mask} provides only {len(cores)} cores for {num_threads} threads"
+        )
+    return cores

@@ -1,0 +1,165 @@
+"""The Performance Trace Table (PTT).
+
+The PTT links taskloop configurations to measured execution times and
+per-node performance.  ILAN consults it during the exploration stage to
+pick the next configuration (Algorithm 1) and, once exploration finishes,
+to fix the optimal configuration for the rest of the application
+(Section 3.1).
+
+One :class:`TaskloopPTT` exists per taskloop callsite; running statistics
+use Welford's algorithm so means and variances are numerically stable over
+hundreds of encounters.  Per-node throughput is an exponential moving
+average so the node ranking adapts if dynamic asymmetry shifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ExecStats", "TaskloopPTT", "PerformanceTraceTable"]
+
+ConfigKey = tuple[int, int, str]  # (num_threads, node_mask_bits, steal_policy)
+
+
+@dataclass
+class ExecStats:
+    """Running execution-time statistics of one configuration."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    min_time: float = float("inf")
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ConfigurationError(f"execution time cannot be negative: {value}")
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+        self.min_time = min(self.min_time, value)
+
+    @property
+    def variance(self) -> float:
+        return self.m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return self.variance**0.5
+
+
+@dataclass
+class TaskloopPTT:
+    """PTT rows for one taskloop callsite."""
+
+    num_nodes: int
+    entries: dict[ConfigKey, ExecStats] = field(default_factory=dict)
+    node_perf: np.ndarray | None = None
+    executions: int = 0
+    node_perf_alpha: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.node_perf is None:
+            self.node_perf = np.full(self.num_nodes, np.nan)
+
+    # ------------------------------------------------------------------
+    def record(self, key: ConfigKey, elapsed: float, node_perf: np.ndarray | None = None) -> None:
+        """Record one execution under configuration ``key``."""
+        stats = self.entries.get(key)
+        if stats is None:
+            stats = ExecStats()
+            self.entries[key] = stats
+        stats.add(elapsed)
+        self.executions += 1
+        if node_perf is not None:
+            self._update_node_perf(np.asarray(node_perf, dtype=np.float64))
+
+    def _update_node_perf(self, obs: np.ndarray) -> None:
+        if obs.shape != (self.num_nodes,):
+            raise ConfigurationError(
+                f"node_perf must have {self.num_nodes} entries, got {obs.shape}"
+            )
+        cur = self.node_perf
+        seen = ~np.isnan(obs)
+        fresh = seen & np.isnan(cur)
+        blend = seen & ~np.isnan(cur)
+        cur[fresh] = obs[fresh]
+        a = self.node_perf_alpha
+        cur[blend] = (1.0 - a) * cur[blend] + a * obs[blend]
+
+    # ------------------------------------------------------------------
+    def best_time_per_thread_count(self, policy: str | None = "strict") -> dict[int, float]:
+        """Fastest mean time for each explored thread count.
+
+        Exploration runs strictly intra-node, so Algorithm 1 compares
+        ``strict`` entries by default; pass ``None`` to consider all.
+        """
+        out: dict[int, float] = {}
+        for (threads, _mask, pol), stats in self.entries.items():
+            if policy is not None and pol != policy:
+                continue
+            if stats.count == 0:
+                continue
+            cur = out.get(threads)
+            if cur is None or stats.mean < cur:
+                out[threads] = stats.mean
+        return out
+
+    def fastest_two(self, policy: str | None = "strict") -> tuple[tuple[int, float], tuple[int, float]]:
+        """``GetFastest``/``GetSecondFastest`` over distinct thread counts.
+
+        Returns ``((best_threads, best_time), (second_threads, second_time))``;
+        raises if fewer than two thread counts have been explored.
+        """
+        per = self.best_time_per_thread_count(policy)
+        if len(per) < 2:
+            raise ConfigurationError(
+                f"need two explored thread counts, have {sorted(per)}"
+            )
+        ranked = sorted(per.items(), key=lambda kv: (kv[1], kv[0]))
+        return ranked[0], ranked[1]
+
+    def mean_time(self, key: ConfigKey) -> float | None:
+        stats = self.entries.get(key)
+        return stats.mean if stats is not None and stats.count else None
+
+    def fastest_node(self) -> int:
+        """Node with the best observed throughput (falls back to node 0)."""
+        perf = self.node_perf
+        if np.all(np.isnan(perf)):
+            return 0
+        return int(np.nanargmax(perf))
+
+
+class PerformanceTraceTable:
+    """All per-taskloop PTTs of one scheduler instance."""
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 1:
+            raise ConfigurationError("num_nodes must be >= 1")
+        self.num_nodes = num_nodes
+        self._tables: dict[str, TaskloopPTT] = {}
+
+    def table(self, uid: str) -> TaskloopPTT:
+        """PTT for taskloop ``uid``, created on first use."""
+        t = self._tables.get(uid)
+        if t is None:
+            t = TaskloopPTT(num_nodes=self.num_nodes)
+            self._tables[uid] = t
+        return t
+
+    def __contains__(self, uid: str) -> bool:
+        return uid in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def uids(self) -> list[str]:
+        return sorted(self._tables)
+
+    def clear(self) -> None:
+        self._tables.clear()

@@ -1,0 +1,218 @@
+"""The ILAN scheduler (and its no-moldability ablation) as runtime plugins.
+
+``IlanScheduler`` wires the paper's pieces together per taskloop callsite:
+the :class:`MoldabilityController` picks the configuration (threads, node
+mask, steal policy) using the :class:`PerformanceTraceTable`; chunks are
+distributed hierarchically onto the configuration's nodes; execution uses
+the hierarchical steal policy; measurements flow back into the PTT.
+
+``IlanNoMoldScheduler`` is the Section 5.3 ablation: the hierarchical
+distribution and stealing are kept, but every taskloop always runs on all
+cores with inter-node stealing enabled — no exploration, no PTT.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.config import StealPolicyMode, TaskloopConfig
+from repro.core.distribution import DEFAULT_STRICT_FRACTION, distribute_chunks
+from repro.core.moldability import MoldabilityController, Phase
+from repro.core.node_mask import worker_cores_for_mask
+from repro.core.ptt import PerformanceTraceTable
+from repro.runtime.context import RunContext
+from repro.runtime.results import TaskloopResult
+from repro.runtime.schedulers.base import Scheduler, TaskloopPlan, register_scheduler
+from repro.runtime.task import Chunk, TaskloopWork
+from repro.runtime.taskloop import partition
+from repro.errors import ConfigurationError
+from repro.runtime.worksteal import HierarchicalStealPolicy
+from repro.topology.affinity import NodeMask
+
+if TYPE_CHECKING:  # pragma: no cover - import for type hints only
+    from repro.energy.model import EnergyModel
+
+__all__ = ["IlanScheduler", "IlanNoMoldScheduler"]
+
+
+class IlanScheduler(Scheduler):
+    """Interference- and locality-aware NUMA taskloop scheduler.
+
+    Parameters
+    ----------
+    granularity:
+        Thread-count granularity ``g``; ``None`` uses the NUMA node size,
+        the paper's choice on the Zen 4 platform.
+    strict_fraction:
+        Per-node fraction of chunks marked NUMA-strict.
+    use_counters:
+        Enable the paper's proposed counter-driven exploration shortcut:
+        when the first full-machine execution shows no memory saturation,
+        the thread-count search is skipped entirely (the optimum cannot be
+        narrower than the machine without contention to relieve).
+    objective:
+        What the PTT optimises: ``"time"`` (the paper's platform-agnostic
+        default), ``"energy"``, or ``"edp"`` (energy-delay product).  The
+        non-time objectives realise the paper's Section 3.5 suggestion of
+        selecting configurations by energy efficiency; they require
+        performance counters (enabled by default on the run context).
+    energy_model:
+        The :class:`repro.energy.EnergyModel` used by the energy
+        objectives; defaults to the Zen 4-calibrated model.
+    """
+
+    name = "ilan"
+
+    OBJECTIVES = ("time", "energy", "edp")
+
+    def __init__(
+        self,
+        granularity: int | None = None,
+        strict_fraction: float = DEFAULT_STRICT_FRACTION,
+        use_counters: bool = False,
+        objective: str = "time",
+        energy_model: "EnergyModel | None" = None,
+    ):
+        if objective not in self.OBJECTIVES:
+            raise ConfigurationError(
+                f"unknown objective {objective!r}; choose from {self.OBJECTIVES}"
+            )
+        self.granularity = granularity
+        self.strict_fraction = strict_fraction
+        self.use_counters = use_counters
+        self.objective = objective
+        if objective != "time" and energy_model is None:
+            from repro.energy.model import EnergyModel
+
+            energy_model = EnergyModel()
+        self.energy_model = energy_model
+        self._ptt: PerformanceTraceTable | None = None
+        self._controllers: dict[str, MoldabilityController] = {}
+        # per-uid bookkeeping of the in-flight encounter
+        self._inflight: dict[str, tuple[TaskloopConfig, Phase, bool]] = {}
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self._ptt = None
+        self._controllers.clear()
+        self._inflight.clear()
+
+    @property
+    def ptt(self) -> PerformanceTraceTable:
+        if self._ptt is None:
+            raise RuntimeError("scheduler has not planned any taskloop yet")
+        return self._ptt
+
+    def controller(self, uid: str) -> MoldabilityController:
+        return self._controllers[uid]
+
+    def _ensure(self, ctx: RunContext) -> PerformanceTraceTable:
+        if self._ptt is None:
+            self._ptt = PerformanceTraceTable(ctx.topology.num_nodes)
+        return self._ptt
+
+    # ------------------------------------------------------------------
+    def plan(self, work: TaskloopWork, ctx: RunContext) -> TaskloopPlan:
+        ptt_all = self._ensure(ctx)
+        ctrl = self._controllers.get(work.uid)
+        if ctrl is None:
+            g = self.granularity or ctx.topology.cores_per_node
+            ctrl = MoldabilityController(
+                topology=ctx.topology, distances=ctx.distances, granularity=g
+            )
+            self._controllers[work.uid] = ctrl
+        table = ptt_all.table(work.uid)
+        cfg = ctrl.next_config(table)
+        self._inflight[work.uid] = (cfg, ctrl.phase, ctrl.record_next)
+
+        chunks = partition(work)
+        nodes = cfg.node_mask.indices()
+        per_node = distribute_chunks(chunks, nodes, strict_fraction=self.strict_fraction)
+        cores = worker_cores_for_mask(cfg.num_threads, cfg.node_mask, ctx.topology)
+        core_set = set(cores)
+        queues: dict[int, list[Chunk]] = {c: [] for c in cores}
+        for node, node_chunks in per_node.items():
+            primary = min(c for c in ctx.topology.cores_of_node(node) if c in core_set)
+            queues[primary].extend(node_chunks)
+
+        allow_inter = cfg.steal_policy is StealPolicyMode.FULL
+        return TaskloopPlan(
+            worker_cores=cores,
+            initial_queues=queues,
+            policy=HierarchicalStealPolicy(allow_inter_node=allow_inter),
+            owner_lifo=False,
+            num_threads=cfg.num_threads,
+            node_mask_bits=cfg.node_mask.bits,
+            steal_mode=cfg.steal_policy.value,
+            extra_overhead=ctx.params.ilan_select + ctx.params.ilan_ptt_update,
+        )
+
+    def record(self, work: TaskloopWork, plan: TaskloopPlan, result: TaskloopResult) -> None:
+        cfg, phase_at_plan, recorded = self._inflight.pop(work.uid)
+        ctrl = self._controllers[work.uid]
+        table = self.ptt.table(work.uid)
+        k_before = ctrl.k
+        if recorded:
+            table.record(cfg.key, self._cost(result), result.node_perf)
+        ctrl.observe(recorded)
+        if (
+            self.use_counters
+            and recorded
+            and k_before == 0
+            and result.counters is not None
+        ):
+            # first recorded (full-machine) execution: let the counter
+            # sample decide whether the thread-count search is worth it
+            from repro.counters.hints import hint_from_counters
+
+            ctrl.skip_search = hint_from_counters(result.counters).skip_search
+        if phase_at_plan is Phase.TRIAL:
+            ctrl.finish_trial(table)
+
+    def _cost(self, result: TaskloopResult) -> float:
+        """The objective value the PTT stores for this execution."""
+        if self.objective == "time":
+            return result.elapsed
+        assert self.energy_model is not None
+        if self.objective == "energy":
+            return self.energy_model.taskloop_energy(result)
+        return self.energy_model.taskloop_edp(result)
+
+
+class IlanNoMoldScheduler(Scheduler):
+    """ILAN without moldability: hierarchical scheduling on all cores.
+
+    Reproduces the Section 5.3 configuration — "all 64 cores were always
+    utilized" — isolating the contribution of the hierarchical task
+    distribution from the interference-driven thread molding.
+    """
+
+    name = "ilan-nomold"
+
+    def __init__(self, strict_fraction: float = DEFAULT_STRICT_FRACTION):
+        self.strict_fraction = strict_fraction
+
+    def plan(self, work: TaskloopWork, ctx: RunContext) -> TaskloopPlan:
+        topo = ctx.topology
+        mask = NodeMask.for_topology(topo)
+        cores = list(topo.core_ids())
+        chunks = partition(work)
+        per_node = distribute_chunks(
+            chunks, list(topo.node_ids()), strict_fraction=self.strict_fraction
+        )
+        queues: dict[int, list[Chunk]] = {c: [] for c in cores}
+        for node, node_chunks in per_node.items():
+            queues[topo.primary_core_of_node(node)].extend(node_chunks)
+        return TaskloopPlan(
+            worker_cores=cores,
+            initial_queues=queues,
+            policy=HierarchicalStealPolicy(allow_inter_node=True),
+            owner_lifo=False,
+            num_threads=len(cores),
+            node_mask_bits=mask.bits,
+            steal_mode=StealPolicyMode.FULL.value,
+        )
+
+
+register_scheduler("ilan", IlanScheduler)
+register_scheduler("ilan-nomold", IlanNoMoldScheduler)

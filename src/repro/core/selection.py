@@ -1,0 +1,116 @@
+"""Algorithm 1: taskloop thread-count selection.
+
+A binary-search-like exploration over thread counts at granularity ``g``.
+The first execution uses ``m_max`` threads, the second ``m_max / 2``; from
+the third on, this module picks the midpoint between the fastest and
+second-fastest explored counts until they are within one granularity step.
+
+The paper's pseudocode has one subtle special case at ``k = 3``: when the
+half-machine configuration beat the full machine, the smallest possible
+configuration (``g`` threads) is explored next so that small optima are
+reachable; if ``g`` equals the already-explored ``m_max / 2`` there is
+nothing new to run and the search finishes immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SelectionResult", "select_next_threads", "midpoint_threads", "initial_threads"]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of one Algorithm 1 step.
+
+    ``threads`` is the thread count for the next execution; when
+    ``search_finished`` is set it is the final (fastest) count.
+    """
+
+    threads: int
+    search_finished: bool
+
+
+def initial_threads(k: int, m_max: int, g: int) -> int:
+    """Thread counts of the two bootstrap executions (k = 1, 2).
+
+    k = 1 uses the whole machine; k = 2 uses half, rounded down to the
+    granularity and floored at ``g``.
+    """
+    _check_params(m_max, g)
+    if k == 1:
+        return m_max
+    if k == 2:
+        return max(g, (m_max // 2) // g * g)
+    raise ConfigurationError(f"initial_threads only defines k=1,2, got k={k}")
+
+
+def midpoint_threads(best: int, second: int, g: int) -> int:
+    """``lowerBound + floor((diff/2)/g) * g`` from the paper's pseudocode."""
+    diff = abs(best - second)
+    lower = min(best, second)
+    return lower + int((diff / 2) // g) * g
+
+
+def select_next_threads(
+    best_per_threads: dict[int, float],
+    cur_threads: int,
+    k: int,
+    g: int,
+) -> SelectionResult:
+    """One step of Algorithm 1.
+
+    Parameters
+    ----------
+    best_per_threads:
+        Fastest mean time per explored thread count (from the PTT).
+    cur_threads:
+        Thread count of the configuration that just executed.
+    k:
+        Index of the *upcoming* taskloop execution (the paper's iteration
+        count); must be >= 3 — the bootstrap executions are handled by
+        :func:`initial_threads`.
+    g:
+        Thread-count granularity (the NUMA node size in the paper).
+    """
+    if k < 3:
+        raise ConfigurationError(f"Algorithm 1 requires k >= 3, got {k}")
+    if g < 1:
+        raise ConfigurationError(f"granularity must be >= 1, got {g}")
+    if len(best_per_threads) < 2:
+        raise ConfigurationError("Algorithm 1 needs at least two explored thread counts")
+
+    ranked = sorted(best_per_threads.items(), key=lambda kv: (kv[1], kv[0]))
+    best_threads = ranked[0][0]
+    second_threads = ranked[1][0]
+    threads_diff = abs(best_threads - second_threads)
+
+    if k == 3 and best_threads < second_threads:
+        # the smaller bootstrap config won: jump to the smallest possible
+        # configuration so low-thread optima can be found
+        if cur_threads == g:
+            # m_max/2 == g: the smallest config already executed
+            return SelectionResult(threads=best_threads, search_finished=True)
+        return SelectionResult(threads=g, search_finished=False)
+
+    if threads_diff <= g:
+        # fastest and second fastest are within one granularity step:
+        # the optimum is found
+        return SelectionResult(threads=best_threads, search_finished=True)
+
+    mid = midpoint_threads(best_threads, second_threads, g)
+    if cur_threads == mid or mid in best_per_threads:
+        # midpoint already executed: nothing between best and second left
+        return SelectionResult(threads=best_threads, search_finished=True)
+    return SelectionResult(threads=mid, search_finished=False)
+
+
+def _check_params(m_max: int, g: int) -> None:
+    if g < 1:
+        raise ConfigurationError(f"granularity must be >= 1, got {g}")
+    if m_max < g:
+        raise ConfigurationError(f"m_max ({m_max}) must be >= granularity ({g})")
+    if m_max % g:
+        raise ConfigurationError(f"m_max ({m_max}) must be a multiple of granularity ({g})")

@@ -1,0 +1,40 @@
+"""``GetStealPolicy``: the one-shot inter-node stealing trial.
+
+Section 3.2: "The ``steal_policy`` attribute is kept as *strict* ... until
+the ``search_finished`` flag has been set.  Once the search is finished,
+the steal policy is evaluated by allowing inter-node stealing
+(``steal_policy = full``) for one execution.  After this, the
+``steal_policy`` is kept as the policy that provided the highest
+performance."
+"""
+
+from __future__ import annotations
+
+from repro.core.config import StealPolicyMode
+from repro.core.ptt import ConfigKey, TaskloopPTT
+
+__all__ = ["evaluate_steal_policy"]
+
+
+def evaluate_steal_policy(
+    ptt: TaskloopPTT,
+    threads: int,
+    node_mask_bits: int,
+) -> StealPolicyMode:
+    """Pick the final policy after the full-stealing trial has executed.
+
+    Compares the mean time of the settled configuration under ``strict``
+    and ``full``; missing data (should not happen in a completed search)
+    conservatively keeps ``strict``, the exploration default.
+    """
+    strict_key: ConfigKey = (threads, node_mask_bits, StealPolicyMode.STRICT.value)
+    full_key: ConfigKey = (threads, node_mask_bits, StealPolicyMode.FULL.value)
+    strict_time = ptt.mean_time(strict_key)
+    full_time = ptt.mean_time(full_key)
+    if strict_time is None and full_time is None:
+        return StealPolicyMode.STRICT
+    if full_time is None:
+        return StealPolicyMode.STRICT
+    if strict_time is None:
+        return StealPolicyMode.FULL
+    return StealPolicyMode.FULL if full_time < strict_time else StealPolicyMode.STRICT

@@ -1,0 +1,20 @@
+"""Performance-counter layer: sampling, and counter-driven exploration.
+
+The simulated analogue of the artifact's ``PERF_COUNTERS`` support plus
+the paper's proposed extension of using counters to cut exploration cost.
+"""
+
+from repro.counters.hints import (
+    SATURATION_EXPLORE_THRESHOLD,
+    ExplorationHint,
+    hint_from_counters,
+)
+from repro.counters.metrics import CounterBoard, TaskloopCounters
+
+__all__ = [
+    "SATURATION_EXPLORE_THRESHOLD",
+    "ExplorationHint",
+    "hint_from_counters",
+    "CounterBoard",
+    "TaskloopCounters",
+]

@@ -1,0 +1,53 @@
+"""Counter-driven exploration hints.
+
+The paper: "More performance statistics can also reduce the exploration
+overhead by utilizing the additional information to arrive at the optimal
+configuration more quickly."  This module turns counter samples into such
+hints:
+
+* a full-machine execution with **no memory saturation** cannot benefit
+  from fewer threads (the contention term of the cost model is inactive),
+  so the thread-count search can stop at ``m_max`` immediately — saving
+  the entire bootstrap/midpoint descent on compute-bound loops;
+* a heavily saturated execution is the opposite signal: exploration is
+  worth its cost and proceeds normally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.counters.metrics import TaskloopCounters
+
+__all__ = ["ExplorationHint", "hint_from_counters", "SATURATION_EXPLORE_THRESHOLD"]
+
+# below this time-averaged node saturation the memory system has headroom:
+# molding cannot pay (it only removes parallelism)
+SATURATION_EXPLORE_THRESHOLD = 0.95
+
+
+@dataclass(frozen=True)
+class ExplorationHint:
+    """What the counters recommend for the upcoming exploration."""
+
+    skip_search: bool
+    reason: str
+
+
+def hint_from_counters(counters: TaskloopCounters | None) -> ExplorationHint:
+    """Derive the exploration hint from a full-machine counter sample."""
+    if counters is None:
+        return ExplorationHint(skip_search=False, reason="no counter data")
+    if counters.avg_saturation < SATURATION_EXPLORE_THRESHOLD:
+        return ExplorationHint(
+            skip_search=True,
+            reason=(
+                f"avg node saturation {counters.avg_saturation:.2f} < "
+                f"{SATURATION_EXPLORE_THRESHOLD}: memory has headroom, "
+                "molding cannot pay"
+            ),
+        )
+    return ExplorationHint(
+        skip_search=False,
+        reason=f"avg node saturation {counters.avg_saturation:.2f}: contended, explore",
+    )

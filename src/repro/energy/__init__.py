@@ -1,0 +1,5 @@
+"""Energy layer: joules per execution and energy-aware objectives."""
+
+from repro.energy.model import EnergyModel
+
+__all__ = ["EnergyModel"]

@@ -1,0 +1,79 @@
+"""Energy model: joules for simulated taskloop executions.
+
+The paper (Section 3.5) notes the PTT-driven selection "can, for example,
+instead be used to locate and employ the optimal configuration based on
+other metrics, such as energy efficiency", citing the authors' JOSS and
+SWEEP lines of work.  This model provides that metric for the simulated
+platform so the ILAN scheduler can optimise energy or energy-delay
+product instead of time (``IlanScheduler(objective="energy")``).
+
+The model is a standard three-term decomposition:
+
+* **core power** — active cores burn ``core_active_watts``, idle-but-
+  participating cores ``core_idle_watts`` (clock-gated but not parked);
+  non-participating cores are assumed parked and free;
+* **uncore power** — each NUMA node's fabric/memory-controller block
+  draws ``uncore_watts_per_node`` while the taskloop runs;
+* **DRAM access energy** — ``dram_joules_per_byte`` per byte of modelled
+  memory traffic (counter ``bytes_total``).
+
+Defaults approximate a Zen 4 server core (~2.5 W active at base clock)
+and DDR5 access energy (~60 pJ/byte end to end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.counters.metrics import TaskloopCounters
+from repro.errors import ConfigurationError
+from repro.runtime.results import AppRunResult, TaskloopResult
+
+__all__ = ["EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Static power/energy parameters of the simulated machine."""
+
+    core_active_watts: float = 2.5
+    core_idle_watts: float = 0.6
+    uncore_watts_per_node: float = 5.0
+    dram_joules_per_byte: float = 60e-12
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"energy parameter {name} must be non-negative")
+        if self.core_idle_watts > self.core_active_watts:
+            raise ConfigurationError("idle power cannot exceed active power")
+
+    # ------------------------------------------------------------------
+    def taskloop_energy(self, result: TaskloopResult) -> float:
+        """Joules consumed by one taskloop execution.
+
+        Uses the execution's counter sample when present (busy/idle core
+        seconds and DRAM bytes); otherwise falls back to assuming all
+        participating cores were busy for the whole execution.
+        """
+        counters: TaskloopCounters | None = result.counters
+        nodes_active = bin(result.node_mask_bits).count("1")
+        uncore = self.uncore_watts_per_node * nodes_active * result.elapsed
+        if counters is not None:
+            cores = (
+                self.core_active_watts * counters.busy_time
+                + self.core_idle_watts * counters.idle_time
+            )
+            dram = self.dram_joules_per_byte * counters.bytes_total
+        else:
+            cores = self.core_active_watts * result.num_threads * result.elapsed
+            dram = 0.0
+        return cores + uncore + dram
+
+    def taskloop_edp(self, result: TaskloopResult) -> float:
+        """Energy-delay product (J*s) of one taskloop execution."""
+        return self.taskloop_energy(result) * result.elapsed
+
+    def run_energy(self, result: AppRunResult) -> float:
+        """Total joules across every taskloop of an application run."""
+        return sum(self.taskloop_energy(r) for r in result.taskloops)

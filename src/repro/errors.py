@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """Raised for malformed machine topologies or invalid topology queries."""
+
+
+class MemoryModelError(ReproError):
+    """Raised for invalid memory-system operations (bad pages, policies...)."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event engine reaches an inconsistent state."""
+
+
+class RuntimeModelError(ReproError):
+    """Raised for invalid operations on the simulated OpenMP runtime."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid taskloop configurations or scheduler parameters."""
+
+
+class WorkloadError(ReproError):
+    """Raised for malformed workload/application specifications."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for invalid experiment requests."""

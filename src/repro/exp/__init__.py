@@ -1,0 +1,84 @@
+"""Experiment harness: runners, statistics, figures/tables, timelines, persistence."""
+
+from repro.exp.compare import (
+    Comparison,
+    compare_cells,
+    compare_samples,
+    render_comparisons,
+)
+from repro.exp.figures import (
+    PAPER_EXPECTATIONS,
+    OverheadRow,
+    SpeedupRow,
+    ThreadsRow,
+    VariabilityRow,
+    average_speedup,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    table1,
+)
+from repro.exp.persistence import (
+    load_results,
+    results_to_dict,
+    rows_to_dicts,
+    save_results,
+)
+from repro.exp.report import (
+    render_figure6,
+    render_overheads,
+    render_speedups,
+    render_threads,
+    render_variability,
+)
+from repro.exp.runner import (
+    CellResult,
+    ExperimentConfig,
+    Runner,
+    default_noise,
+    shared_runner,
+)
+from repro.exp.stats import Summary, geo_mean, percent, speedup, summarize
+from repro.exp.timeline import render_node_utilisation, render_taskloop_timeline
+
+__all__ = [
+    "Comparison",
+    "compare_cells",
+    "compare_samples",
+    "render_comparisons",
+    "PAPER_EXPECTATIONS",
+    "OverheadRow",
+    "SpeedupRow",
+    "ThreadsRow",
+    "VariabilityRow",
+    "average_speedup",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "table1",
+    "render_figure6",
+    "render_overheads",
+    "render_speedups",
+    "render_threads",
+    "render_variability",
+    "CellResult",
+    "ExperimentConfig",
+    "Runner",
+    "default_noise",
+    "shared_runner",
+    "Summary",
+    "geo_mean",
+    "percent",
+    "speedup",
+    "summarize",
+    "load_results",
+    "results_to_dict",
+    "rows_to_dicts",
+    "save_results",
+    "render_node_utilisation",
+    "render_taskloop_timeline",
+]

@@ -1,0 +1,142 @@
+"""Command-line entry point: ``repro-exp <figure> [options]``.
+
+Examples::
+
+    repro-exp fig2 --seeds 30
+    repro-exp table1 --seeds 30 --timesteps 50
+    repro-exp all --seeds 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.exp.figures import figure2, figure3, figure4, figure5, figure6, table1
+from repro.exp.report import (
+    render_figure6,
+    render_overheads,
+    render_speedups,
+    render_threads,
+    render_variability,
+)
+from repro.exp.runner import ExperimentConfig, Runner
+from repro.topology.hwloc import parse_topology
+from repro.topology.machine import MachineTopology
+from repro.topology.presets import dual_socket_small, single_node, tiny_two_node, zen4_9354
+from repro.workloads.registry import PAPER_ORDER
+
+__all__ = ["main"]
+
+_EXPERIMENTS = ("fig2", "fig3", "fig4", "fig5", "fig6", "table1", "all")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-exp",
+        description="Regenerate the ILAN paper's evaluation figures/tables "
+        "on the simulated NUMA platform.",
+    )
+    parser.add_argument("experiment", choices=_EXPERIMENTS, help="which artefact to run")
+    parser.add_argument("--seeds", type=int, default=None, help="repetitions per cell (paper: 30)")
+    parser.add_argument("--timesteps", type=int, default=None, help="application timesteps override")
+    parser.add_argument("--no-noise", action="store_true", help="disable external system noise")
+    parser.add_argument(
+        "--machine",
+        default="zen4",
+        help="machine model: a preset (zen4, small, tiny, uma) or a path "
+        "to an hwloc-style topology file (default: the paper's 64-core Zen 4)",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help="write the campaign's cell summaries as JSON after the run",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        choices=PAPER_ORDER,
+        default=None,
+        help="subset of benchmarks (default: all seven)",
+    )
+    return parser
+
+
+def run_experiment(name: str, runner: Runner, benchmarks: list[str] | None) -> str:
+    """Run one named experiment; returns the rendered report."""
+    if name == "fig2":
+        return render_speedups(
+            "Figure 2: ILAN vs baseline (speedup, higher is better)",
+            figure2(runner, benchmarks),
+        )
+    if name == "fig3":
+        return render_threads(
+            "Figure 3: weighted average threads selected by ILAN",
+            figure3(runner, benchmarks),
+        )
+    if name == "fig4":
+        return render_speedups(
+            "Figure 4: ILAN without moldability vs baseline",
+            figure4(runner, benchmarks),
+        )
+    if name == "fig5":
+        return render_overheads(
+            "Figure 5: accumulated scheduling overhead (normalized, lower is better)",
+            figure5(runner, benchmarks),
+        )
+    if name == "fig6":
+        return render_figure6(figure6(runner, benchmarks))
+    if name == "table1":
+        return render_variability(
+            "Table 1: execution-time standard deviation",
+            table1(runner, benchmarks),
+        )
+    raise ValueError(f"unknown experiment {name!r}")  # pragma: no cover
+
+
+def _resolve_machine(spec: str) -> MachineTopology:
+    """A preset name or an hwloc-style topology file path."""
+    presets = {
+        "zen4": zen4_9354,
+        "small": dual_socket_small,
+        "tiny": tiny_two_node,
+        "uma": single_node,
+    }
+    factory = presets.get(spec)
+    if factory is not None:
+        return factory()
+    from pathlib import Path
+
+    path = Path(spec)
+    if not path.exists():
+        known = ", ".join(sorted(presets))
+        raise SystemExit(
+            f"unknown machine {spec!r}: not a preset ({known}) nor a topology file"
+        )
+    return parse_topology(path.read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    env_cfg = ExperimentConfig.from_env()
+    cfg = ExperimentConfig(
+        seeds=args.seeds if args.seeds is not None else env_cfg.seeds,
+        timesteps=args.timesteps if args.timesteps is not None else env_cfg.timesteps,
+        with_noise=not args.no_noise,
+    )
+    runner = Runner(cfg, topology=_resolve_machine(args.machine))
+    names = [args.experiment] if args.experiment != "all" else list(_EXPERIMENTS[:-1])
+    for name in names:
+        print(run_experiment(name, runner, args.benchmarks))
+        print()
+    if args.save:
+        from repro.exp.persistence import results_to_dict, save_results
+
+        save_results(args.save, results_to_dict(runner))
+        print(f"saved cell summaries to {args.save}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,191 @@
+"""Per-figure/table result generators (the paper's evaluation section).
+
+Each function reproduces one artefact of the evaluation:
+
+* :func:`figure2` — ILAN vs. baseline normalized speedup per benchmark;
+* :func:`figure3` — weighted average thread (core) count ILAN selected;
+* :func:`figure4` — ILAN *without moldability* vs. baseline;
+* :func:`figure5` — accumulated scheduling overhead, normalized;
+* :func:`figure6` — ILAN and work-sharing vs. baseline;
+* :func:`table1` — standard deviation of execution time.
+
+Functions return structured row lists; :mod:`repro.exp.report` renders
+them as the text tables the benches print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exp.runner import Runner
+from repro.exp.stats import geo_mean, percent, speedup, summarize
+from repro.workloads.registry import PAPER_ORDER
+
+__all__ = [
+    "SpeedupRow",
+    "ThreadsRow",
+    "OverheadRow",
+    "VariabilityRow",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "table1",
+    "PAPER_EXPECTATIONS",
+]
+
+# Paper-reported numbers the reproduction is compared against (shape, not
+# absolute): Figure 2/4 speedups, Figure 3 core counts, Table 1 stddevs.
+PAPER_EXPECTATIONS = {
+    "fig2_speedup": {"ft": 1.123, "bt": 1.169, "cg": 1.08, "sp": 1.458, "matmul": 0.98},
+    "fig2_avg": 1.132,
+    "fig3_cores": {"cg": 25, "ft": 64, "bt": 64, "matmul": 64},
+    "fig4_avg": 1.079,
+    "fig4_cg": 0.914,  # CG degrades 8.6% without moldability
+    "table1": {
+        "ft": (0.0117, 0.0037),
+        "bt": (0.0133, 0.0197),
+        "cg": (0.0094, 0.0239),
+        "lu": (0.0169, 0.0045),
+        "sp": (0.0554, 0.0258),
+        "matmul": (0.0050, 0.0158),
+        "lulesh": (0.0065, 0.0074),
+    },
+}
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    benchmark: str
+    scheduler: str
+    baseline_mean: float
+    baseline_std: float
+    sched_mean: float
+    sched_std: float
+    speedup: float
+
+    @property
+    def percent(self) -> float:
+        return percent(self.speedup)
+
+
+@dataclass(frozen=True)
+class ThreadsRow:
+    benchmark: str
+    avg_threads: float
+    max_threads: int
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    benchmark: str
+    baseline_overhead: float
+    ilan_overhead: float
+    normalized: float  # ilan / baseline, lower is better
+
+
+@dataclass(frozen=True)
+class VariabilityRow:
+    benchmark: str
+    baseline_std: float
+    ilan_std: float
+    baseline_rel_std: float
+    ilan_rel_std: float
+
+
+def _speedup_rows(runner: Runner, scheduler: str, benchmarks: list[str]) -> list[SpeedupRow]:
+    rows: list[SpeedupRow] = []
+    for bench in benchmarks:
+        base = runner.cell(bench, "baseline").summary()
+        sched = runner.cell(bench, scheduler).summary()
+        rows.append(
+            SpeedupRow(
+                benchmark=bench,
+                scheduler=scheduler,
+                baseline_mean=base.mean,
+                baseline_std=base.std,
+                sched_mean=sched.mean,
+                sched_std=sched.std,
+                speedup=speedup(base.mean, sched.mean),
+            )
+        )
+    return rows
+
+
+def figure2(runner: Runner, benchmarks: list[str] | None = None) -> list[SpeedupRow]:
+    """ILAN vs. baseline normalized speedup (paper Figure 2)."""
+    return _speedup_rows(runner, "ilan", benchmarks or list(PAPER_ORDER))
+
+
+def figure3(runner: Runner, benchmarks: list[str] | None = None) -> list[ThreadsRow]:
+    """Weighted average thread count selected by ILAN (paper Figure 3)."""
+    rows: list[ThreadsRow] = []
+    for bench in benchmarks or list(PAPER_ORDER):
+        cell = runner.cell(bench, "ilan")
+        avg = summarize([r.weighted_avg_threads for r in cell.runs]).mean
+        rows.append(
+            ThreadsRow(
+                benchmark=bench,
+                avg_threads=avg,
+                max_threads=runner.topology.num_cores,
+            )
+        )
+    return rows
+
+
+def figure4(runner: Runner, benchmarks: list[str] | None = None) -> list[SpeedupRow]:
+    """ILAN without moldability vs. baseline (paper Figure 4)."""
+    return _speedup_rows(runner, "ilan-nomold", benchmarks or list(PAPER_ORDER))
+
+
+def figure5(runner: Runner, benchmarks: list[str] | None = None) -> list[OverheadRow]:
+    """Accumulated scheduling overhead, ILAN normalized to baseline
+    (paper Figure 5; lower is better)."""
+    rows: list[OverheadRow] = []
+    for bench in benchmarks or list(PAPER_ORDER):
+        base = runner.cell(bench, "baseline").overhead_summary().mean
+        ilan = runner.cell(bench, "ilan").overhead_summary().mean
+        rows.append(
+            OverheadRow(
+                benchmark=bench,
+                baseline_overhead=base,
+                ilan_overhead=ilan,
+                normalized=ilan / base if base > 0 else float("inf"),
+            )
+        )
+    return rows
+
+
+def figure6(
+    runner: Runner, benchmarks: list[str] | None = None
+) -> dict[str, list[SpeedupRow]]:
+    """ILAN and OpenMP work-sharing vs. baseline (paper Figure 6)."""
+    benches = benchmarks or list(PAPER_ORDER)
+    return {
+        "ilan": _speedup_rows(runner, "ilan", benches),
+        "worksharing": _speedup_rows(runner, "worksharing", benches),
+    }
+
+
+def table1(runner: Runner, benchmarks: list[str] | None = None) -> list[VariabilityRow]:
+    """Standard deviation of execution time, baseline vs. ILAN (Table 1)."""
+    rows: list[VariabilityRow] = []
+    for bench in benchmarks or list(PAPER_ORDER):
+        base = runner.cell(bench, "baseline").summary()
+        ilan = runner.cell(bench, "ilan").summary()
+        rows.append(
+            VariabilityRow(
+                benchmark=bench,
+                baseline_std=base.std,
+                ilan_std=ilan.std,
+                baseline_rel_std=base.rel_std,
+                ilan_rel_std=ilan.rel_std,
+            )
+        )
+    return rows
+
+
+def average_speedup(rows: list[SpeedupRow]) -> float:
+    """Geometric-mean speedup across benchmarks (the paper's 'average')."""
+    return geo_mean([r.speedup for r in rows])

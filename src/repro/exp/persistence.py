@@ -1,0 +1,101 @@
+"""Persist experiment results as JSON.
+
+Experiment campaigns are cheap to re-run but the figure tables belong in
+version control (EXPERIMENTS.md is generated from them); this module
+serialises :class:`CellResult` summaries and figure rows to plain JSON and
+loads them back, so reports can be regenerated without re-simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ExperimentError
+from repro.exp.figures import OverheadRow, SpeedupRow, ThreadsRow, VariabilityRow
+from repro.exp.runner import Runner
+
+__all__ = ["results_to_dict", "save_results", "load_results", "rows_to_dicts"]
+
+_ROW_TYPES = {
+    "SpeedupRow": SpeedupRow,
+    "ThreadsRow": ThreadsRow,
+    "OverheadRow": OverheadRow,
+    "VariabilityRow": VariabilityRow,
+}
+
+
+def rows_to_dicts(rows: list[Any]) -> list[dict[str, Any]]:
+    """Figure rows -> JSON-ready dicts (with a type tag for loading)."""
+    out = []
+    for row in rows:
+        if not dataclasses.is_dataclass(row):
+            raise ExperimentError(f"cannot serialise non-dataclass row {type(row).__name__}")
+        d = dataclasses.asdict(row)
+        d["__type__"] = type(row).__name__
+        out.append(d)
+    return out
+
+
+def _dicts_to_rows(dicts: list[dict[str, Any]]) -> list[Any]:
+    rows = []
+    for d in dicts:
+        d = dict(d)
+        type_name = d.pop("__type__", None)
+        cls = _ROW_TYPES.get(type_name)
+        if cls is None:
+            raise ExperimentError(f"unknown row type {type_name!r}")
+        rows.append(cls(**d))
+    return rows
+
+
+def results_to_dict(runner: Runner) -> dict[str, Any]:
+    """Summarise every cached cell of ``runner`` (means/stds, not raw runs)."""
+    cells = []
+    for (bench, sched), cell in sorted(runner.cached_cells().items()):
+        s = cell.summary()
+        o = cell.overhead_summary()
+        cells.append(
+            {
+                "benchmark": bench,
+                "scheduler": sched,
+                "runs": s.n,
+                "time_mean": s.mean,
+                "time_std": s.std,
+                "time_min": s.min,
+                "time_max": s.max,
+                "overhead_mean": o.mean,
+                "weighted_threads_mean": cell.weighted_threads().mean,
+            }
+        )
+    return {
+        "config": {
+            "seeds": runner.config.seeds,
+            "timesteps": runner.config.timesteps,
+            "with_noise": runner.config.with_noise,
+        },
+        "machine": runner.topology.describe(),
+        "cells": cells,
+    }
+
+
+def save_results(path: str | Path, payload: dict[str, Any] | list[Any]) -> Path:
+    """Write a results payload (dict or figure-row list) as JSON."""
+    path = Path(path)
+    if isinstance(payload, list):
+        payload = {"rows": rows_to_dicts(payload)}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_results(path: str | Path) -> dict[str, Any] | list[Any]:
+    """Load a payload written by :func:`save_results`.
+
+    Row lists come back as the original dataclass rows.
+    """
+    data = json.loads(Path(path).read_text())
+    if isinstance(data, dict) and set(data) == {"rows"}:
+        return _dicts_to_rows(data["rows"])
+    return data

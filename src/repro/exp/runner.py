@@ -1,0 +1,135 @@
+"""Experiment runner: benchmark x scheduler x seeds, with result caching.
+
+The paper's methodology is 30 repetitions per (benchmark, scheduler) cell;
+several figures share the same cells (Figure 2 and Figure 3 both need the
+ILAN runs), so the runner memoises completed cells per process.
+
+Environment knobs (used by the pytest benches so CI can scale):
+
+* ``REPRO_SEEDS`` — repetitions per cell (default 30, the paper's count);
+* ``REPRO_ITERS`` — application timesteps (default: each model's own);
+* ``REPRO_FULL=1`` — force the paper-scale defaults regardless of others.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.exp.stats import Summary, summarize
+from repro.interference.noise import NoiseParams
+from repro.runtime.results import AppRunResult
+from repro.runtime.runtime import OpenMPRuntime
+from repro.topology.machine import MachineTopology
+from repro.topology.presets import zen4_9354
+from repro.workloads.registry import make_benchmark
+
+__all__ = ["ExperimentConfig", "CellResult", "Runner", "default_noise"]
+
+
+def default_noise() -> NoiseParams:
+    """Mild external noise used by the paper-figure experiments.
+
+    Gives runs a realistic variability floor; scheduler-induced variance
+    (random placement/stealing) comes on top of it.
+    """
+    return NoiseParams(
+        mean_interval=0.05, mean_duration=0.005, slow_factor=0.6, cores_fraction=0.1
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shape of one experiment campaign."""
+
+    seeds: int = 30
+    timesteps: int | None = None
+    with_noise: bool = True
+
+    @staticmethod
+    def from_env() -> "ExperimentConfig":
+        """Read the ``REPRO_*`` environment knobs."""
+        if os.environ.get("REPRO_FULL") == "1":
+            return ExperimentConfig()
+        seeds = int(os.environ.get("REPRO_SEEDS", "30"))
+        iters = os.environ.get("REPRO_ITERS")
+        return ExperimentConfig(seeds=seeds, timesteps=int(iters) if iters else None)
+
+
+@dataclass
+class CellResult:
+    """All runs of one (benchmark, scheduler) cell."""
+
+    benchmark: str
+    scheduler: str
+    runs: list[AppRunResult]
+
+    @property
+    def times(self) -> list[float]:
+        return [r.total_time for r in self.runs]
+
+    def summary(self) -> Summary:
+        return summarize(self.times)
+
+    def overhead_summary(self) -> Summary:
+        return summarize([r.total_overhead for r in self.runs])
+
+    def weighted_threads(self) -> Summary:
+        return summarize([r.weighted_avg_threads for r in self.runs])
+
+
+class Runner:
+    """Memoising benchmark runner bound to one machine model."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        topology: MachineTopology | None = None,
+    ):
+        self.config = config or ExperimentConfig.from_env()
+        self.topology = topology or zen4_9354()
+        self._cache: dict[tuple[str, str], CellResult] = {}
+
+    # ------------------------------------------------------------------
+    def cell(self, benchmark: str, scheduler: str) -> CellResult:
+        """Runs of (benchmark, scheduler); computed once, then cached."""
+        key = (benchmark, scheduler)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._run_cell(benchmark, scheduler)
+        self._cache[key] = result
+        return result
+
+    def _run_cell(self, benchmark: str, scheduler: str) -> CellResult:
+        cfg = self.config
+        if cfg.seeds < 1:
+            raise ExperimentError(f"need at least one seed, got {cfg.seeds}")
+        app = make_benchmark(benchmark, timesteps=cfg.timesteps)
+        noise = default_noise() if cfg.with_noise else None
+        runs: list[AppRunResult] = []
+        for seed in range(cfg.seeds):
+            runtime = OpenMPRuntime(
+                self.topology, scheduler=scheduler, seed=seed, noise=noise
+            )
+            runs.append(runtime.run_application(app))
+        return CellResult(benchmark=benchmark, scheduler=scheduler, runs=runs)
+
+    def cached_cells(self) -> dict[tuple[str, str], CellResult]:
+        """Snapshot of all completed (benchmark, scheduler) cells."""
+        return dict(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+
+_SHARED: Runner | None = None
+
+
+def shared_runner() -> Runner:
+    """Process-wide runner so pytest benches share cells across figures."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = Runner()
+    return _SHARED

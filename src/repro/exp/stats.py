@@ -1,0 +1,70 @@
+"""Statistics helpers for the experiment harness.
+
+All aggregation the figures need: sample mean/std, normalized speedup
+(baseline time / scheduler time, higher is better, as in the paper's
+figures), and geometric means for cross-benchmark averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+__all__ = ["Summary", "summarize", "speedup", "geo_mean", "percent"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Sample statistics of repeated measurements."""
+
+    n: int
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    @property
+    def rel_std(self) -> float:
+        """Coefficient of variation (std / mean)."""
+        return self.std / self.mean if self.mean else 0.0
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Sample statistics (ddof=1 std, like the paper's 30-run tables)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ExperimentError("cannot summarize an empty sample")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=std,
+        min=float(arr.min()),
+        max=float(arr.max()),
+    )
+
+
+def speedup(baseline_time: float, scheduler_time: float) -> float:
+    """Normalized speedup: > 1 means the scheduler beats the baseline."""
+    if baseline_time <= 0 or scheduler_time <= 0:
+        raise ExperimentError("times must be positive for a speedup")
+    return baseline_time / scheduler_time
+
+
+def geo_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for speedup ratios)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ExperimentError("cannot average an empty sample")
+    if np.any(arr <= 0):
+        raise ExperimentError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def percent(ratio: float) -> float:
+    """Speedup ratio -> percent gain (1.132 -> 13.2)."""
+    return (ratio - 1.0) * 100.0

@@ -1,0 +1,108 @@
+"""Reusable parameter sweeps over schedulers and workloads.
+
+The ablation/extension benchmarks each sweep one knob; these helpers make
+the same pattern available to library users::
+
+    from repro.exp.sweeps import sweep
+    rows = sweep(
+        app_factory=lambda: make_sp(timesteps=30),
+        schedulers={"g=4": IlanScheduler(granularity=4),
+                    "g=8": IlanScheduler(granularity=8)},
+        seeds=5,
+    )
+
+Every cell is ``seeds`` independent runs; rows carry mean time, std, mean
+weighted threads and mean total overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import ExperimentError
+from repro.exp.stats import Summary, summarize
+from repro.interference.noise import NoiseParams
+from repro.runtime.runtime import OpenMPRuntime
+from repro.runtime.schedulers.base import Scheduler
+from repro.topology.machine import MachineTopology
+from repro.topology.presets import zen4_9354
+from repro.workloads.base import Application
+
+__all__ = ["SweepRow", "sweep", "render_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """Aggregated runs of one sweep point."""
+
+    label: str
+    time: Summary
+    threads_mean: float
+    overhead_mean: float
+
+
+def sweep(
+    *,
+    app_factory: Callable[[], Application],
+    schedulers: Mapping[str, Scheduler | str],
+    seeds: int = 3,
+    topology: MachineTopology | None = None,
+    noise: NoiseParams | None = None,
+) -> list[SweepRow]:
+    """Run ``app_factory()`` under every scheduler variant.
+
+    ``schedulers`` maps row labels to scheduler instances or registry
+    names.  A fresh application model is built per cell so no state leaks
+    between variants.
+    """
+    if seeds < 1:
+        raise ExperimentError(f"need at least one seed, got {seeds}")
+    if not schedulers:
+        raise ExperimentError("sweep needs at least one scheduler variant")
+    topo = topology or zen4_9354()
+    rows: list[SweepRow] = []
+    for label, sched in schedulers.items():
+        times: list[float] = []
+        threads: list[float] = []
+        overheads: list[float] = []
+        for seed in range(seeds):
+            app = app_factory()
+            runtime = OpenMPRuntime(topo, scheduler=sched, seed=seed, noise=noise)
+            result = runtime.run_application(app)
+            times.append(result.total_time)
+            threads.append(result.weighted_avg_threads)
+            overheads.append(result.total_overhead)
+        rows.append(
+            SweepRow(
+                label=label,
+                time=summarize(times),
+                threads_mean=sum(threads) / len(threads),
+                overhead_mean=sum(overheads) / len(overheads),
+            )
+        )
+    return rows
+
+
+def render_sweep(title: str, rows: list[SweepRow], *, baseline: str | None = None) -> str:
+    """Text table of sweep rows, optionally normalised to one row's mean."""
+    base_mean: float | None = None
+    if baseline is not None:
+        match = [r for r in rows if r.label == baseline]
+        if not match:
+            raise ExperimentError(f"baseline row {baseline!r} not in sweep")
+        base_mean = match[0].time.mean
+    lines = [title, "-" * 72]
+    header = f"{'variant':<18} {'time[s]':>9} {'std':>8} {'threads':>8} {'ovh[ms]':>8}"
+    if base_mean is not None:
+        header += f" {'speedup':>8}"
+    lines.append(header)
+    for r in rows:
+        line = (
+            f"{r.label:<18} {r.time.mean:>9.4f} {r.time.std:>8.4f} "
+            f"{r.threads_mean:>8.1f} {r.overhead_mean * 1e3:>8.3f}"
+        )
+        if base_mean is not None:
+            line += f" {base_mean / r.time.mean:>8.3f}"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""ASCII execution timelines from run traces.
+
+Renders a per-core Gantt view of one taskloop execution (which core ran
+which chunk, when, and whether it was stolen) plus per-node utilisation
+bars — the visual counterpart of the scheduling decisions the schedulers
+make.  Works from a :class:`repro.sim.trace.Trace` recorded with
+``OpenMPRuntime(..., trace=True)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.sim.trace import TaskRecord, Trace
+from repro.topology.machine import MachineTopology
+
+__all__ = ["render_taskloop_timeline", "render_node_utilisation"]
+
+
+def _select_execution(trace: Trace, uid: str, occurrence: int) -> tuple[float, float]:
+    loops = [r for r in trace.taskloops if r.taskloop == uid]
+    if not loops:
+        raise ExperimentError(f"trace holds no executions of {uid!r}")
+    if not (0 <= occurrence < len(loops)):
+        raise ExperimentError(
+            f"occurrence {occurrence} out of range; trace holds {len(loops)} executions"
+        )
+    rec = loops[occurrence]
+    return rec.start, rec.end
+
+
+def _tasks_in_window(trace: Trace, uid: str, start: float, end: float) -> list[TaskRecord]:
+    eps = 1e-12
+    return [
+        t
+        for t in trace.tasks
+        if t.taskloop == uid and t.start >= start - eps and t.end <= end + eps
+    ]
+
+
+def render_taskloop_timeline(
+    trace: Trace,
+    topology: MachineTopology,
+    uid: str,
+    *,
+    occurrence: int = 0,
+    width: int = 72,
+) -> str:
+    """Per-core Gantt chart of one taskloop execution.
+
+    Each row is a core; ``#`` marks time executing locally-acquired
+    chunks, ``s`` stolen ones, ``.`` idle time inside the taskloop window.
+    Cores are grouped by NUMA node.
+    """
+    if width < 16:
+        raise ExperimentError("timeline width must be at least 16 columns")
+    start, end = _select_execution(trace, uid, occurrence)
+    span = end - start
+    if span <= 0:
+        raise ExperimentError("taskloop execution has zero span")
+    tasks = _tasks_in_window(trace, uid, start, end)
+
+    def col(t: float) -> int:
+        return min(int((t - start) / span * width), width - 1)
+
+    rows: dict[int, list[str]] = {c: ["."] * width for c in topology.core_ids()}
+    for task in tasks:
+        mark = "s" if task.stolen else "#"
+        for x in range(col(task.start), col(task.end) + 1):
+            rows[task.core][x] = mark
+
+    lines = [
+        f"timeline of {uid!r} (execution {occurrence}): "
+        f"{span * 1e3:.2f} ms, {len(tasks)} tasks",
+        f"{'core':>6} |{'-' * width}|",
+    ]
+    for node in topology.node_ids():
+        lines.append(f"node {node}")
+        for core in topology.cores_of_node(node):
+            lines.append(f"{core:>6} |{''.join(rows[core])}|")
+    lines.append("legend: '#' own task, 's' stolen task, '.' idle")
+    return "\n".join(lines)
+
+
+def render_node_utilisation(
+    trace: Trace,
+    topology: MachineTopology,
+    uid: str,
+    *,
+    occurrence: int = 0,
+    width: int = 40,
+) -> str:
+    """Per-node busy-time share during one taskloop execution."""
+    start, end = _select_execution(trace, uid, occurrence)
+    span = end - start
+    tasks = _tasks_in_window(trace, uid, start, end)
+    busy = {n: 0.0 for n in topology.node_ids()}
+    for task in tasks:
+        busy[task.node] += task.end - task.start
+    lines = [f"node utilisation of {uid!r} (execution {occurrence}):"]
+    for node in topology.node_ids():
+        capacity = span * len(topology.cores_of_node(node))
+        frac = busy[node] / capacity if capacity > 0 else 0.0
+        bar = "#" * int(round(frac * width))
+        lines.append(f"  node {node}: {frac * 100:5.1f}% |{bar:<{width}}|")
+    return "\n".join(lines)

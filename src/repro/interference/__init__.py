@@ -1,0 +1,6 @@
+"""Interference layer: slowdown computation and external noise injection."""
+
+from repro.interference.model import InterferenceModel
+from repro.interference.noise import NoiseParams, NoiseProcess
+
+__all__ = ["InterferenceModel", "NoiseParams", "NoiseProcess"]

@@ -1,0 +1,116 @@
+"""External system noise: dynamic performance asymmetry beyond the app.
+
+The paper attributes part of the run-to-run variability (e.g. the single
+BT outlier) to effects outside the scheduler's control — OS daemons,
+frequency scaling, other tenants.  :class:`NoiseProcess` models these as a
+renewal process: at exponentially distributed intervals a random subset of
+cores is slowed by a fixed factor for an exponentially distributed
+duration.  Events are self-scheduling on the simulator's event queue, so no
+horizon needs to be known in advance.
+
+Noise is disabled by default; experiments opt in per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.progress import CoreStates
+
+__all__ = ["NoiseParams", "NoiseProcess"]
+
+
+@dataclass(frozen=True)
+class NoiseParams:
+    """Configuration of the external-noise renewal process.
+
+    Attributes
+    ----------
+    mean_interval:
+        Mean seconds between noise onsets (exponential); ``None`` disables.
+    mean_duration:
+        Mean seconds one noise episode lasts (exponential).
+    slow_factor:
+        Speed multiplier applied to affected cores (0 < f < 1).
+    cores_fraction:
+        Fraction of cores hit by each episode.
+    """
+
+    mean_interval: float | None = None
+    mean_duration: float = 0.01
+    slow_factor: float = 0.5
+    cores_fraction: float = 0.125
+
+    def __post_init__(self) -> None:
+        if self.mean_interval is not None and self.mean_interval <= 0:
+            raise SimulationError("mean_interval must be positive or None")
+        if self.mean_duration <= 0:
+            raise SimulationError("mean_duration must be positive")
+        if not (0.0 < self.slow_factor < 1.0):
+            raise SimulationError("slow_factor must lie in (0, 1)")
+        if not (0.0 < self.cores_fraction <= 1.0):
+            raise SimulationError("cores_fraction must lie in (0, 1]")
+
+    @property
+    def enabled(self) -> bool:
+        return self.mean_interval is not None
+
+
+class NoiseProcess:
+    """Self-scheduling noise injector over a run's :class:`CoreStates`.
+
+    Multiple overlapping episodes compose multiplicatively per core.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        states: CoreStates,
+        params: NoiseParams,
+        rng: np.random.Generator,
+    ):
+        self.sim = sim
+        self.states = states
+        self.params = params
+        self.rng = rng
+        self._factors = np.ones(states.num_cores)
+        self.episodes = 0
+
+    def start(self) -> None:
+        """Arm the process (no-op when noise is disabled)."""
+        if self.params.enabled:
+            self._schedule_next_onset()
+
+    # ------------------------------------------------------------------
+    def _schedule_next_onset(self) -> None:
+        assert self.params.mean_interval is not None
+        gap = float(self.rng.exponential(self.params.mean_interval))
+        self.sim.schedule_in(gap, self._onset, tag="noise-onset")
+
+    def _onset(self) -> None:
+        p = self.params
+        n = self.states.num_cores
+        k = max(1, int(round(p.cores_fraction * n)))
+        cores = self.rng.choice(n, size=k, replace=False)
+        self._factors[cores] *= p.slow_factor
+        self._apply()
+        self.episodes += 1
+        duration = float(self.rng.exponential(p.mean_duration))
+        self.sim.schedule_in(duration, lambda c=cores: self._offset(c), tag="noise-offset")
+        self._schedule_next_onset()
+
+    def _offset(self, cores: np.ndarray) -> None:
+        self._factors[cores] /= self.params.slow_factor
+        self._apply()
+
+    def _apply(self) -> None:
+        self.states.set_noise(self._factors)
+
+    @property
+    def factors(self) -> np.ndarray:
+        """Current per-core noise factors (1.0 = unaffected)."""
+        return self._factors.copy()

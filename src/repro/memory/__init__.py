@@ -1,0 +1,35 @@
+"""Memory-system substrate: pages, placement policies, bandwidth, caches.
+
+This package models the NUMA memory effects the ILAN scheduler reacts to:
+first-touch page placement, local/remote access, shared per-node bandwidth
+with a superlinear contention penalty, and cache reuse driven by last-touch
+locality.
+"""
+
+from repro.memory.access import AccessPattern, ChunkAccess, chunk_access
+from repro.memory.allocator import AllocPolicy, DataRegion, MemoryMap
+from repro.memory.bandwidth import (
+    DEFAULT_CORE_BANDWIDTH,
+    BandwidthModel,
+    contention_slowdown,
+    node_demand,
+)
+from repro.memory.cache import CacheModel
+from repro.memory.pages import DEFAULT_PAGE_BYTES, UNTOUCHED, PageState
+
+__all__ = [
+    "AccessPattern",
+    "ChunkAccess",
+    "chunk_access",
+    "AllocPolicy",
+    "DataRegion",
+    "MemoryMap",
+    "DEFAULT_CORE_BANDWIDTH",
+    "BandwidthModel",
+    "contention_slowdown",
+    "node_demand",
+    "CacheModel",
+    "DEFAULT_PAGE_BYTES",
+    "UNTOUCHED",
+    "PageState",
+]

@@ -1,0 +1,172 @@
+"""Page-granular memory state: home nodes (placement) and last-touch nodes.
+
+The simulator tracks two per-page facts the ILAN evaluation hinges on:
+
+* **home node** — where the page's backing frame lives.  Linux homes a page
+  on the NUMA node of the core that first touches it (*first touch*), which
+  is why deterministic task placement also determines data placement.
+  ``-1`` means the page has not been touched yet.
+* **last-touch node** — the NUMA node whose caches most recently pulled the
+  page.  Re-running an iteration block on the node that touched its pages
+  last gives cache reuse; running it elsewhere incurs coherence traffic and
+  cold misses.
+
+Pages are deliberately coarse (default 2 MiB, like transparent huge pages)
+so that region state stays small and numpy-friendly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MemoryModelError
+
+__all__ = ["PageState", "DEFAULT_PAGE_BYTES", "UNTOUCHED"]
+
+DEFAULT_PAGE_BYTES = 2 * 1024 * 1024
+UNTOUCHED = -1
+
+
+class PageState:
+    """Mutable per-page home/last-touch state for one data region.
+
+    Parameters
+    ----------
+    num_pages:
+        Number of pages in the region (>= 1).
+    num_nodes:
+        Number of NUMA nodes in the machine the region lives on.
+    page_bytes:
+        Size of one page in bytes.
+    """
+
+    __slots__ = ("num_pages", "num_nodes", "page_bytes", "home", "last", "_home_counts", "_last_counts")
+
+    def __init__(self, num_pages: int, num_nodes: int, page_bytes: int = DEFAULT_PAGE_BYTES):
+        if num_pages < 1:
+            raise MemoryModelError(f"num_pages must be >= 1, got {num_pages}")
+        if num_nodes < 1:
+            raise MemoryModelError(f"num_nodes must be >= 1, got {num_nodes}")
+        if page_bytes <= 0:
+            raise MemoryModelError(f"page_bytes must be positive, got {page_bytes}")
+        self.num_pages = num_pages
+        self.num_nodes = num_nodes
+        self.page_bytes = page_bytes
+        self.home = np.full(num_pages, UNTOUCHED, dtype=np.int32)
+        self.last = np.full(num_pages, UNTOUCHED, dtype=np.int32)
+        # cached histograms; index 0..num_nodes-1 per node, kept in sync by
+        # the mutation helpers below.
+        self._home_counts = np.zeros(num_nodes, dtype=np.int64)
+        self._last_counts = np.zeros(num_nodes, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def first_touch(self, start: int, stop: int, node: int) -> int:
+        """First-touch pages ``[start, stop)`` from ``node``.
+
+        Only pages still untouched get homed; returns how many were homed.
+        Also records the touch as the pages' last touch.
+        """
+        self._check_range(start, stop)
+        self._check_node(node)
+        sl = self.home[start:stop]
+        mask = sl == UNTOUCHED
+        homed = int(mask.sum())
+        if homed:
+            sl[mask] = node
+            self._home_counts[node] += homed
+        self.record_touch(start, stop, node)
+        return homed
+
+    def bind(self, start: int, stop: int, node: int) -> None:
+        """Force pages ``[start, stop)`` onto ``node`` (``numactl --membind``)."""
+        self._check_range(start, stop)
+        self._check_node(node)
+        old = self.home[start:stop]
+        touched = old[old != UNTOUCHED]
+        if touched.size:
+            np.subtract.at(self._home_counts, touched, 1)
+        self.home[start:stop] = node
+        self._home_counts[node] += stop - start
+
+    def interleave(self, start: int, stop: int, nodes: list[int]) -> None:
+        """Home pages ``[start, stop)`` round-robin over ``nodes``."""
+        self._check_range(start, stop)
+        if not nodes:
+            raise MemoryModelError("interleave requires at least one node")
+        for n in nodes:
+            self._check_node(n)
+        old = self.home[start:stop]
+        touched = old[old != UNTOUCHED]
+        if touched.size:
+            np.subtract.at(self._home_counts, touched, 1)
+        pattern = np.asarray(nodes, dtype=np.int32)
+        assignment = pattern[np.arange(start, stop) % len(nodes)]
+        self.home[start:stop] = assignment
+        np.add.at(self._home_counts, assignment, 1)
+
+    def record_touch(self, start: int, stop: int, node: int) -> None:
+        """Update last-touch state for pages ``[start, stop)``."""
+        self._check_range(start, stop)
+        self._check_node(node)
+        sl = self.last[start:stop]
+        old = sl[sl != UNTOUCHED]
+        if old.size:
+            np.subtract.at(self._last_counts, old, 1)
+        sl[:] = node
+        self._last_counts[node] += stop - start
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def home_histogram(self, start: int, stop: int) -> tuple[np.ndarray, int]:
+        """Per-node home counts for ``[start, stop)`` plus untouched count."""
+        self._check_range(start, stop)
+        sl = self.home[start:stop]
+        touched = sl[sl != UNTOUCHED]
+        counts = np.bincount(touched, minlength=self.num_nodes).astype(np.float64)
+        return counts, int((stop - start) - touched.size)
+
+    def last_touch_fraction(self, start: int, stop: int, node: int) -> float:
+        """Fraction of pages ``[start, stop)`` last touched by ``node``."""
+        self._check_range(start, stop)
+        self._check_node(node)
+        sl = self.last[start:stop]
+        return float((sl == node).sum()) / (stop - start)
+
+    def region_home_weights(self) -> np.ndarray:
+        """Region-wide home distribution as weights over nodes.
+
+        Untouched pages contribute nothing; callers must handle the
+        untouched fraction (see :meth:`untouched_fraction`).
+        """
+        total = self._home_counts.sum()
+        if total == 0:
+            return np.zeros(self.num_nodes)
+        return self._home_counts / total
+
+    def region_last_weights(self) -> np.ndarray:
+        """Region-wide last-touch distribution as weights over nodes."""
+        total = self._last_counts.sum()
+        if total == 0:
+            return np.zeros(self.num_nodes)
+        return self._last_counts / total
+
+    def untouched_fraction(self) -> float:
+        return 1.0 - self._home_counts.sum() / self.num_pages
+
+    def home_counts(self) -> np.ndarray:
+        """Copy of the cached per-node home-page counts."""
+        return self._home_counts.copy()
+
+    # ------------------------------------------------------------------
+    def _check_range(self, start: int, stop: int) -> None:
+        if not (0 <= start < stop <= self.num_pages):
+            raise MemoryModelError(
+                f"bad page range [{start}, {stop}) for region of {self.num_pages} pages"
+            )
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.num_nodes):
+            raise MemoryModelError(f"unknown node {node} (machine has {self.num_nodes})")

@@ -1,0 +1,64 @@
+"""Simulated OpenMP tasking runtime.
+
+Pinned worker threads, per-thread task deques, taskloop partitioning,
+pluggable steal policies, static work sharing, overhead accounting, and the
+executor that runs taskloop plans on the simulated machine.
+"""
+
+from repro.runtime.context import RunContext
+from repro.runtime.executor import TaskloopExecutor
+from repro.runtime.overhead import OverheadLedger, OverheadParams
+from repro.runtime.queues import WorkQueue
+from repro.runtime.results import AppRunResult, TaskloopResult
+from repro.runtime.runtime import ApplicationProtocol, OpenMPRuntime
+from repro.runtime.schedulers import (
+    SCHEDULERS,
+    BaselineScheduler,
+    Scheduler,
+    TaskloopPlan,
+    WorksharingScheduler,
+    create_scheduler,
+    register_scheduler,
+)
+from repro.runtime.task import Chunk, SerialPhase, TaskloopWork
+from repro.runtime.taskloop import chunk_bounds, partition, profile_mass
+from repro.runtime.threads import Worker, WorkerPool
+from repro.runtime.worksteal import (
+    Acquisition,
+    HierarchicalStealPolicy,
+    NoStealPolicy,
+    RandomStealPolicy,
+    StealPolicy,
+)
+
+__all__ = [
+    "RunContext",
+    "TaskloopExecutor",
+    "OverheadLedger",
+    "OverheadParams",
+    "WorkQueue",
+    "AppRunResult",
+    "TaskloopResult",
+    "ApplicationProtocol",
+    "OpenMPRuntime",
+    "SCHEDULERS",
+    "BaselineScheduler",
+    "Scheduler",
+    "TaskloopPlan",
+    "WorksharingScheduler",
+    "create_scheduler",
+    "register_scheduler",
+    "Chunk",
+    "SerialPhase",
+    "TaskloopWork",
+    "chunk_bounds",
+    "partition",
+    "profile_mass",
+    "Worker",
+    "WorkerPool",
+    "Acquisition",
+    "HierarchicalStealPolicy",
+    "NoStealPolicy",
+    "RandomStealPolicy",
+    "StealPolicy",
+]

@@ -1,0 +1,294 @@
+"""The taskloop executor: runs one plan on the simulated machine.
+
+This is the heart of the simulation.  The executor owns the
+dispatch-advance loop:
+
+1. every idle participating core tries to acquire work (own queue, then
+   the plan's steal policy);
+2. per-core slowdowns are recomputed from the interference model;
+3. the machine advances by the smallest of (earliest task completion,
+   next timed event);
+4. completions commit their memory side effects (first-touch, last-touch)
+   and free their cores; due events (noise transitions) fire; repeat.
+
+When the last chunk retires, the barrier cost for the active thread count
+is charged and the measured taskloop time — what ILAN's PTT stores — is
+the wall time from encounter to barrier exit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.memory.access import chunk_access
+from repro.runtime.context import RunContext
+from repro.runtime.overhead import OverheadLedger
+from repro.runtime.results import TaskloopResult
+from repro.runtime.schedulers.base import TaskloopPlan
+from repro.runtime.task import Chunk, TaskloopWork
+from repro.runtime.threads import Worker, WorkerPool
+from repro.sim.trace import StealRecord, TaskloopRecord, TaskRecord
+
+__all__ = ["TaskloopExecutor"]
+
+
+@dataclass
+class _Running:
+    """Executor-side payload attached to a running chunk."""
+
+    chunk: Chunk
+    access: "object"
+    worker: Worker
+    start: float
+    source: str
+    victim_core: int
+
+
+class TaskloopExecutor:
+    """Executes taskloop plans against a :class:`RunContext`."""
+
+    def __init__(self, ctx: RunContext):
+        self.ctx = ctx
+
+    # ------------------------------------------------------------------
+    def run(self, work: TaskloopWork, plan: TaskloopPlan) -> TaskloopResult:
+        """Run ``plan`` to completion; returns the measured result."""
+        ctx = self.ctx
+        plan.validate(work)
+        if ctx.states.any_active():
+            raise SimulationError("taskloops execute one at a time; machine is busy")
+
+        ledger = OverheadLedger()
+        t_start = ctx.sim.now
+        busy_before = ctx.states.busy_time.copy()
+        work_before = ctx.states.work_done.copy()
+        ctx.counters.begin(work.uid)
+
+        # serial prologue on the encountering thread: scheduler decision
+        # cost plus task creation (work sharing pays a fork instead)
+        total_chunks = plan.total_chunks
+        if plan.extra_overhead > 0:
+            ledger.charge("select", plan.extra_overhead)
+        if plan.static:
+            ledger.charge("fork", ctx.params.worksharing_fork)
+            prologue = plan.extra_overhead + ctx.params.worksharing_fork
+        else:
+            create = ctx.params.task_create * total_chunks
+            ledger.charge("task_create", create, count=total_chunks)
+            prologue = plan.extra_overhead + create
+        ctx.advance_serial(prologue)
+
+        pool = WorkerPool(ctx.topology, plan.worker_cores, owner_lifo=plan.owner_lifo)
+        for core, chunks in plan.initial_queues.items():
+            pool.worker_for_core(core).queue.extend(chunks)
+
+        rng = ctx.rng("runtime", "steal")
+        executed = 0
+        steals_local = 0
+        steals_remote = 0
+
+        dispatched = self._dispatch_idle(work, plan, pool, rng, ledger)
+        steals_local += dispatched[0]
+        steals_remote += dispatched[1]
+
+        states = ctx.states
+        model = ctx.interference
+        sample_counters = ctx.counters.enabled
+        while executed < total_chunks:
+            if not states.any_active():
+                ctx.counters.abort()
+                raise SimulationError(
+                    f"deadlock: {total_chunks - executed} chunks of {work.uid!r} "
+                    "remain but no core can acquire work"
+                )
+            if sample_counters:
+                slowdown, saturation = model.slowdowns_and_saturation(states)
+            else:
+                slowdown = model.slowdowns(states)
+            times = states.completion_times(slowdown)
+            dt_complete = float(np.min(times))
+            dt_event = ctx.sim.events.next_time() - ctx.sim.now
+            dt = min(dt_complete, max(dt_event, 0.0))
+            if not math.isfinite(dt):
+                ctx.counters.abort()
+                raise SimulationError("no finite next step; simulation is stuck")
+            if sample_counters:
+                ctx.counters.step(
+                    dt, saturation, int(states.active.sum()), plan.num_threads
+                )
+            completed = states.advance(dt, slowdown)
+            ctx.sim.clock.advance(dt)
+            ctx.sim.run_due_events()
+            for core in completed:
+                running: _Running = states.finish(core)
+                running.access.commit()
+                executed += 1
+                self._trace_task(running, core)
+            if completed:
+                dispatched = self._dispatch_idle(work, plan, pool, rng, ledger)
+                steals_local += dispatched[0]
+                steals_remote += dispatched[1]
+
+        # taskloop barrier: all active threads synchronise
+        barrier = ctx.params.barrier_cost(plan.num_threads)
+        ledger.charge("barrier", barrier)
+        ctx.advance_serial(barrier)
+
+        elapsed = ctx.sim.now - t_start
+        counters = ctx.counters.finish(elapsed)
+        node_perf, node_busy = self._node_performance(busy_before, work_before)
+        result = TaskloopResult(
+            uid=work.uid,
+            name=work.name,
+            elapsed=elapsed,
+            num_threads=plan.num_threads,
+            node_mask_bits=plan.node_mask_bits,
+            steal_policy=plan.steal_mode,
+            overhead=ledger,
+            node_perf=node_perf,
+            node_busy=node_busy,
+            tasks_executed=executed,
+            steals_local=steals_local,
+            steals_remote=steals_remote,
+            counters=counters,
+        )
+        ctx.trace.add_taskloop(
+            TaskloopRecord(
+                taskloop=work.uid,
+                iteration=-1,
+                num_threads=plan.num_threads,
+                node_mask_bits=plan.node_mask_bits,
+                steal_policy=plan.steal_mode,
+                start=t_start,
+                end=ctx.sim.now,
+                overhead=ledger.total,
+            )
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    def _dispatch_idle(
+        self,
+        work: TaskloopWork,
+        plan: TaskloopPlan,
+        pool: WorkerPool,
+        rng: np.random.Generator,
+        ledger: OverheadLedger,
+    ) -> tuple[int, int]:
+        """Give every idle participating core a task if one is available.
+
+        Loops until a full pass makes no progress, because one worker's
+        acquisition can expose work to another (e.g. a remote steal only
+        becomes legal once the thief's node is fully drained).
+        """
+        ctx = self.ctx
+        steals_local = 0
+        steals_remote = 0
+        active = ctx.states.active
+        progress = True
+        while progress and pool.any_work():
+            progress = False
+            for worker in pool:
+                if active[worker.core_id]:
+                    continue
+                acq = plan.policy.acquire(worker, pool, rng, ctx.params, ledger)
+                if acq is None:
+                    continue
+                progress = True
+                if acq.source == "steal_local":
+                    steals_local += 1
+                elif acq.source == "steal_remote":
+                    steals_remote += 1
+                self._start_chunk(work, acq.chunk, worker, acq.overhead, acq.source, acq.victim_core)
+        return steals_local, steals_remote
+
+    def _start_chunk(
+        self,
+        work: TaskloopWork,
+        chunk: Chunk,
+        worker: Worker,
+        overhead: float,
+        source: str,
+        victim_core: int,
+    ) -> None:
+        """Resolve the chunk's memory view for this core and start it."""
+        ctx = self.ctx
+        node = worker.node_id
+        access = chunk_access(work.region, work.pattern, chunk.lo_frac, chunk.hi_frac, node)
+        reuse_eff = ctx.cache.effective_reuse(
+            node, work.reuse, access.reuse_fraction, work.effective_working_set
+        )
+        mem0 = chunk.body_time * work.mem_frac
+        mem_eff = mem0 * (1.0 - reuse_eff)
+        body = chunk.body_time * (1.0 - work.mem_frac) + mem_eff
+        mem_frac_eff = mem_eff / body if body > 0 else 0.0
+        if ctx.counters.enabled:
+            # modelled DRAM traffic: solo streaming rate times memory time
+            bytes_total = mem_eff * ctx.bandwidth.core_bandwidth
+            remote_w = 1.0 - float(access.node_weights[node])
+            ctx.counters.add_chunk_traffic(bytes_total, bytes_total * remote_w)
+        ctx.states.start(
+            worker.core_id,
+            body=body,
+            overhead=overhead,
+            mem_frac=mem_frac_eff,
+            gamma=work.gamma,
+            weights=access.node_weights,
+            payload=_Running(
+                chunk=chunk,
+                access=access,
+                worker=worker,
+                start=ctx.sim.now,
+                source=source,
+                victim_core=victim_core,
+            ),
+        )
+        if source == "steal_remote" and ctx.trace.enabled:
+            ctx.trace.add_steal(
+                StealRecord(
+                    taskloop=work.uid,
+                    chunk_index=chunk.index,
+                    thief_core=worker.core_id,
+                    victim_core=victim_core,
+                    remote=True,
+                    time=ctx.sim.now,
+                )
+            )
+
+    def _trace_task(self, running: _Running, core: int) -> None:
+        ctx = self.ctx
+        if not ctx.trace.enabled:
+            return
+        ctx.trace.add_task(
+            TaskRecord(
+                taskloop=running.chunk.work.uid,
+                chunk_index=running.chunk.index,
+                core=core,
+                node=running.worker.node_id,
+                start=running.start,
+                end=ctx.sim.now,
+                base_time=running.chunk.body_time,
+                stolen=running.chunk.stolen,
+            )
+        )
+
+    def _node_performance(
+        self, busy_before: np.ndarray, work_before: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-node throughput (base work / busy second) for this execution."""
+        ctx = self.ctx
+        d_busy = ctx.states.busy_time - busy_before
+        d_work = ctx.states.work_done - work_before
+        nodes = ctx.interference.node_of_core
+        busy = np.zeros(ctx.topology.num_nodes)
+        done = np.zeros(ctx.topology.num_nodes)
+        np.add.at(busy, nodes, d_busy)
+        np.add.at(done, nodes, d_work)
+        perf = np.full(ctx.topology.num_nodes, np.nan)
+        used = busy > 0
+        perf[used] = done[used] / busy[used]
+        return perf, busy

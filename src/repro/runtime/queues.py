@@ -1,0 +1,136 @@
+"""Per-worker task queues with owner/thief ends.
+
+Each worker thread owns one double-ended queue.  Which end the owner pops
+and which end thieves steal from is a scheduler property:
+
+* the LLVM-default scheduler pushes new tasks to the owner end and pops
+  LIFO while thieves steal FIFO from the opposite end (classic
+  work-stealing deque);
+* ILAN enqueues a node's chunks in iteration order on the node's primary
+  thread; the owner consumes from the *front* (preserving iteration order
+  and therefore spatial locality) while thieves take from the *back*,
+  where ILAN places the NUMA-stealable tail.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.errors import RuntimeModelError
+from repro.runtime.task import Chunk
+
+__all__ = ["WorkQueue", "QueueListener"]
+
+
+class QueueListener:
+    """Observer interface for queue empty <-> non-empty transitions."""
+
+    def queue_nonempty(self, owner_id: int) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def queue_empty(self, owner_id: int) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class WorkQueue:
+    """Double-ended task queue owned by one worker.
+
+    ``owner_lifo`` selects the owner's pop end: ``True`` pops the most
+    recently pushed task (LLVM default), ``False`` pops in push order
+    (ILAN's in-order consumption).  Thieves always take from the end
+    opposite the owner.
+    """
+
+    __slots__ = (
+        "owner_id",
+        "owner_lifo",
+        "_dq",
+        "pushed",
+        "popped",
+        "stolen_from",
+        "listener",
+    )
+
+    def __init__(self, owner_id: int, *, owner_lifo: bool = True):
+        self.owner_id = owner_id
+        self.owner_lifo = owner_lifo
+        self._dq: deque[Chunk] = deque()
+        self.pushed = 0
+        self.popped = 0
+        self.stolen_from = 0
+        # optional observer notified on empty <-> non-empty transitions;
+        # the worker pool uses it to keep O(1) victim-candidate sets
+        self.listener: "QueueListener | None" = None
+
+    # ------------------------------------------------------------------
+    def push(self, chunk: Chunk) -> None:
+        """Owner-side push (back of the deque)."""
+        was_empty = not self._dq
+        self._dq.append(chunk)
+        self.pushed += 1
+        if was_empty and self.listener is not None:
+            self.listener.queue_nonempty(self.owner_id)
+
+    def extend(self, chunks: list[Chunk]) -> None:
+        if not chunks:
+            return
+        was_empty = not self._dq
+        self._dq.extend(chunks)
+        self.pushed += len(chunks)
+        if was_empty and self.listener is not None:
+            self.listener.queue_nonempty(self.owner_id)
+
+    def pop_own(self) -> Chunk | None:
+        """Owner pops its next task; ``None`` when empty."""
+        if not self._dq:
+            return None
+        chunk = self._dq.pop() if self.owner_lifo else self._dq.popleft()
+        self.popped += 1
+        if not self._dq and self.listener is not None:
+            self.listener.queue_empty(self.owner_id)
+        return chunk
+
+    def steal(self, predicate: Callable[[Chunk], bool] | None = None) -> Chunk | None:
+        """Thief-side take from the end opposite the owner.
+
+        ``predicate`` filters eligibility (e.g. "not NUMA-strict"); only
+        the exposed thief-end task is considered — thieves do not rummage
+        through a victim's queue, matching real work-stealing deques.
+        """
+        if not self._dq:
+            return None
+        victim_end = self._dq[0] if self.owner_lifo else self._dq[-1]
+        if predicate is not None and not predicate(victim_end):
+            return None
+        chunk = self._dq.popleft() if self.owner_lifo else self._dq.pop()
+        self.stolen_from += 1
+        if not self._dq and self.listener is not None:
+            self.listener.queue_empty(self.owner_id)
+        return chunk
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._dq)
+
+    def is_empty(self) -> bool:
+        return not self._dq
+
+    def peek_thief_end(self) -> Chunk | None:
+        if not self._dq:
+            return None
+        return self._dq[0] if self.owner_lifo else self._dq[-1]
+
+    def drain(self) -> list[Chunk]:
+        """Remove and return all queued tasks (teardown/testing helper)."""
+        out = list(self._dq)
+        self._dq.clear()
+        if out and self.listener is not None:
+            self.listener.queue_empty(self.owner_id)
+        return out
+
+    def require_empty(self) -> None:
+        if self._dq:
+            raise RuntimeModelError(
+                f"queue of worker {self.owner_id} still holds {len(self._dq)} tasks"
+            )

@@ -1,0 +1,28 @@
+"""Scheduler registry and the built-in scheduler implementations.
+
+Importing this package registers ``baseline`` and ``worksharing``; the
+ILAN schedulers register on import of :mod:`repro.core.scheduler` (done
+lazily by :func:`create_scheduler`).
+"""
+
+from repro.runtime.schedulers.base import (
+    SCHEDULERS,
+    Scheduler,
+    TaskloopPlan,
+    create_scheduler,
+    register_scheduler,
+)
+from repro.runtime.schedulers.affinity import AffinityHintScheduler
+from repro.runtime.schedulers.baseline import BaselineScheduler
+from repro.runtime.schedulers.worksharing import WorksharingScheduler
+
+__all__ = [
+    "SCHEDULERS",
+    "Scheduler",
+    "TaskloopPlan",
+    "create_scheduler",
+    "register_scheduler",
+    "AffinityHintScheduler",
+    "BaselineScheduler",
+    "WorksharingScheduler",
+]

@@ -1,0 +1,68 @@
+"""The OpenMP ``affinity`` clause as a scheduler: hints without enforcement.
+
+Section 3.4 of the paper discusses the OpenMP 5.0/6.0 ``affinity`` clause:
+a programmer can hint that tasks belong near certain data, but "the
+affinity clause is interpreted by the runtime as a hint", it "does not
+provide interference-awareness", and it cannot adapt thread counts.
+
+This scheduler models a *best-case* affinity-clause implementation on the
+default runtime: every chunk carries a perfect data-affinity hint (the
+deterministic block mapping — the same one ILAN uses), and the runtime
+honours it for **initial placement only**.  Everything else stays the
+LLVM default: all cores run, work stealing is random and topology-blind,
+nothing is NUMA-strict, and there is no moldability.  Comparing it to
+``ilan-nomold`` isolates what ILAN's *enforced* hierarchy adds over hints,
+and to ``ilan`` what moldability adds on top.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.context import RunContext
+from repro.runtime.schedulers.base import Scheduler, TaskloopPlan, register_scheduler
+from repro.runtime.task import Chunk, TaskloopWork
+from repro.runtime.taskloop import partition
+from repro.runtime.worksteal import RandomStealPolicy
+from repro.topology.affinity import NodeMask
+
+__all__ = ["AffinityHintScheduler"]
+
+
+class AffinityHintScheduler(Scheduler):
+    """Default scheduler plus perfect data-affinity placement hints."""
+
+    name = "affinity-hint"
+
+    def plan(self, work: TaskloopWork, ctx: RunContext) -> TaskloopPlan:
+        # deferred: repro.core sits above the runtime package in the layer
+        # order, so importing it at module load would be circular
+        from repro.core.distribution import distribute_chunks
+
+        topo = ctx.topology
+        cores = list(topo.core_ids())
+        chunks = partition(work)
+        # the affinity hint: map iteration blocks to the nodes owning their
+        # data (identical to ILAN's deterministic mapping)...
+        per_node = distribute_chunks(chunks, list(topo.node_ids()), strict_fraction=0.0)
+        rng = ctx.rng("affinity", "placement")
+        queues: dict[int, list[Chunk]] = {c: [] for c in cores}
+        for node, node_chunks in per_node.items():
+            node_cores = topo.cores_of_node(node)
+            # ...honoured for initial placement onto a queue of that node,
+            # but the hint creates no obligation: chunks spread over the
+            # node's queues and random stealing may migrate them anywhere
+            targets = rng.integers(0, len(node_cores), size=len(node_chunks))
+            for chunk, t in zip(node_chunks, targets):
+                chunk.strict = False
+                queues[node_cores[int(t)]].append(chunk)
+        return TaskloopPlan(
+            worker_cores=cores,
+            initial_queues=queues,
+            policy=RandomStealPolicy(),
+            owner_lifo=True,
+            num_threads=len(cores),
+            node_mask_bits=NodeMask.for_topology(topo).bits,
+            steal_mode="random",
+        )
+
+
+register_scheduler("affinity-hint", AffinityHintScheduler)

@@ -1,0 +1,127 @@
+"""Scheduler interface: plan a taskloop execution, learn from its result.
+
+A scheduler turns a :class:`TaskloopWork` into a :class:`TaskloopPlan`:
+which cores participate, where the initial tasks are enqueued, and which
+steal policy governs work movement.  After the executor runs the plan the
+scheduler sees the measurements (``record``), which is how ILAN's PTT
+learns; stateless schedulers ignore it.
+
+Schedulers register themselves by name in :data:`SCHEDULERS` so the
+experiment harness can instantiate them from strings.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.runtime.context import RunContext
+from repro.runtime.results import TaskloopResult
+from repro.runtime.task import Chunk, TaskloopWork
+from repro.runtime.worksteal import StealPolicy
+
+__all__ = ["TaskloopPlan", "Scheduler", "SCHEDULERS", "register_scheduler", "create_scheduler"]
+
+
+@dataclass
+class TaskloopPlan:
+    """Executable placement decision for one taskloop encounter.
+
+    Attributes
+    ----------
+    worker_cores:
+        Cores whose (pinned) threads participate in this execution.
+    initial_queues:
+        Initial chunk lists per core; every chunk appears exactly once.
+    policy:
+        Steal policy instance governing work movement.
+    owner_lifo:
+        Queue discipline (see :class:`repro.runtime.queues.WorkQueue`).
+    num_threads / node_mask_bits / steal_mode:
+        The configuration triple the paper controls per taskloop, recorded
+        into results and the PTT.
+    extra_overhead:
+        Additional serial cost charged before execution (e.g. ILAN's
+        configuration selection).
+    static:
+        True for work sharing: chunk creation is charged as a fork, not as
+        per-task creation.
+    """
+
+    worker_cores: list[int]
+    initial_queues: dict[int, list[Chunk]]
+    policy: StealPolicy
+    owner_lifo: bool
+    num_threads: int
+    node_mask_bits: int
+    steal_mode: str
+    extra_overhead: float = 0.0
+    static: bool = False
+
+    def validate(self, work: TaskloopWork) -> None:
+        if not self.worker_cores:
+            raise ConfigurationError("plan has no worker cores")
+        if len(set(self.worker_cores)) != len(self.worker_cores):
+            raise ConfigurationError("plan lists duplicate worker cores")
+        cores = set(self.worker_cores)
+        seen: set[int] = set()
+        total = 0
+        for core, chunks in self.initial_queues.items():
+            if core not in cores:
+                raise ConfigurationError(f"queue assigned to non-worker core {core}")
+            for chunk in chunks:
+                if chunk.index in seen:
+                    raise ConfigurationError(f"chunk {chunk.index} assigned twice")
+                seen.add(chunk.index)
+                total += 1
+        if total == 0:
+            raise ConfigurationError("plan assigns no chunks")
+        if self.num_threads != len(self.worker_cores):
+            raise ConfigurationError(
+                f"num_threads {self.num_threads} != worker count {len(self.worker_cores)}"
+            )
+
+    @property
+    def total_chunks(self) -> int:
+        return sum(len(c) for c in self.initial_queues.values())
+
+
+class Scheduler(ABC):
+    """Base class of the taskloop schedulers under evaluation."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def plan(self, work: TaskloopWork, ctx: RunContext) -> TaskloopPlan:
+        """Decide configuration and initial task placement for ``work``."""
+
+    def record(self, work: TaskloopWork, plan: TaskloopPlan, result: TaskloopResult) -> None:
+        """Observe the measured execution (default: stateless, ignore)."""
+
+    def reset(self) -> None:
+        """Drop learned state before a fresh run (default: nothing)."""
+
+
+SCHEDULERS: dict[str, Callable[[], Scheduler]] = {}
+
+
+def register_scheduler(name: str, factory: Callable[[], Scheduler]) -> None:
+    """Register a scheduler factory under ``name`` (idempotent re-register)."""
+    SCHEDULERS[name] = factory
+
+
+def create_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a registered scheduler by name."""
+    # importing the implementations registers them; deferred to avoid cycles
+    from repro.runtime.schedulers import affinity, baseline, worksharing  # noqa: F401
+    from repro.core import scheduler as _ilan  # noqa: F401
+
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULERS))
+        raise ConfigurationError(f"unknown scheduler {name!r}; known: {known}") from None
+    sched = factory(**kwargs) if kwargs else factory()
+    return sched

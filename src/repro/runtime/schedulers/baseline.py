@@ -1,0 +1,82 @@
+"""The baseline: LLVM's default topology-agnostic tasking scheduler.
+
+Matches Section 3 of the paper: initial tasks land on arbitrary (random)
+queues, idle threads steal from uniformly random victims, and neither step
+consults the NUMA topology or contention state.
+
+By default all cores participate, mirroring ``OMP_NUM_THREADS`` unset on a
+dedicated node.  ``num_threads`` and ``proc_bind`` model the standard's
+manual affinity controls the paper contrasts ILAN against (Section 3.4):
+the *close* and *spread* policies place a reduced thread team compactly or
+sparsely across the topology — static, programmer-supplied hints with no
+interference awareness.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.runtime.context import RunContext
+from repro.runtime.schedulers.base import Scheduler, TaskloopPlan, register_scheduler
+from repro.runtime.task import Chunk, TaskloopWork
+from repro.runtime.taskloop import partition
+from repro.runtime.worksteal import RandomStealPolicy
+from repro.topology.affinity import NodeMask, proc_bind_close, proc_bind_spread
+
+__all__ = ["BaselineScheduler"]
+
+_PROC_BIND = {"close": proc_bind_close, "spread": proc_bind_spread}
+
+
+class BaselineScheduler(Scheduler):
+    """LLVM default work-stealing taskloop scheduler (the paper's baseline).
+
+    Parameters
+    ----------
+    num_threads:
+        Fixed thread-team size; ``None`` uses every core.
+    proc_bind:
+        Thread placement policy for a reduced team: ``"close"`` packs
+        threads onto consecutive cores, ``"spread"`` distributes them
+        across NUMA nodes.  Ignored when the team covers the machine.
+    """
+
+    name = "baseline"
+
+    def __init__(self, num_threads: int | None = None, proc_bind: str = "close"):
+        if proc_bind not in _PROC_BIND:
+            raise ConfigurationError(
+                f"unknown proc_bind policy {proc_bind!r}; choose close or spread"
+            )
+        if num_threads is not None and num_threads < 1:
+            raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
+        self.num_threads = num_threads
+        self.proc_bind = proc_bind
+
+    def plan(self, work: TaskloopWork, ctx: RunContext) -> TaskloopPlan:
+        chunks = partition(work)
+        n = self.num_threads or ctx.topology.num_cores
+        if n > ctx.topology.num_cores:
+            raise ConfigurationError(
+                f"num_threads {n} exceeds the machine's {ctx.topology.num_cores} cores "
+                "(the simulated runtime pins threads 1:1)"
+            )
+        cores = sorted(set(_PROC_BIND[self.proc_bind](ctx.topology, n)))
+        rng = ctx.rng("baseline", "placement")
+        queues: dict[int, list[Chunk]] = {c: [] for c in cores}
+        # arbitrary initial placement: each task goes to a random queue
+        targets = rng.integers(0, len(cores), size=len(chunks))
+        for chunk, t in zip(chunks, targets):
+            queues[cores[int(t)]].append(chunk)
+        nodes = sorted({ctx.topology.node_of_core(c) for c in cores})
+        return TaskloopPlan(
+            worker_cores=cores,
+            initial_queues=queues,
+            policy=RandomStealPolicy(),
+            owner_lifo=True,
+            num_threads=len(cores),
+            node_mask_bits=NodeMask.from_indices(nodes, ctx.topology.num_nodes).bits,
+            steal_mode="random",
+        )
+
+
+register_scheduler("baseline", BaselineScheduler)

@@ -1,0 +1,48 @@
+"""OpenMP static work sharing (``omp for schedule(static)``).
+
+The natural data-parallel scheduler the paper compares against in Section
+5.6: the iteration space is split into one contiguous block per thread, no
+tasks are created and no stealing happens.  Placement is fully
+deterministic, which gives excellent locality on balanced loops (FT) and
+poor load balance on imbalanced ones (CG).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.context import RunContext
+from repro.runtime.schedulers.base import Scheduler, TaskloopPlan, register_scheduler
+from repro.runtime.task import Chunk, TaskloopWork
+from repro.runtime.taskloop import partition
+from repro.runtime.worksteal import NoStealPolicy
+from repro.topology.affinity import NodeMask
+
+__all__ = ["WorksharingScheduler"]
+
+
+class WorksharingScheduler(Scheduler):
+    """Static loop scheduling: one contiguous iteration block per thread."""
+
+    name = "worksharing"
+
+    def plan(self, work: TaskloopWork, ctx: RunContext) -> TaskloopPlan:
+        cores = list(ctx.topology.core_ids())
+        n_blocks = min(len(cores), work.total_iters)
+        chunks = partition(work, num_chunks=n_blocks)
+        queues: dict[int, list[Chunk]] = {c: [] for c in cores}
+        # block i belongs to thread i; threads are pinned in core order, so
+        # consecutive blocks land on consecutive cores (and NUMA nodes)
+        for chunk, core in zip(chunks, cores):
+            queues[core].append(chunk)
+        return TaskloopPlan(
+            worker_cores=cores,
+            initial_queues=queues,
+            policy=NoStealPolicy(),
+            owner_lifo=False,
+            num_threads=len(cores),
+            node_mask_bits=NodeMask.for_topology(ctx.topology).bits,
+            steal_mode="static",
+            static=True,
+        )
+
+
+register_scheduler("worksharing", WorksharingScheduler)

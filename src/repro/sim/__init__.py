@@ -1,0 +1,27 @@
+"""Discrete-event simulation spine: clock, events, rate-based progress.
+
+The executor in :mod:`repro.runtime` drives a :class:`Simulator` and a
+:class:`CoreStates` through variable-size time steps whose length is set by
+the earliest task completion or external event, with per-step rates coming
+from :mod:`repro.interference`.
+"""
+
+from repro.sim.engine import Clock, Event, EventQueue, Simulator
+from repro.sim.progress import EPS, CoreStates
+from repro.sim.rng import spawn_key, stream
+from repro.sim.trace import StealRecord, TaskloopRecord, TaskRecord, Trace
+
+__all__ = [
+    "Clock",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "EPS",
+    "CoreStates",
+    "spawn_key",
+    "stream",
+    "StealRecord",
+    "TaskloopRecord",
+    "TaskRecord",
+    "Trace",
+]

@@ -1,0 +1,130 @@
+"""Discrete-event core: simulation clock and time-ordered event queue.
+
+The taskloop executor advances the clock with variable-size steps (rate
+advance, see :mod:`repro.sim.progress`); auxiliary timed events — noise
+transitions, measurement epochs — live in the :class:`EventQueue` and bound
+each step so state changes are never skipped over.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Clock", "Event", "EventQueue", "Simulator"]
+
+
+class Clock:
+    """Monotonic simulation clock in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        if not math.isfinite(start) or start < 0.0:
+            raise SimulationError(f"clock must start at a finite non-negative time, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` (must be finite and >= 0)."""
+        if not math.isfinite(dt) or dt < 0.0:
+            raise SimulationError(f"cannot advance clock by {dt}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move time forward to absolute time ``t`` (>= now)."""
+        if not math.isfinite(t) or t < self._now - 1e-12:
+            raise SimulationError(f"cannot move clock backwards to {t} from {self._now}")
+        self._now = max(self._now, t)
+        return self._now
+
+
+@dataclass(order=True)
+class Event:
+    """A timed callback; ordering is (time, insertion sequence)."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    tag: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of :class:`Event`, stable for simultaneous events."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def schedule(self, time: float, action: Callable[[], None], tag: str = "") -> Event:
+        if not math.isfinite(time) or time < 0.0:
+            raise SimulationError(f"cannot schedule event at time {time}")
+        ev = Event(time=time, seq=next(self._counter), action=action, tag=tag)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def next_time(self) -> float:
+        """Time of the earliest pending event, ``inf`` when empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else math.inf
+
+    def pop_due(self, now: float) -> list[Event]:
+        """Pop every non-cancelled event with ``time <= now`` in order."""
+        due: list[Event] = []
+        while True:
+            self._drop_cancelled()
+            if not self._heap or self._heap[0].time > now + 1e-15:
+                break
+            due.append(heapq.heappop(self._heap))
+        return due
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+
+class Simulator:
+    """Clock + event queue + counters: shared spine of one simulated run."""
+
+    def __init__(self) -> None:
+        self.clock = Clock()
+        self.events = EventQueue()
+        self.stats: dict[str, Any] = {}
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def schedule_in(self, dt: float, action: Callable[[], None], tag: str = "") -> Event:
+        """Schedule ``action`` ``dt`` seconds from now."""
+        return self.events.schedule(self.now + dt, action, tag)
+
+    def run_due_events(self) -> int:
+        """Fire all events due at the current time; returns how many ran."""
+        due = self.events.pop_due(self.now)
+        for ev in due:
+            ev.action()
+        return len(due)
+
+    def bump(self, counter: str, amount: float = 1.0) -> None:
+        """Increment a named statistic counter."""
+        self.stats[counter] = self.stats.get(counter, 0.0) + amount

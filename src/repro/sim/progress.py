@@ -1,0 +1,210 @@
+"""Rate-based task progress: the vectorised per-core execution state.
+
+Tasks do not run for a precomputed duration; they hold *remaining base
+work* (seconds under ideal conditions) and progress at a rate set by the
+current interference state.  Whenever any core starts or finishes a task
+the rates change, so the executor advances the whole machine in variable
+steps:
+
+1. compute per-core slowdowns from the interference model,
+2. find the earliest completion (or external event),
+3. advance every active core by that wall-time step,
+4. handle completions / dispatch new work, repeat.
+
+All state is structure-of-arrays over cores so that one step costs a
+handful of numpy operations regardless of core count.
+
+A task's cost is split into a *body* (subject to slowdown ``s >= 1``) and
+*runtime overhead* (dequeue/steal/bookkeeping, burned at core speed,
+unaffected by memory contention).  Overhead is burned first, matching a
+worker that pays scheduling costs before touching the task body.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["CoreStates", "EPS"]
+
+EPS = 1e-12
+
+
+class CoreStates:
+    """Structure-of-arrays execution state for every core of the machine.
+
+    Attributes (all indexed by core id)
+    -----------------------------------
+    active:
+        Whether the core is currently executing a task.
+    rem:
+        Remaining base-time of the task body, seconds.
+    ov:
+        Remaining runtime-overhead time, seconds (burned before the body).
+    mem_frac:
+        Fraction of the task body that is memory-bound (0 = pure compute).
+    gamma:
+        Contention exponent of the running task's access pattern.
+    weights:
+        ``(num_cores, num_nodes)`` home-node weights of the running chunks.
+    speed:
+        Current core speed (base speed x noise factor); scales both body
+        and overhead progress.
+    """
+
+    __slots__ = (
+        "num_cores",
+        "num_nodes",
+        "active",
+        "rem",
+        "ov",
+        "mem_frac",
+        "gamma",
+        "weights",
+        "speed",
+        "base_speed",
+        "payload",
+        "busy_time",
+        "work_done",
+    )
+
+    def __init__(self, num_cores: int, num_nodes: int, base_speed: np.ndarray | None = None):
+        if num_cores < 1 or num_nodes < 1:
+            raise SimulationError("need at least one core and one node")
+        self.num_cores = num_cores
+        self.num_nodes = num_nodes
+        self.active = np.zeros(num_cores, dtype=bool)
+        self.rem = np.zeros(num_cores)
+        self.ov = np.zeros(num_cores)
+        self.mem_frac = np.zeros(num_cores)
+        self.gamma = np.zeros(num_cores)
+        self.weights = np.zeros((num_cores, num_nodes))
+        if base_speed is None:
+            base_speed = np.ones(num_cores)
+        base_speed = np.asarray(base_speed, dtype=np.float64)
+        if base_speed.shape != (num_cores,) or np.any(base_speed <= 0):
+            raise SimulationError("base_speed must be positive with one entry per core")
+        self.base_speed = base_speed.copy()
+        self.speed = base_speed.copy()
+        self.payload: list[Any] = [None] * num_cores
+        # accumulated per-core busy wall-time and completed base work, used
+        # for per-node performance tracing (the PTT's node statistics).
+        self.busy_time = np.zeros(num_cores)
+        self.work_done = np.zeros(num_cores)
+
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        core: int,
+        *,
+        body: float,
+        overhead: float,
+        mem_frac: float,
+        gamma: float,
+        weights: np.ndarray,
+        payload: Any,
+    ) -> None:
+        """Begin executing a task on an idle ``core``."""
+        self._check_core(core)
+        if self.active[core]:
+            raise SimulationError(f"core {core} is already running a task")
+        if body < 0 or overhead < 0 or body + overhead <= 0:
+            raise SimulationError(f"task must have positive cost (body={body}, overhead={overhead})")
+        if not (0.0 <= mem_frac <= 1.0):
+            raise SimulationError(f"mem_frac must lie in [0, 1], got {mem_frac}")
+        if gamma < 0:
+            raise SimulationError(f"gamma must be non-negative, got {gamma}")
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (self.num_nodes,):
+            raise SimulationError(f"weights must have shape ({self.num_nodes},), got {w.shape}")
+        self.active[core] = True
+        self.rem[core] = body
+        self.ov[core] = overhead
+        self.mem_frac[core] = mem_frac
+        self.gamma[core] = gamma
+        self.weights[core] = w
+        self.payload[core] = payload
+
+    def finish(self, core: int) -> Any:
+        """Retire the completed task on ``core``; returns its payload."""
+        self._check_core(core)
+        if not self.active[core]:
+            raise SimulationError(f"core {core} is not running a task")
+        payload = self.payload[core]
+        self.active[core] = False
+        self.rem[core] = 0.0
+        self.ov[core] = 0.0
+        self.mem_frac[core] = 0.0
+        self.gamma[core] = 0.0
+        self.weights[core] = 0.0
+        self.payload[core] = None
+        return payload
+
+    def set_noise(self, factors: np.ndarray) -> None:
+        """Apply per-core noise factors on top of base speeds (> 0)."""
+        f = np.asarray(factors, dtype=np.float64)
+        if f.shape != (self.num_cores,) or np.any(f <= 0):
+            raise SimulationError("noise factors must be positive, one per core")
+        self.speed = self.base_speed * f
+
+    # ------------------------------------------------------------------
+    def any_active(self) -> bool:
+        return bool(self.active.any())
+
+    def idle_cores(self, eligible: np.ndarray | None = None) -> list[int]:
+        """Idle core ids, optionally restricted to a boolean mask."""
+        mask = ~self.active
+        if eligible is not None:
+            mask = mask & eligible
+        return [int(c) for c in np.flatnonzero(mask)]
+
+    def completion_times(self, slowdown: np.ndarray) -> np.ndarray:
+        """Wall time until each active core completes, ``inf`` if idle.
+
+        ``slowdown`` is the per-core body slowdown from the interference
+        model (>= 1 for active cores; ignored for idle ones).
+        """
+        if slowdown.shape != (self.num_cores,):
+            raise SimulationError("slowdown must have one entry per core")
+        t = np.full(self.num_cores, math.inf)
+        a = self.active
+        t[a] = (self.ov[a] + self.rem[a] * slowdown[a]) / self.speed[a]
+        return t
+
+    def advance(self, dt: float, slowdown: np.ndarray) -> list[int]:
+        """Advance every active core by wall time ``dt``.
+
+        Overhead burns first at core speed; the remainder of the step
+        progresses the body at ``speed / slowdown``.  Returns the cores
+        whose task completed within the step (caller must ``finish`` them).
+        """
+        if dt < 0 or not math.isfinite(dt):
+            raise SimulationError(f"cannot advance by {dt}")
+        if dt == 0.0:
+            return []
+        a = self.active
+        if not a.any():
+            return []
+        speed = self.speed[a]
+        ov = self.ov[a]
+        ov_wall = ov / speed
+        burn_wall = np.minimum(ov_wall, dt)
+        self.ov[a] = ov - burn_wall * speed
+        body_wall = dt - burn_wall
+        progressed = body_wall * speed / slowdown[a]
+        before = self.rem[a]
+        rem = np.maximum(before - progressed, 0.0)
+        self.rem[a] = rem
+        self.busy_time[a] += dt
+        self.work_done[a] += before - rem
+        done_local = (rem <= EPS) & (self.ov[a] <= EPS)
+        cores = np.flatnonzero(a)
+        return [int(c) for c in cores[done_local]]
+
+    def _check_core(self, core: int) -> None:
+        if not (0 <= core < self.num_cores):
+            raise SimulationError(f"unknown core {core}")

@@ -1,0 +1,67 @@
+"""Machine topology substrate: the simulated counterpart of hwloc.
+
+Public surface:
+
+- :class:`MachineTopology` and its components (:class:`Socket`,
+  :class:`NumaNode`, :class:`CCD`, :class:`Core`);
+- :class:`DistanceMatrix` (SLIT-style NUMA distances);
+- affinity masks (:class:`CpuMask`, :class:`NodeMask`) and the OpenMP
+  ``proc_bind`` placement policies;
+- presets, including :func:`zen4_9354`, the paper's evaluation platform;
+- the textual description format (:func:`parse_topology`,
+  :func:`format_topology`).
+"""
+
+from repro.topology.affinity import (
+    BitMask,
+    CpuMask,
+    NodeMask,
+    proc_bind_close,
+    proc_bind_spread,
+)
+from repro.topology.distances import LOCAL_DISTANCE, DistanceMatrix
+from repro.topology.hwloc import format_size, format_topology, parse_size, parse_topology
+from repro.topology.machine import (
+    CCD,
+    GIB,
+    MIB,
+    Core,
+    MachineTopology,
+    NumaNode,
+    Socket,
+    contiguous_ranges,
+)
+from repro.topology.presets import (
+    default_distances,
+    dual_socket_small,
+    single_node,
+    tiny_two_node,
+    zen4_9354,
+)
+
+__all__ = [
+    "BitMask",
+    "CpuMask",
+    "NodeMask",
+    "proc_bind_close",
+    "proc_bind_spread",
+    "LOCAL_DISTANCE",
+    "DistanceMatrix",
+    "format_size",
+    "format_topology",
+    "parse_size",
+    "parse_topology",
+    "CCD",
+    "GIB",
+    "MIB",
+    "Core",
+    "MachineTopology",
+    "NumaNode",
+    "Socket",
+    "contiguous_ranges",
+    "default_distances",
+    "dual_socket_small",
+    "single_node",
+    "tiny_two_node",
+    "zen4_9354",
+]

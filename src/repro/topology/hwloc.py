@@ -1,0 +1,210 @@
+"""Textual topology descriptions, in the spirit of ``hwloc``'s ``lstopo``.
+
+ILAN uses the hwloc API to discover the machine; this module provides the
+equivalent for the simulated platform: a small indentation-based format
+that round-trips through :func:`format_topology` / :func:`parse_topology`,
+so experiment configurations can describe machines declaratively::
+
+    machine zen4-9354
+      socket 0
+        node 0 mem=96G bw=40G
+          ccd 0 l3=32M
+            cores 0-3
+          ccd 1 l3=32M
+            cores 4-7
+      ...
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import TopologyError
+from repro.topology.machine import (
+    CCD,
+    GIB,
+    MIB,
+    Core,
+    MachineTopology,
+    NumaNode,
+    Socket,
+    contiguous_ranges,
+)
+
+__all__ = ["format_topology", "parse_topology", "parse_size", "format_size"]
+
+_SIZE_RE = re.compile(r"^(\d+(?:\.\d+)?)([KMGT]?)$")
+_UNITS = {"": 1, "K": 1024, "M": MIB, "G": GIB, "T": 1024 * GIB}
+
+
+def parse_size(text: str) -> int:
+    """Parse ``96G`` / ``32M`` / ``4096`` into bytes."""
+    m = _SIZE_RE.match(text.strip())
+    if not m:
+        raise TopologyError(f"cannot parse size {text!r}")
+    return int(float(m.group(1)) * _UNITS[m.group(2)])
+
+
+def format_size(num_bytes: float) -> str:
+    """Format bytes with the largest exact unit (falls back to G with decimals)."""
+    num_bytes = int(num_bytes)
+    for unit in ("T", "G", "M", "K"):
+        if num_bytes % _UNITS[unit] == 0 and num_bytes >= _UNITS[unit]:
+            return f"{num_bytes // _UNITS[unit]}{unit}"
+    return str(num_bytes)
+
+
+def format_topology(topology: MachineTopology) -> str:
+    """Render ``topology`` in the textual format (round-trips via parse)."""
+    lines = [f"machine {topology.name}"]
+    for socket in topology.sockets:
+        lines.append(f"  socket {socket.socket_id}")
+        for node_id in socket.node_ids:
+            node = topology.nodes[node_id]
+            lines.append(
+                f"    node {node.node_id} mem={format_size(node.mem_bytes)} "
+                f"bw={format_size(node.mem_bandwidth)}"
+            )
+            for ccd_id in node.ccd_ids:
+                ccd = topology.ccds[ccd_id]
+                lines.append(f"      ccd {ccd.ccd_id} l3={format_size(ccd.l3_bytes)}")
+                ranges = contiguous_ranges(sorted(ccd.core_ids))
+                parts = [f"{lo}" if lo == hi else f"{lo}-{hi}" for lo, hi in ranges]
+                lines.append(f"        cores {','.join(parts)}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_core_list(text: str) -> list[int]:
+    out: list[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part:
+            lo_s, hi_s = part.split("-", 1)
+            lo, hi = int(lo_s), int(hi_s)
+            if hi < lo:
+                raise TopologyError(f"descending core range {part!r}")
+            out.extend(range(lo, hi + 1))
+        else:
+            out.append(int(part))
+    return out
+
+
+def parse_topology(text: str) -> MachineTopology:
+    """Parse the textual format back into a validated :class:`MachineTopology`."""
+    name = "machine"
+    sockets: list[Socket] = []
+    nodes: list[NumaNode] = []
+    ccds: list[CCD] = []
+    cores: dict[int, Core] = {}
+
+    cur_socket: int | None = None
+    cur_node: int | None = None
+    cur_ccd: int | None = None
+    socket_nodes: dict[int, list[int]] = {}
+    node_ccds: dict[int, list[int]] = {}
+    node_cores: dict[int, list[int]] = {}
+    ccd_cores: dict[int, list[int]] = {}
+    node_attrs: dict[int, dict[str, int]] = {}
+    node_socket: dict[int, int] = {}
+    ccd_attrs: dict[int, dict[str, int]] = {}
+    ccd_node: dict[int, int] = {}
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        kind = tokens[0]
+        try:
+            if kind == "machine":
+                name = tokens[1] if len(tokens) > 1 else "machine"
+            elif kind == "socket":
+                cur_socket = int(tokens[1])
+                socket_nodes.setdefault(cur_socket, [])
+            elif kind == "node":
+                if cur_socket is None:
+                    raise TopologyError("node outside socket")
+                cur_node = int(tokens[1])
+                attrs = _parse_attrs(tokens[2:])
+                node_attrs[cur_node] = attrs
+                node_socket[cur_node] = cur_socket
+                socket_nodes[cur_socket].append(cur_node)
+                node_ccds.setdefault(cur_node, [])
+                node_cores.setdefault(cur_node, [])
+            elif kind == "ccd":
+                if cur_node is None:
+                    raise TopologyError("ccd outside node")
+                cur_ccd = int(tokens[1])
+                ccd_attrs[cur_ccd] = _parse_attrs(tokens[2:])
+                ccd_node[cur_ccd] = cur_node
+                node_ccds[cur_node].append(cur_ccd)
+                ccd_cores.setdefault(cur_ccd, [])
+            elif kind == "cores":
+                if cur_ccd is None or cur_node is None or cur_socket is None:
+                    raise TopologyError("cores outside ccd")
+                for cid in _parse_core_list(" ".join(tokens[1:])):
+                    if cid in cores:
+                        raise TopologyError(f"core {cid} listed twice")
+                    cores[cid] = Core(
+                        core_id=cid,
+                        ccd_id=cur_ccd,
+                        node_id=cur_node,
+                        socket_id=cur_socket,
+                    )
+                    ccd_cores[cur_ccd].append(cid)
+                    node_cores[cur_node].append(cid)
+            else:
+                raise TopologyError(f"unknown directive {kind!r}")
+        except (ValueError, IndexError) as exc:
+            raise TopologyError(f"line {lineno}: cannot parse {line!r}") from exc
+
+    if not cores:
+        raise TopologyError("topology text defines no cores")
+    expected = list(range(len(cores)))
+    if sorted(cores) != expected:
+        raise TopologyError("core ids must be dense starting at 0")
+
+    for node_id in sorted(node_attrs):
+        attrs = node_attrs[node_id]
+        nodes.append(
+            NumaNode(
+                node_id=node_id,
+                socket_id=node_socket[node_id],
+                ccd_ids=tuple(node_ccds[node_id]),
+                core_ids=tuple(sorted(node_cores[node_id])),
+                mem_bytes=attrs.get("mem", 96 * GIB),
+                mem_bandwidth=float(attrs.get("bw", 40 * GIB)),
+            )
+        )
+    for ccd_id in sorted(ccd_attrs):
+        ccds.append(
+            CCD(
+                ccd_id=ccd_id,
+                node_id=ccd_node[ccd_id],
+                socket_id=node_socket[ccd_node[ccd_id]],
+                core_ids=tuple(sorted(ccd_cores[ccd_id])),
+                l3_bytes=ccd_attrs[ccd_id].get("l3", 32 * MIB),
+            )
+        )
+    for socket_id in sorted(socket_nodes):
+        sockets.append(Socket(socket_id=socket_id, node_ids=tuple(socket_nodes[socket_id])))
+
+    return MachineTopology.from_components(
+        name=name,
+        sockets=tuple(sockets),
+        nodes=tuple(nodes),
+        ccds=tuple(ccds),
+        cores=tuple(sorted(cores.values(), key=lambda c: c.core_id)),
+    )
+
+
+def _parse_attrs(tokens: list[str]) -> dict[str, int]:
+    attrs: dict[str, int] = {}
+    for tok in tokens:
+        if "=" not in tok:
+            raise TopologyError(f"malformed attribute {tok!r}")
+        key, value = tok.split("=", 1)
+        attrs[key] = parse_size(value)
+    return attrs

@@ -1,0 +1,90 @@
+"""Ready-made machine topologies.
+
+``zen4_9354`` reproduces the paper's evaluation platform; the small
+machines keep unit tests and examples fast while exercising every level of
+the hierarchy.
+"""
+
+from __future__ import annotations
+
+from repro.topology.distances import DistanceMatrix
+from repro.topology.machine import GIB, MIB, MachineTopology
+
+__all__ = [
+    "zen4_9354",
+    "dual_socket_small",
+    "single_node",
+    "tiny_two_node",
+    "default_distances",
+]
+
+
+def zen4_9354(*, mem_bandwidth_per_node: float = 40.0 * GIB) -> MachineTopology:
+    """The paper's platform: dual-socket AMD EPYC 9354, NPS4.
+
+    64 cores organised as 8 NUMA nodes x 8 cores (4 NUMA nodes per socket,
+    so 2 sockets x 32 cores), two 4-core CCDs per NUMA node, 32 MB L3 per
+    CCD, 768 GB total memory (96 GB per node).
+    """
+    return MachineTopology.build(
+        name="zen4-9354",
+        num_sockets=2,
+        nodes_per_socket=4,
+        ccds_per_node=2,
+        cores_per_ccd=4,
+        l3_bytes=32 * MIB,
+        mem_bytes_per_node=96 * GIB,
+        mem_bandwidth_per_node=mem_bandwidth_per_node,
+    )
+
+
+def dual_socket_small() -> MachineTopology:
+    """2 sockets x 2 nodes x 1 CCD x 4 cores = 16 cores; fast integration tests."""
+    return MachineTopology.build(
+        name="dual-socket-small",
+        num_sockets=2,
+        nodes_per_socket=2,
+        ccds_per_node=1,
+        cores_per_ccd=4,
+        mem_bytes_per_node=8 * GIB,
+        mem_bandwidth_per_node=10.0 * GIB,
+    )
+
+
+def single_node(num_cores: int = 4) -> MachineTopology:
+    """A UMA machine (one NUMA node); the degenerate case ILAN must not break."""
+    return MachineTopology.build(
+        name=f"uma-{num_cores}",
+        num_sockets=1,
+        nodes_per_socket=1,
+        ccds_per_node=1,
+        cores_per_ccd=num_cores,
+        mem_bytes_per_node=8 * GIB,
+        mem_bandwidth_per_node=10.0 * GIB,
+    )
+
+
+def tiny_two_node() -> MachineTopology:
+    """1 socket x 2 nodes x 1 CCD x 2 cores = 4 cores; smallest NUMA machine."""
+    return MachineTopology.build(
+        name="tiny-two-node",
+        num_sockets=1,
+        nodes_per_socket=2,
+        ccds_per_node=1,
+        cores_per_ccd=2,
+        mem_bytes_per_node=2 * GIB,
+        mem_bandwidth_per_node=4.0 * GIB,
+    )
+
+
+def default_distances(topology: MachineTopology) -> DistanceMatrix:
+    """Three-class Zen 4-like distance matrix for any topology.
+
+    The values are *effective throughput* distances, not raw SLIT latency
+    ratios: sustained remote streams overlap/prefetch, so a cross-socket
+    stream costs ~1.4x a local one on this platform even though the raw
+    load-to-use latency ratio is above 3x.  (The ACPI SLIT of the machine
+    reports 12/32 (1.2x/3.2x); using those directly makes every remote access cost its
+    full latency, which overstates the NUMA penalty several-fold.)
+    """
+    return DistanceMatrix.from_topology(topology, intra_socket=11, inter_socket=14)

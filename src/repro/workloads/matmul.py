@@ -1,0 +1,40 @@
+"""Matrix-multiplication kernel workload model.
+
+The paper's compute-bound control case: O(n^3) arithmetic over O(n^2)
+data gives very high arithmetic intensity, tiled access with excellent
+cache reuse, and perfect balance.  It "scales exceedingly well with
+increased parallelism, making moldability ineffective and hierarchical
+scheduling unnecessary" — ILAN shows a slight *slowdown* (exploration cost
+plus scheduling overhead), the one benchmark where the baseline wins.
+
+Paper configuration: loop size 3500, 200 iterations.
+"""
+
+from __future__ import annotations
+
+from repro.memory.access import AccessPattern
+from repro.workloads.base import Application, MIB, RegionSpec, TaskloopSpec
+
+__all__ = ["make_matmul"]
+
+
+def make_matmul(timesteps: int = 50) -> Application:
+    """The Matmul model: one perfectly balanced compute-bound taskloop."""
+    return Application(
+        name="matmul",
+        regions=[RegionSpec("abc", 300 * MIB)],
+        loops=[
+            TaskloopSpec(
+                name="tile_gemm",
+                region="abc",
+                work_seconds=0.80,
+                mem_frac=0.03,
+                pattern=AccessPattern.blocked(),
+                reuse=0.50,
+                gamma=0.0,
+                imbalance="uniform",
+            ),
+        ],
+        timesteps=timesteps,
+        serial_seconds=0.5e-4,
+    )

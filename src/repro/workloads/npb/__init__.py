@@ -1,0 +1,10 @@
+"""NAS Parallel Benchmark workload models (CG, FT, BT, SP, LU)."""
+
+from repro.workloads.npb.bt import make_bt
+from repro.workloads.npb.cg import make_cg
+from repro.workloads.npb.common import DEFAULT_TIMESTEPS
+from repro.workloads.npb.ft import make_ft
+from repro.workloads.npb.lu import make_lu
+from repro.workloads.npb.sp import make_sp
+
+__all__ = ["make_bt", "make_cg", "make_ft", "make_lu", "make_sp", "DEFAULT_TIMESTEPS"]

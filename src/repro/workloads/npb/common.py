@@ -1,0 +1,17 @@
+"""Shared construction helpers for the NAS Parallel Benchmark models.
+
+The models follow the C++ NPB port of Löff et al. used by the paper
+(class D inputs) with the iteration counts scaled down for simulation —
+the paper runs 200 outer iterations of most codes; the models default to
+50, which is still an order of magnitude more than ILAN's exploration
+needs (see EXPERIMENTS.md for the scale-down table).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import MIB
+
+__all__ = ["DEFAULT_TIMESTEPS", "MIB", "GIB_B"]
+
+DEFAULT_TIMESTEPS = 50
+GIB_B = 1024 * MIB

@@ -1,0 +1,43 @@
+"""NPB SP (Scalar Penta-diagonal solver) workload model.
+
+SP streams many solution arrays per sweep with little arithmetic per byte:
+the most bandwidth-hungry of the suite, with an irregular enough access
+mix to pay a steep superlinear contention penalty when all 64 cores pile
+onto the memory controllers.  This is the paper's headline moldability
+result: ILAN molds the thread count down and gains +45.8% (Figure 2), and
+most of that gain disappears in the no-moldability ablation (Figure 4).
+"""
+
+from __future__ import annotations
+
+from repro.memory.access import AccessPattern
+from repro.workloads.base import Application, RegionSpec, TaskloopSpec
+from repro.workloads.npb.common import DEFAULT_TIMESTEPS, MIB
+
+__all__ = ["make_sp"]
+
+
+def make_sp(timesteps: int = DEFAULT_TIMESTEPS) -> Application:
+    """The SP model: three directional sweeps, all bandwidth-bound."""
+    loops = []
+    for axis in ("x", "y", "z"):
+        loops.append(
+            TaskloopSpec(
+                name=f"{axis}_sweep",
+                region="fields",
+                work_seconds=0.40,
+                mem_frac=0.80,
+                pattern=AccessPattern.strided(0.35),
+                reuse=0.15,
+                gamma=1.60,
+                imbalance="linear",
+                imbalance_cv=0.10,
+            )
+        )
+    return Application(
+        name="sp",
+        regions=[RegionSpec("fields", 768 * MIB)],
+        loops=loops,
+        timesteps=timesteps,
+        serial_seconds=1.2e-4,
+    )

@@ -1,0 +1,45 @@
+"""Benchmark registry: the paper's seven workloads by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Application
+from repro.workloads.lulesh import make_lulesh
+from repro.workloads.matmul import make_matmul
+from repro.workloads.npb.bt import make_bt
+from repro.workloads.npb.cg import make_cg
+from repro.workloads.npb.ft import make_ft
+from repro.workloads.npb.lu import make_lu
+from repro.workloads.npb.sp import make_sp
+
+__all__ = ["BENCHMARKS", "PAPER_ORDER", "make_benchmark", "benchmark_names"]
+
+BENCHMARKS: dict[str, Callable[..., Application]] = {
+    "ft": make_ft,
+    "bt": make_bt,
+    "cg": make_cg,
+    "lu": make_lu,
+    "sp": make_sp,
+    "matmul": make_matmul,
+    "lulesh": make_lulesh,
+}
+
+# order used in the paper's figures and tables
+PAPER_ORDER = ["ft", "bt", "cg", "lu", "sp", "matmul", "lulesh"]
+
+
+def make_benchmark(name: str, *, timesteps: int | None = None) -> Application:
+    """Instantiate a paper benchmark model by name."""
+    try:
+        factory = BENCHMARKS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; known: {', '.join(sorted(BENCHMARKS))}"
+        ) from None
+    return factory() if timesteps is None else factory(timesteps=timesteps)
+
+
+def benchmark_names() -> list[str]:
+    return list(PAPER_ORDER)

@@ -1,0 +1,125 @@
+"""Declarative workload definitions: Application <-> JSON.
+
+Experiment campaigns often want workloads defined in data rather than
+code (sweeps over model parameters, user-contributed workloads, archived
+configurations next to results).  This module round-trips
+:class:`~repro.workloads.base.Application` through plain dictionaries and
+JSON files::
+
+    {
+      "name": "myapp",
+      "timesteps": 50,
+      "serial_seconds": 0.0001,
+      "regions": [{"name": "grid", "mib": 512, "policy": "first_touch"}],
+      "loops": [
+        {"name": "sweep", "region": "grid", "work_seconds": 0.4,
+         "mem_frac": 0.5, "blocked_fraction": 1.0, "reuse": 0.3,
+         "gamma": 0.4, "imbalance": "linear", "imbalance_cv": 0.2}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import WorkloadError
+from repro.memory.access import AccessPattern
+from repro.memory.allocator import AllocPolicy
+from repro.workloads.base import MIB, Application, RegionSpec, TaskloopSpec
+
+__all__ = [
+    "application_to_dict",
+    "application_from_dict",
+    "save_application",
+    "load_application",
+]
+
+
+def application_to_dict(app: Application) -> dict[str, Any]:
+    """Serialise an application model to a JSON-ready dictionary."""
+    return {
+        "name": app.name,
+        "timesteps": app.timesteps,
+        "serial_seconds": app.serial_seconds,
+        "regions": [
+            {
+                "name": r.name,
+                "mib": r.num_bytes / MIB,
+                "policy": r.policy.value,
+            }
+            for r in app.regions
+        ],
+        "loops": [
+            {
+                "name": lp.name,
+                "region": lp.region,
+                "work_seconds": lp.work_seconds,
+                "mem_frac": lp.mem_frac,
+                "blocked_fraction": lp.pattern.blocked_fraction,
+                "reuse": lp.reuse,
+                "gamma": lp.gamma,
+                "num_tasks": lp.num_tasks,
+                "total_iters": lp.total_iters,
+                "imbalance": lp.imbalance,
+                "imbalance_cv": lp.imbalance_cv,
+                "repeat": lp.repeat,
+            }
+            for lp in app.loops
+        ],
+    }
+
+
+def application_from_dict(data: dict[str, Any]) -> Application:
+    """Build an application model from a dictionary (inverse of the above)."""
+    try:
+        regions = [
+            RegionSpec(
+                name=r["name"],
+                num_bytes=int(r["mib"] * MIB),
+                policy=AllocPolicy(r.get("policy", "first_touch")),
+            )
+            for r in data["regions"]
+        ]
+        loops = [
+            TaskloopSpec(
+                name=lp["name"],
+                region=lp["region"],
+                work_seconds=lp["work_seconds"],
+                mem_frac=lp["mem_frac"],
+                pattern=AccessPattern.strided(lp.get("blocked_fraction", 1.0)),
+                reuse=lp.get("reuse", 0.0),
+                gamma=lp.get("gamma", 0.0),
+                num_tasks=lp.get("num_tasks", 256),
+                total_iters=lp.get("total_iters", 4096),
+                imbalance=lp.get("imbalance", "uniform"),
+                imbalance_cv=lp.get("imbalance_cv", 0.0),
+                repeat=lp.get("repeat", 1),
+            )
+            for lp in data["loops"]
+        ]
+        return Application(
+            name=data["name"],
+            regions=regions,
+            loops=loops,
+            timesteps=data.get("timesteps", 50),
+            serial_seconds=data.get("serial_seconds", 0.0),
+        )
+    except KeyError as exc:
+        raise WorkloadError(f"workload definition missing field {exc}") from exc
+    except ValueError as exc:
+        raise WorkloadError(f"invalid workload definition: {exc}") from exc
+
+
+def save_application(app: Application, path: str | Path) -> Path:
+    """Write the application definition as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(application_to_dict(app), indent=2) + "\n")
+    return path
+
+
+def load_application(path: str | Path) -> Application:
+    """Load an application definition from a JSON file."""
+    return application_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,95 @@
+"""Synthetic workload generator: parameterised applications for studies.
+
+Beyond the seven paper benchmarks, the ablation benches and property tests
+need workloads with *controlled* characteristics — e.g. "memory-bound,
+uniform access, gamma swept from 0 to 2".  :func:`make_synthetic` builds a
+single-loop application from explicit knobs; :func:`make_mixed` composes
+several loops with contrasting characters into one app (per-taskloop
+moldability stress test).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.memory.access import AccessPattern
+from repro.workloads.base import Application, MIB, RegionSpec, TaskloopSpec
+
+__all__ = ["make_synthetic", "make_mixed"]
+
+
+def make_synthetic(
+    *,
+    name: str = "synthetic",
+    work_seconds: float = 0.4,
+    mem_frac: float = 0.5,
+    blocked_fraction: float = 1.0,
+    reuse: float = 0.3,
+    gamma: float = 0.5,
+    imbalance: str = "uniform",
+    imbalance_cv: float = 0.0,
+    num_tasks: int = 128,
+    total_iters: int = 4096,
+    region_mib: int = 512,
+    timesteps: int = 20,
+) -> Application:
+    """One-loop application with every model knob exposed."""
+    if region_mib <= 0:
+        raise WorkloadError(f"region_mib must be positive, got {region_mib}")
+    return Application(
+        name=name,
+        regions=[RegionSpec("data", region_mib * MIB)],
+        loops=[
+            TaskloopSpec(
+                name="loop",
+                region="data",
+                work_seconds=work_seconds,
+                mem_frac=mem_frac,
+                pattern=AccessPattern.strided(blocked_fraction),
+                reuse=reuse,
+                gamma=gamma,
+                num_tasks=num_tasks,
+                total_iters=total_iters,
+                imbalance=imbalance,
+                imbalance_cv=imbalance_cv,
+            )
+        ],
+        timesteps=timesteps,
+    )
+
+
+def make_mixed(*, timesteps: int = 20, name: str = "mixed") -> Application:
+    """Two contrasting loops in one app: one compute-bound and balanced,
+    one memory-bound and irregular.
+
+    A per-taskloop scheduler should settle different configurations for
+    the two loops (full machine vs. molded-down), which the moldability
+    integration tests assert.
+    """
+    return Application(
+        name=name,
+        regions=[RegionSpec("dense", 256 * MIB), RegionSpec("sparse", 512 * MIB)],
+        loops=[
+            TaskloopSpec(
+                name="compute",
+                region="dense",
+                work_seconds=0.5,
+                mem_frac=0.08,
+                pattern=AccessPattern.blocked(),
+                reuse=0.7,
+                gamma=0.0,
+                imbalance="uniform",
+            ),
+            TaskloopSpec(
+                name="memory",
+                region="sparse",
+                work_seconds=0.4,
+                mem_frac=0.8,
+                pattern=AccessPattern.uniform(),
+                reuse=0.1,
+                gamma=1.5,
+                imbalance="irregular",
+                imbalance_cv=0.4,
+            ),
+        ],
+        timesteps=timesteps,
+    )

@@ -1,0 +1,89 @@
+"""Shared fixtures: small machines, run contexts, and workload helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory.access import AccessPattern
+from repro.runtime.context import RunContext
+from repro.runtime.task import TaskloopWork
+from repro.topology.presets import (
+    default_distances,
+    dual_socket_small,
+    single_node,
+    tiny_two_node,
+    zen4_9354,
+)
+
+
+@pytest.fixture
+def tiny():
+    """4 cores, 2 NUMA nodes, 1 socket."""
+    return tiny_two_node()
+
+
+@pytest.fixture
+def small():
+    """16 cores, 4 NUMA nodes, 2 sockets."""
+    return dual_socket_small()
+
+
+@pytest.fixture
+def uma():
+    """4 cores, 1 NUMA node (no NUMA effects)."""
+    return single_node(4)
+
+
+@pytest.fixture(scope="session")
+def zen4():
+    """The paper's 64-core platform."""
+    return zen4_9354()
+
+
+@pytest.fixture
+def tiny_ctx(tiny):
+    return RunContext.create(tiny, seed=7)
+
+
+@pytest.fixture
+def small_ctx(small):
+    return RunContext.create(small, seed=7)
+
+
+@pytest.fixture
+def tiny_distances(tiny):
+    return default_distances(tiny)
+
+
+def make_work(
+    ctx: RunContext,
+    *,
+    uid: str = "test.loop",
+    region_name: str = "data",
+    region_bytes: int = 64 * 1024 * 1024,
+    total_iters: int = 64,
+    num_tasks: int = 8,
+    work_seconds: float = 0.01,
+    mem_frac: float = 0.5,
+    pattern: AccessPattern | None = None,
+    reuse: float = 0.0,
+    gamma: float = 0.0,
+    weights: np.ndarray | None = None,
+) -> TaskloopWork:
+    """Construct a TaskloopWork against a fresh or existing region."""
+    if region_name not in ctx.mem:
+        ctx.mem.allocate(region_name, region_bytes)
+    return TaskloopWork(
+        uid=uid,
+        name=uid.split(".")[-1],
+        total_iters=total_iters,
+        num_tasks=num_tasks,
+        work_seconds=work_seconds,
+        mem_frac=mem_frac,
+        weights=weights if weights is not None else np.ones(64),
+        region=ctx.mem.region(region_name),
+        pattern=pattern or AccessPattern.blocked(),
+        reuse=reuse,
+        gamma=gamma,
+    )

@@ -1,0 +1,100 @@
+"""Unit tests for the hierarchical task distribution."""
+
+import pytest
+
+from repro.core.distribution import distribute_chunks
+from repro.errors import ConfigurationError
+from repro.runtime.taskloop import partition
+from tests.conftest import make_work
+
+
+@pytest.fixture
+def chunks(small_ctx):
+    work = make_work(small_ctx, num_tasks=16, total_iters=64)
+    return partition(work)
+
+
+class TestMapping:
+    def test_contiguous_blocks(self, chunks):
+        per_node = distribute_chunks(chunks, [0, 1])
+        assert [c.index for c in per_node[0]] == list(range(8))
+        assert [c.index for c in per_node[1]] == list(range(8, 16))
+
+    def test_home_node_set(self, chunks):
+        distribute_chunks(chunks, [2, 3])
+        assert chunks[0].home_node == 2
+        assert chunks[-1].home_node == 3
+
+    def test_node_order_matters(self, chunks):
+        per_node = distribute_chunks(chunks, [3, 1])
+        assert [c.index for c in per_node[3]] == list(range(8))
+
+    def test_uneven_split(self, small_ctx):
+        work = make_work(small_ctx, num_tasks=10, total_iters=64)
+        per_node = distribute_chunks(partition(work), [0, 1, 2])
+        sizes = [len(per_node[n]) for n in (0, 1, 2)]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_node(self, chunks):
+        per_node = distribute_chunks(chunks, [5])
+        assert len(per_node[5]) == 16
+
+    def test_deterministic(self, small_ctx):
+        work = make_work(small_ctx, num_tasks=16, total_iters=64)
+        a = distribute_chunks(partition(work), [0, 1])
+        b = distribute_chunks(partition(work), [0, 1])
+        assert [[c.index for c in a[n]] for n in (0, 1)] == [
+            [c.index for c in b[n]] for n in (0, 1)
+        ]
+
+
+class TestStrictness:
+    def test_default_strict_fraction(self, chunks):
+        from repro.core.distribution import DEFAULT_STRICT_FRACTION
+
+        per_node = distribute_chunks(chunks, [0, 1])
+        expected = int(DEFAULT_STRICT_FRACTION * 8)
+        for node_chunks in per_node.values():
+            strict = [c.strict for c in node_chunks]
+            assert strict == [True] * expected + [False] * (8 - expected)
+
+    def test_custom_fraction(self, chunks):
+        per_node = distribute_chunks(chunks, [0, 1], strict_fraction=0.5)
+        for node_chunks in per_node.values():
+            assert sum(c.strict for c in node_chunks) == 4
+
+    def test_zero_fraction_all_stealable(self, chunks):
+        per_node = distribute_chunks(chunks, [0, 1], strict_fraction=0.0)
+        assert not any(c.strict for nc in per_node.values() for c in nc)
+
+    def test_one_fraction_all_strict(self, chunks):
+        per_node = distribute_chunks(chunks, [0, 1], strict_fraction=1.0)
+        assert all(c.strict for nc in per_node.values() for c in nc)
+
+    def test_strict_prefix_is_initial_iterations(self, chunks):
+        """The strict tasks must be the *first* iterations of each node's
+        block (they carry the locality; the tail is the balancing slack)."""
+        per_node = distribute_chunks(chunks, [0, 1], strict_fraction=0.5)
+        for node_chunks in per_node.values():
+            indices = [c.index for c in node_chunks]
+            strict_idx = [c.index for c in node_chunks if c.strict]
+            assert strict_idx == indices[: len(strict_idx)]
+
+
+class TestValidation:
+    def test_empty_nodes(self, chunks):
+        with pytest.raises(ConfigurationError):
+            distribute_chunks(chunks, [])
+
+    def test_duplicate_nodes(self, chunks):
+        with pytest.raises(ConfigurationError):
+            distribute_chunks(chunks, [0, 0])
+
+    def test_bad_fraction(self, chunks):
+        with pytest.raises(ConfigurationError):
+            distribute_chunks(chunks, [0], strict_fraction=1.5)
+
+    def test_empty_chunks(self):
+        with pytest.raises(ConfigurationError):
+            distribute_chunks([], [0])

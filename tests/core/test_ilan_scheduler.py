@@ -1,0 +1,136 @@
+"""Integration tests for the ILAN scheduler plugins."""
+
+import pytest
+
+from repro.core.moldability import Phase
+from repro.core.scheduler import IlanNoMoldScheduler, IlanScheduler
+from repro.runtime.context import RunContext
+from repro.runtime.executor import TaskloopExecutor
+from repro.runtime.worksteal import HierarchicalStealPolicy
+from tests.conftest import make_work
+
+
+def run_encounters(ctx, sched, work, n):
+    ex = TaskloopExecutor(ctx)
+    results = []
+    for _ in range(n):
+        plan = sched.plan(work, ctx)
+        result = ex.run(work, plan)
+        sched.record(work, plan, result)
+        results.append(result)
+    return results
+
+
+class TestIlanPlan:
+    def test_first_encounter_uses_all_cores_strict(self, small_ctx):
+        sched = IlanScheduler()
+        work = make_work(small_ctx, num_tasks=16, total_iters=64)
+        plan = sched.plan(work, small_ctx)
+        assert plan.num_threads == 16
+        assert plan.steal_mode == "strict"
+        assert isinstance(plan.policy, HierarchicalStealPolicy)
+        assert not plan.policy.allow_inter_node
+        assert not plan.owner_lifo
+
+    def test_chunks_enqueued_on_node_primaries(self, small_ctx):
+        sched = IlanScheduler()
+        work = make_work(small_ctx, num_tasks=16, total_iters=64)
+        plan = sched.plan(work, small_ctx)
+        used = sorted(c for c, chunks in plan.initial_queues.items() if chunks)
+        # primaries of the 4 nodes of the 16-core machine
+        assert used == [0, 4, 8, 12]
+
+    def test_strict_fraction_applied(self, small_ctx):
+        sched = IlanScheduler(strict_fraction=0.5)
+        work = make_work(small_ctx, num_tasks=16, total_iters=64)
+        plan = sched.plan(work, small_ctx)
+        chunks = [c for q in plan.initial_queues.values() for c in q]
+        assert sum(c.strict for c in chunks) == 8
+
+    def test_selection_overhead_charged(self, small_ctx):
+        sched = IlanScheduler()
+        work = make_work(small_ctx, num_tasks=16, total_iters=64)
+        plan = sched.plan(work, small_ctx)
+        assert plan.extra_overhead > 0
+
+    def test_granularity_defaults_to_node_size(self, small_ctx):
+        sched = IlanScheduler()
+        work = make_work(small_ctx, num_tasks=16, total_iters=64)
+        sched.plan(work, small_ctx)
+        assert sched.controller(work.uid).granularity == 4
+
+    def test_custom_granularity(self, small_ctx):
+        sched = IlanScheduler(granularity=2)
+        work = make_work(small_ctx, num_tasks=16, total_iters=64)
+        sched.plan(work, small_ctx)
+        assert sched.controller(work.uid).granularity == 2
+
+
+class TestIlanLearning:
+    def test_settles_within_encounters(self, small):
+        ctx = RunContext.create(small, seed=0)
+        sched = IlanScheduler()
+        work = make_work(ctx, num_tasks=16, total_iters=64, mem_frac=0.2)
+        run_encounters(ctx, sched, work, 12)
+        assert sched.controller(work.uid).phase is Phase.SETTLED
+
+    def test_settled_config_stable(self, small):
+        ctx = RunContext.create(small, seed=0)
+        sched = IlanScheduler()
+        work = make_work(ctx, num_tasks=16, total_iters=64, mem_frac=0.2)
+        run_encounters(ctx, sched, work, 12)
+        r1 = run_encounters(ctx, sched, work, 2)
+        assert r1[0].num_threads == r1[1].num_threads
+        assert r1[0].node_mask_bits == r1[1].node_mask_bits
+        assert r1[0].steal_policy == r1[1].steal_policy
+
+    def test_per_taskloop_state_independent(self, small):
+        ctx = RunContext.create(small, seed=0)
+        sched = IlanScheduler()
+        wa = make_work(ctx, uid="app.a", num_tasks=16, total_iters=64)
+        wb = make_work(ctx, uid="app.b", region_name="other", num_tasks=16, total_iters=64)
+        run_encounters(ctx, sched, wa, 3)
+        run_encounters(ctx, sched, wb, 1)
+        assert sched.controller("app.a").k != sched.controller("app.b").k
+
+    def test_reset_clears_state(self, small):
+        ctx = RunContext.create(small, seed=0)
+        sched = IlanScheduler()
+        work = make_work(ctx, num_tasks=16, total_iters=64)
+        run_encounters(ctx, sched, work, 3)
+        sched.reset()
+        plan = sched.plan(work, ctx)
+        assert plan.num_threads == 16  # back to warmup full machine
+
+    def test_warmup_not_in_ptt(self, small):
+        ctx = RunContext.create(small, seed=0)
+        sched = IlanScheduler()
+        work = make_work(ctx, num_tasks=16, total_iters=64)
+        run_encounters(ctx, sched, work, 1)
+        assert sched.ptt.table(work.uid).executions == 0
+        run_encounters(ctx, sched, work, 1)
+        assert sched.ptt.table(work.uid).executions == 1
+
+
+class TestNoMold:
+    def test_always_full_machine(self, small_ctx):
+        sched = IlanNoMoldScheduler()
+        work = make_work(small_ctx, num_tasks=16, total_iters=64)
+        plan = sched.plan(work, small_ctx)
+        assert plan.num_threads == 16
+        assert plan.steal_mode == "full"
+        assert plan.policy.allow_inter_node
+
+    def test_hierarchical_distribution_kept(self, small_ctx):
+        sched = IlanNoMoldScheduler()
+        work = make_work(small_ctx, num_tasks=16, total_iters=64)
+        plan = sched.plan(work, small_ctx)
+        used = sorted(c for c, chunks in plan.initial_queues.items() if chunks)
+        assert used == [0, 4, 8, 12]
+
+    def test_stateless_across_encounters(self, small):
+        ctx = RunContext.create(small, seed=0)
+        sched = IlanNoMoldScheduler()
+        work = make_work(ctx, num_tasks=16, total_iters=64)
+        results = run_encounters(ctx, sched, work, 3)
+        assert all(r.num_threads == 16 for r in results)

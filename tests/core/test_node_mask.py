@@ -1,0 +1,95 @@
+"""Unit tests for GetNUMAMask and worker-core selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.node_mask import get_numa_mask, nodes_needed, worker_cores_for_mask
+from repro.core.ptt import TaskloopPTT
+from repro.errors import ConfigurationError
+from repro.topology.affinity import NodeMask
+from repro.topology.presets import default_distances
+
+
+@pytest.fixture
+def zen4_dist(zen4):
+    return default_distances(zen4)
+
+
+def ptt_with_perf(num_nodes, perf):
+    t = TaskloopPTT(num_nodes=num_nodes)
+    t.record((1, 1, "strict"), 1.0, node_perf=np.asarray(perf, dtype=float))
+    return t
+
+
+class TestNodesNeeded:
+    def test_exact_nodes(self, zen4):
+        assert nodes_needed(64, zen4) == 8
+        assert nodes_needed(8, zen4) == 1
+        assert nodes_needed(16, zen4) == 2
+
+    def test_partial_node_rounds_up(self, zen4):
+        assert nodes_needed(9, zen4) == 2
+        assert nodes_needed(1, zen4) == 1
+
+    def test_capped_at_machine(self, zen4):
+        assert nodes_needed(1000, zen4) == 8
+
+    def test_validation(self, zen4):
+        with pytest.raises(ConfigurationError):
+            nodes_needed(0, zen4)
+
+
+class TestGetNumaMask:
+    def test_fastest_node_first(self, zen4, zen4_dist):
+        ptt = ptt_with_perf(8, [1, 1, 1, 1, 1, 9, 1, 1])
+        mask = get_numa_mask(8, ptt, zen4, zen4_dist)
+        assert mask.indices() == [5]
+
+    def test_growth_prefers_same_socket(self, zen4, zen4_dist):
+        # fastest is node 5 (socket 1); the next three must be 4, 6, 7
+        ptt = ptt_with_perf(8, [1, 1, 1, 1, 1, 9, 1, 1])
+        mask = get_numa_mask(32, ptt, zen4, zen4_dist)
+        assert set(mask.indices()) == {4, 5, 6, 7}
+
+    def test_same_socket_tie_breaks_on_perf(self, zen4, zen4_dist):
+        ptt = ptt_with_perf(8, [1, 2, 8, 3, 1, 1, 1, 1])
+        mask = get_numa_mask(16, ptt, zen4, zen4_dist)
+        # fastest is 2; next same-socket candidate with best perf is 3
+        assert set(mask.indices()) == {2, 3}
+
+    def test_crosses_socket_when_needed(self, zen4, zen4_dist):
+        ptt = ptt_with_perf(8, [9, 1, 1, 1, 1, 1, 1, 1])
+        mask = get_numa_mask(48, ptt, zen4, zen4_dist)
+        assert set(mask.indices()) >= {0, 1, 2, 3}
+        assert mask.count() == 6
+
+    def test_no_data_defaults_to_node0(self, zen4, zen4_dist):
+        ptt = TaskloopPTT(num_nodes=8)
+        mask = get_numa_mask(16, ptt, zen4, zen4_dist)
+        assert 0 in mask.indices()
+        assert mask.count() == 2
+
+    def test_full_machine(self, zen4, zen4_dist):
+        ptt = TaskloopPTT(num_nodes=8)
+        assert get_numa_mask(64, ptt, zen4, zen4_dist).count() == 8
+
+
+class TestWorkerCores:
+    def test_whole_nodes(self, zen4):
+        mask = NodeMask.from_indices([2, 5], 8)
+        cores = worker_cores_for_mask(16, mask, zen4)
+        assert cores == list(range(16, 24)) + list(range(40, 48))
+
+    def test_partial_last_node(self, zen4):
+        mask = NodeMask.from_indices([0, 1], 8)
+        cores = worker_cores_for_mask(12, mask, zen4)
+        assert cores == list(range(0, 8)) + list(range(8, 12))
+
+    def test_too_few_cores_in_mask(self, zen4):
+        mask = NodeMask.from_indices([0], 8)
+        with pytest.raises(ConfigurationError):
+            worker_cores_for_mask(16, mask, zen4)
+
+    def test_validation(self, zen4):
+        with pytest.raises(ConfigurationError):
+            worker_cores_for_mask(0, NodeMask.from_indices([0], 8), zen4)

@@ -1,0 +1,113 @@
+"""Unit tests for the Performance Trace Table."""
+
+import numpy as np
+import pytest
+
+from repro.core.ptt import ExecStats, PerformanceTraceTable, TaskloopPTT
+from repro.errors import ConfigurationError
+
+
+class TestExecStats:
+    def test_welford_mean_std(self):
+        s = ExecStats()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            s.add(v)
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert s.min_time == 1.0
+
+    def test_single_sample_no_variance(self):
+        s = ExecStats()
+        s.add(2.0)
+        assert s.variance == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExecStats().add(-1.0)
+
+
+class TestTaskloopPTT:
+    def test_record_and_mean(self):
+        t = TaskloopPTT(num_nodes=4)
+        key = (8, 0b11, "strict")
+        t.record(key, 1.0)
+        t.record(key, 3.0)
+        assert t.mean_time(key) == pytest.approx(2.0)
+        assert t.executions == 2
+
+    def test_mean_time_missing(self):
+        t = TaskloopPTT(num_nodes=4)
+        assert t.mean_time((8, 1, "strict")) is None
+
+    def test_best_time_per_thread_count_filters_policy(self):
+        t = TaskloopPTT(num_nodes=4)
+        t.record((8, 1, "strict"), 2.0)
+        t.record((8, 1, "full"), 0.5)
+        t.record((16, 3, "strict"), 1.0)
+        per = t.best_time_per_thread_count(policy="strict")
+        assert per == {8: 2.0, 16: 1.0}
+        per_all = t.best_time_per_thread_count(policy=None)
+        assert per_all[8] == 0.5
+
+    def test_best_per_thread_count_takes_min_over_masks(self):
+        t = TaskloopPTT(num_nodes=4)
+        t.record((8, 0b0011, "strict"), 2.0)
+        t.record((8, 0b1100, "strict"), 1.5)
+        assert t.best_time_per_thread_count()[8] == 1.5
+
+    def test_fastest_two(self):
+        t = TaskloopPTT(num_nodes=4)
+        t.record((32, 0xF, "strict"), 3.0)
+        t.record((16, 0x3, "strict"), 1.0)
+        t.record((8, 0x1, "strict"), 2.0)
+        (best_t, best_v), (second_t, second_v) = t.fastest_two()
+        assert (best_t, best_v) == (16, 1.0)
+        assert (second_t, second_v) == (8, 2.0)
+
+    def test_fastest_two_needs_two_counts(self):
+        t = TaskloopPTT(num_nodes=4)
+        t.record((8, 1, "strict"), 1.0)
+        with pytest.raises(ConfigurationError):
+            t.fastest_two()
+
+    def test_node_perf_ewma(self):
+        t = TaskloopPTT(num_nodes=2, node_perf_alpha=0.5)
+        t.record((2, 3, "strict"), 1.0, node_perf=np.array([1.0, np.nan]))
+        assert t.node_perf[0] == 1.0
+        assert np.isnan(t.node_perf[1])
+        t.record((2, 3, "strict"), 1.0, node_perf=np.array([3.0, 2.0]))
+        assert t.node_perf[0] == pytest.approx(2.0)
+        assert t.node_perf[1] == pytest.approx(2.0)
+
+    def test_fastest_node(self):
+        t = TaskloopPTT(num_nodes=3)
+        assert t.fastest_node() == 0  # no data: fall back
+        t.record((3, 7, "strict"), 1.0, node_perf=np.array([1.0, 5.0, 2.0]))
+        assert t.fastest_node() == 1
+
+    def test_node_perf_shape_checked(self):
+        t = TaskloopPTT(num_nodes=2)
+        with pytest.raises(ConfigurationError):
+            t.record((2, 3, "strict"), 1.0, node_perf=np.array([1.0]))
+
+
+class TestPerformanceTraceTable:
+    def test_table_created_on_demand(self):
+        ptt = PerformanceTraceTable(num_nodes=4)
+        assert "a" not in ptt
+        t = ptt.table("a")
+        assert "a" in ptt
+        assert ptt.table("a") is t
+        assert len(ptt) == 1
+        assert ptt.uids() == ["a"]
+
+    def test_clear(self):
+        ptt = PerformanceTraceTable(num_nodes=4)
+        ptt.table("a")
+        ptt.clear()
+        assert len(ptt) == 0
+
+    def test_bad_nodes(self):
+        with pytest.raises(ConfigurationError):
+            PerformanceTraceTable(0)

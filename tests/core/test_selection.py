@@ -1,0 +1,139 @@
+"""Unit tests for Algorithm 1 (thread-count selection)."""
+
+import pytest
+
+from repro.core.selection import (
+    initial_threads,
+    midpoint_threads,
+    select_next_threads,
+)
+from repro.errors import ConfigurationError
+
+
+class TestInitialThreads:
+    def test_k1_full_machine(self):
+        assert initial_threads(1, 64, 8) == 64
+
+    def test_k2_half(self):
+        assert initial_threads(2, 64, 8) == 32
+
+    def test_k2_respects_granularity(self):
+        assert initial_threads(2, 24, 8) == 8  # 12 floored to 8
+
+    def test_k2_floor_at_g(self):
+        assert initial_threads(2, 8, 8) == 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            initial_threads(3, 64, 8)
+        with pytest.raises(ConfigurationError):
+            initial_threads(1, 7, 8)  # m_max < g
+        with pytest.raises(ConfigurationError):
+            initial_threads(1, 20, 8)  # not a multiple
+
+
+class TestMidpoint:
+    def test_paper_formula(self):
+        # lower + floor((diff/2)/g) * g
+        assert midpoint_threads(64, 32, 8) == 48
+        assert midpoint_threads(32, 64, 8) == 48
+        assert midpoint_threads(8, 32, 8) == 16
+        assert midpoint_threads(8, 64, 8) == 32
+
+    def test_rounds_down_to_granularity(self):
+        assert midpoint_threads(8, 20, 8) == 8  # diff 12 -> floor(6/8)=0
+
+
+class TestSelectNextThreads:
+    def test_k3_special_case_explores_smallest(self):
+        """Half beat full at k=2 -> probe the smallest configuration."""
+        per = {64: 2.0, 32: 1.0}
+        sel = select_next_threads(per, cur_threads=32, k=3, g=8)
+        assert sel.threads == 8
+        assert not sel.search_finished
+
+    def test_k3_special_case_when_half_equals_g(self):
+        """m_max/2 == g: the smallest config already ran -> finish on best."""
+        per = {16: 2.0, 8: 1.0}
+        sel = select_next_threads(per, cur_threads=8, k=3, g=8)
+        assert sel.search_finished
+        assert sel.threads == 8
+
+    def test_k3_full_faster_goes_to_midpoint(self):
+        per = {64: 1.0, 32: 2.0}
+        sel = select_next_threads(per, cur_threads=32, k=3, g=8)
+        assert sel.threads == 48
+        assert not sel.search_finished
+
+    def test_within_granularity_finishes(self):
+        per = {64: 1.5, 56: 1.0}
+        sel = select_next_threads(per, cur_threads=56, k=5, g=8)
+        assert sel.search_finished
+        assert sel.threads == 56
+
+    def test_midpoint_already_explored_finishes(self):
+        per = {64: 1.5, 32: 1.0, 48: 2.0}
+        # best=32, second=64, midpoint=48 already in the table
+        sel = select_next_threads(per, cur_threads=48, k=5, g=8)
+        assert sel.search_finished
+        assert sel.threads == 32
+
+    def test_full_search_converges(self):
+        """Simulated sequence on a 64-core/g=8 machine with optimum 24."""
+
+        def time_for(threads):
+            return abs(threads - 24) + 10.0
+
+        per = {64: time_for(64), 32: time_for(32)}
+        cur = 32
+        k = 3
+        for _ in range(10):
+            sel = select_next_threads(per, cur, k, 8)
+            if sel.search_finished:
+                break
+            cur = sel.threads
+            per[cur] = min(per.get(cur, float("inf")), time_for(cur))
+            k += 1
+        assert sel.search_finished
+        assert sel.threads == 24
+
+    def test_converges_to_max_when_scaling_is_perfect(self):
+        def time_for(threads):
+            return 64.0 / threads
+
+        per = {64: time_for(64), 32: time_for(32)}
+        cur, k = 32, 3
+        for _ in range(10):
+            sel = select_next_threads(per, cur, k, 8)
+            if sel.search_finished:
+                break
+            cur = sel.threads
+            per[cur] = time_for(cur)
+            k += 1
+        assert sel.threads == 64
+
+    def test_exploration_cost_is_logarithmic(self):
+        """The search must finish within ~log2(m_max/g) + 2 probes."""
+        def time_for(threads):
+            return abs(threads - 40) + 5.0
+
+        per = {64: time_for(64), 32: time_for(32)}
+        cur, k, probes = 32, 3, 0
+        while True:
+            sel = select_next_threads(per, cur, k, 8)
+            if sel.search_finished:
+                break
+            probes += 1
+            cur = sel.threads
+            per[cur] = time_for(cur)
+            k += 1
+            assert probes < 8
+        assert probes <= 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            select_next_threads({64: 1.0, 32: 2.0}, 32, k=2, g=8)
+        with pytest.raises(ConfigurationError):
+            select_next_threads({64: 1.0}, 64, k=3, g=8)
+        with pytest.raises(ConfigurationError):
+            select_next_threads({64: 1.0, 32: 2.0}, 32, k=3, g=0)

@@ -1,0 +1,49 @@
+"""Unit tests for the steal-policy trial evaluation."""
+
+from repro.core.config import StealPolicyMode
+from repro.core.ptt import TaskloopPTT
+from repro.core.steal_eval import evaluate_steal_policy
+
+
+def table(strict=None, full=None, threads=16, mask=0b11):
+    t = TaskloopPTT(num_nodes=8)
+    if strict is not None:
+        t.record((threads, mask, "strict"), strict)
+    if full is not None:
+        t.record((threads, mask, "full"), full)
+    return t
+
+
+def test_full_wins_when_faster():
+    t = table(strict=2.0, full=1.0)
+    assert evaluate_steal_policy(t, 16, 0b11) is StealPolicyMode.FULL
+
+
+def test_strict_wins_when_faster():
+    t = table(strict=1.0, full=2.0)
+    assert evaluate_steal_policy(t, 16, 0b11) is StealPolicyMode.STRICT
+
+
+def test_tie_keeps_strict():
+    t = table(strict=1.0, full=1.0)
+    assert evaluate_steal_policy(t, 16, 0b11) is StealPolicyMode.STRICT
+
+
+def test_missing_full_keeps_strict():
+    t = table(strict=1.0)
+    assert evaluate_steal_policy(t, 16, 0b11) is StealPolicyMode.STRICT
+
+
+def test_missing_strict_uses_full():
+    t = table(full=1.0)
+    assert evaluate_steal_policy(t, 16, 0b11) is StealPolicyMode.FULL
+
+
+def test_no_data_defaults_strict():
+    assert evaluate_steal_policy(TaskloopPTT(num_nodes=8), 16, 0b11) is StealPolicyMode.STRICT
+
+
+def test_other_configs_ignored():
+    t = table(strict=5.0, full=4.0)
+    t.record((32, 0b1111, "full"), 0.1)  # different threads: irrelevant
+    assert evaluate_steal_policy(t, 16, 0b11) is StealPolicyMode.FULL

@@ -1,0 +1,35 @@
+"""Unit tests for counter-driven exploration hints."""
+
+from repro.counters.hints import (
+    SATURATION_EXPLORE_THRESHOLD,
+    hint_from_counters,
+)
+from repro.counters.metrics import TaskloopCounters
+
+
+def sample(avg_sat: float) -> TaskloopCounters:
+    return TaskloopCounters(uid="x", elapsed=1.0, sat_time_integral=avg_sat)
+
+
+def test_no_data_explores():
+    hint = hint_from_counters(None)
+    assert not hint.skip_search
+    assert "no counter data" in hint.reason
+
+
+def test_headroom_skips_search():
+    hint = hint_from_counters(sample(0.3))
+    assert hint.skip_search
+    assert "headroom" in hint.reason
+
+
+def test_saturated_explores():
+    hint = hint_from_counters(sample(1.8))
+    assert not hint.skip_search
+
+
+def test_threshold_boundary():
+    below = hint_from_counters(sample(SATURATION_EXPLORE_THRESHOLD - 0.01))
+    above = hint_from_counters(sample(SATURATION_EXPLORE_THRESHOLD + 0.01))
+    assert below.skip_search
+    assert not above.skip_search

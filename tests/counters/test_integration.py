@@ -1,0 +1,80 @@
+"""Integration tests: counters collected by the executor, used by ILAN."""
+
+import pytest
+
+from repro.core.scheduler import IlanScheduler
+from repro.memory.access import AccessPattern
+from repro.runtime.runtime import OpenMPRuntime
+from repro.workloads.synthetic import make_synthetic
+
+
+@pytest.fixture
+def compute_app():
+    """No memory pressure: counters must report headroom."""
+    return make_synthetic(
+        name="compute", mem_frac=0.05, blocked_fraction=1.0, reuse=0.0,
+        gamma=0.0, timesteps=8, num_tasks=16, total_iters=64, region_mib=32,
+    )
+
+
+@pytest.fixture
+def memory_app():
+    """Bandwidth-saturating: counters must report contention."""
+    return make_synthetic(
+        name="memory", mem_frac=0.9, blocked_fraction=0.0, reuse=0.0,
+        gamma=1.5, timesteps=8, num_tasks=16, total_iters=64, region_mib=64,
+    )
+
+
+class TestExecutorSampling:
+    def test_every_taskloop_gets_a_sample(self, small, compute_app):
+        res = OpenMPRuntime(small, scheduler="baseline", seed=0).run_application(compute_app)
+        assert all(r.counters is not None for r in res.taskloops)
+        assert all(r.counters.elapsed == pytest.approx(r.elapsed) for r in res.taskloops)
+
+    def test_counters_can_be_disabled(self, small, compute_app):
+        rt = OpenMPRuntime(small, scheduler="baseline", seed=0)
+        ctx = rt.create_context()
+        ctx.counters.enabled = False
+        # run via the runtime path but with a custom context is awkward;
+        # check the context flag wiring directly instead
+        assert ctx.counters.enabled is False
+
+    def test_saturation_separates_workload_classes(self, small, compute_app, memory_app):
+        rc = OpenMPRuntime(small, scheduler="baseline", seed=0).run_application(compute_app)
+        rm = OpenMPRuntime(small, scheduler="baseline", seed=0).run_application(memory_app)
+        sat_compute = max(r.counters.avg_saturation for r in rc.taskloops)
+        sat_memory = min(r.counters.avg_saturation for r in rm.taskloops)
+        assert sat_compute < 0.5
+        assert sat_memory > 1.0
+
+    def test_bytes_accumulate_for_memory_work(self, small, memory_app):
+        res = OpenMPRuntime(small, scheduler="baseline", seed=0).run_application(memory_app)
+        assert all(r.counters.bytes_total > 0 for r in res.taskloops)
+
+    def test_utilization_bounded(self, small, memory_app):
+        res = OpenMPRuntime(small, scheduler="baseline", seed=0).run_application(memory_app)
+        for r in res.taskloops:
+            assert 0.0 < r.counters.utilization <= 1.0 + 1e-9
+
+
+class TestCounterGuidedIlan:
+    def test_compute_bound_skips_exploration(self, small, compute_app):
+        sched = IlanScheduler(use_counters=True)
+        res = OpenMPRuntime(small, scheduler=sched, seed=0).run_application(compute_app)
+        threads = [r.num_threads for r in res.taskloops]
+        # warmup + k=1 at full width, then settle immediately: no narrow probes
+        assert all(t == small.num_cores for t in threads)
+
+    def test_memory_bound_still_explores(self, small, memory_app):
+        sched = IlanScheduler(use_counters=True)
+        res = OpenMPRuntime(small, scheduler=sched, seed=0).run_application(memory_app)
+        threads = {r.num_threads for r in res.taskloops}
+        assert len(threads) > 1, "saturated workload must trigger the search"
+
+    def test_counter_shortcut_not_slower(self, small, compute_app):
+        plain = OpenMPRuntime(small, scheduler=IlanScheduler(), seed=0).run_application(compute_app)
+        fast = OpenMPRuntime(
+            small, scheduler=IlanScheduler(use_counters=True), seed=0
+        ).run_application(compute_app)
+        assert fast.total_time <= plain.total_time + 1e-9

@@ -1,0 +1,78 @@
+"""Unit tests for the statistical comparison helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.exp.compare import compare_cells, compare_samples, render_comparisons
+from repro.exp.runner import CellResult
+from repro.runtime.results import AppRunResult
+
+
+def fake_cell(bench, sched, times):
+    runs = [
+        AppRunResult(app_name=bench, scheduler=sched, seed=i, total_time=t)
+        for i, t in enumerate(times)
+    ]
+    return CellResult(benchmark=bench, scheduler=sched, runs=runs)
+
+
+class TestCompareSamples:
+    def test_clear_difference_significant(self):
+        rng = np.random.default_rng(0)
+        a = 1.0 + 0.01 * rng.standard_normal(30)
+        b = 0.8 + 0.01 * rng.standard_normal(30)
+        c = compare_samples(a, b, label="x")
+        assert c.significant
+        assert c.speedup == pytest.approx(1.25, rel=0.05)
+        assert c.verdict == "B faster"
+
+    def test_identical_distributions_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = 1.0 + 0.05 * rng.standard_normal(40)
+        b = 1.0 + 0.05 * rng.standard_normal(40)
+        c = compare_samples(a, b)
+        assert not c.significant
+        assert c.verdict == "no significant difference"
+
+    def test_slower_candidate(self):
+        rng = np.random.default_rng(2)
+        a = 1.0 + 0.01 * rng.standard_normal(30)
+        b = 1.4 + 0.01 * rng.standard_normal(30)
+        c = compare_samples(a, b)
+        assert c.significant
+        assert c.verdict == "B slower"
+
+    def test_deterministic_samples(self):
+        same = compare_samples([1.0, 1.0], [1.0, 1.0])
+        assert not same.significant
+        diff = compare_samples([1.0, 1.0], [0.5, 0.5])
+        assert diff.significant
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            compare_samples([1.0], [1.0, 2.0])
+        with pytest.raises(ExperimentError):
+            compare_samples([1.0, 2.0], [1.0, 2.0], alpha=2.0)
+
+
+class TestCompareCells:
+    def test_labels_and_result(self):
+        a = fake_cell("cg", "baseline", [1.0, 1.02, 0.98, 1.01])
+        b = fake_cell("cg", "ilan", [0.9, 0.91, 0.89, 0.9])
+        c = compare_cells(a, b)
+        assert "cg" in c.label and "ilan" in c.label
+        assert c.speedup > 1.0
+
+    def test_benchmark_mismatch_rejected(self):
+        a = fake_cell("cg", "baseline", [1.0, 1.0])
+        b = fake_cell("ft", "ilan", [1.0, 1.0])
+        with pytest.raises(ExperimentError):
+            compare_cells(a, b)
+
+
+def test_render_comparisons():
+    c = compare_samples([1.0, 1.1, 0.9, 1.0], [0.8, 0.82, 0.78, 0.8], label="demo")
+    text = render_comparisons("Comparisons", [c])
+    assert "demo" in text
+    assert "speedup" in text

@@ -1,0 +1,110 @@
+"""Unit tests for the figure/table generators and their rendering."""
+
+import pytest
+
+from repro.exp.figures import (
+    average_speedup,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    table1,
+)
+from repro.exp.report import (
+    render_figure6,
+    render_overheads,
+    render_speedups,
+    render_threads,
+    render_variability,
+)
+from repro.exp.runner import ExperimentConfig, Runner
+
+BENCHES = ["matmul", "cg"]
+
+
+@pytest.fixture(scope="module")
+def runner(zen4_module):
+    return Runner(ExperimentConfig(seeds=2, timesteps=4, with_noise=False), topology=zen4_module)
+
+
+@pytest.fixture(scope="module")
+def zen4_module():
+    from repro.topology.presets import tiny_two_node
+
+    return tiny_two_node()
+
+
+class TestFigure2:
+    def test_rows(self, runner):
+        rows = figure2(runner, BENCHES)
+        assert [r.benchmark for r in rows] == BENCHES
+        for r in rows:
+            assert r.scheduler == "ilan"
+            assert r.baseline_mean > 0 and r.sched_mean > 0
+            assert r.speedup == pytest.approx(r.baseline_mean / r.sched_mean)
+
+    def test_render(self, runner):
+        text = render_speedups("Figure 2", figure2(runner, BENCHES))
+        assert "matmul" in text and "geo-mean" in text
+
+
+class TestFigure3:
+    def test_rows(self, runner):
+        rows = figure3(runner, BENCHES)
+        for r in rows:
+            assert 1 <= r.avg_threads <= r.max_threads
+
+    def test_render(self, runner):
+        assert "avg threads" in render_threads("Figure 3", figure3(runner, BENCHES))
+
+
+class TestFigure4:
+    def test_uses_nomold(self, runner):
+        rows = figure4(runner, BENCHES)
+        assert all(r.scheduler == "ilan-nomold" for r in rows)
+
+
+class TestFigure5:
+    def test_rows(self, runner):
+        rows = figure5(runner, BENCHES)
+        for r in rows:
+            assert r.baseline_overhead > 0
+            assert r.ilan_overhead > 0
+            assert r.normalized == pytest.approx(r.ilan_overhead / r.baseline_overhead)
+
+    def test_render(self, runner):
+        text = render_overheads("Figure 5", figure5(runner, BENCHES))
+        assert "normalized" in text
+
+
+class TestFigure6:
+    def test_both_schedulers(self, runner):
+        rows = figure6(runner, BENCHES)
+        assert set(rows) == {"ilan", "worksharing"}
+        assert len(rows["worksharing"]) == 2
+
+    def test_render(self, runner):
+        text = render_figure6(figure6(runner, BENCHES))
+        assert "worksharing" in text
+
+
+class TestTable1:
+    def test_rows(self, runner):
+        rows = table1(runner, BENCHES)
+        for r in rows:
+            assert r.baseline_std >= 0
+            assert r.ilan_std >= 0
+
+    def test_render(self, runner):
+        text = render_variability("Table 1", table1(runner, BENCHES))
+        assert "ilan std" in text
+
+
+def test_average_speedup_is_geomean(runner):
+    rows = figure2(runner, BENCHES)
+    expected = 1.0
+    for r in rows:
+        expected *= r.speedup
+    expected = expected ** (1 / len(rows))
+    assert average_speedup(rows) == pytest.approx(expected)

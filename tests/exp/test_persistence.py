@@ -1,0 +1,61 @@
+"""Unit tests for result persistence."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.exp.figures import SpeedupRow, ThreadsRow, figure2
+from repro.exp.persistence import load_results, results_to_dict, rows_to_dicts, save_results
+from repro.exp.runner import ExperimentConfig, Runner
+from repro.topology.presets import tiny_two_node
+
+
+@pytest.fixture(scope="module")
+def runner():
+    r = Runner(ExperimentConfig(seeds=2, timesteps=3, with_noise=False), topology=tiny_two_node())
+    r.cell("matmul", "baseline")
+    r.cell("matmul", "ilan")
+    return r
+
+
+class TestRows:
+    def test_roundtrip_speedup_rows(self, runner, tmp_path):
+        rows = figure2(runner, ["matmul"])
+        path = save_results(tmp_path / "fig2.json", rows)
+        loaded = load_results(path)
+        assert loaded == rows
+        assert isinstance(loaded[0], SpeedupRow)
+
+    def test_roundtrip_threads_rows(self, tmp_path):
+        rows = [ThreadsRow(benchmark="cg", avg_threads=25.0, max_threads=64)]
+        loaded = load_results(save_results(tmp_path / "t.json", rows))
+        assert loaded == rows
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(ExperimentError):
+            rows_to_dicts([{"not": "a dataclass"}])
+
+    def test_unknown_type_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"rows": [{"__type__": "Mystery"}]}')
+        with pytest.raises(ExperimentError):
+            load_results(path)
+
+
+class TestCellSummaries:
+    def test_results_to_dict_shape(self, runner):
+        payload = results_to_dict(runner)
+        assert payload["config"]["seeds"] == 2
+        assert "tiny-two-node" in payload["machine"]
+        cells = payload["cells"]
+        assert {(c["benchmark"], c["scheduler"]) for c in cells} >= {
+            ("matmul", "baseline"),
+            ("matmul", "ilan"),
+        }
+        for c in cells:
+            assert c["time_mean"] > 0
+            assert c["runs"] == 2
+
+    def test_dict_roundtrip(self, runner, tmp_path):
+        payload = results_to_dict(runner)
+        loaded = load_results(save_results(tmp_path / "cells.json", payload))
+        assert loaded == payload

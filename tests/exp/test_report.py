@@ -1,0 +1,97 @@
+"""Unit tests for the text renderers (synthetic rows, no simulation)."""
+
+import pytest
+
+from repro.exp.figures import (
+    OverheadRow,
+    SpeedupRow,
+    ThreadsRow,
+    VariabilityRow,
+    average_speedup,
+)
+from repro.exp.report import (
+    render_figure6,
+    render_overheads,
+    render_speedups,
+    render_threads,
+    render_variability,
+)
+
+
+def srow(bench, speedup, sched="ilan"):
+    return SpeedupRow(
+        benchmark=bench,
+        scheduler=sched,
+        baseline_mean=1.0,
+        baseline_std=0.01,
+        sched_mean=1.0 / speedup,
+        sched_std=0.01,
+        speedup=speedup,
+    )
+
+
+class TestSpeedupRendering:
+    def test_contains_all_rows_and_geomean(self):
+        rows = [srow("cg", 1.08), srow("sp", 1.458)]
+        text = render_speedups("My Figure", rows)
+        assert text.startswith("My Figure")
+        assert "cg" in text and "sp" in text
+        assert "geo-mean" in text
+        gm = average_speedup(rows)
+        assert f"{gm:.3f}" in text
+
+    def test_percent_column_sign(self):
+        text = render_speedups("F", [srow("matmul", 0.98)])
+        assert "-2.0" in text
+
+    def test_speedup_row_percent_property(self):
+        assert srow("x", 1.132).percent == pytest.approx(13.2)
+
+
+class TestThreadsRendering:
+    def test_rows_rendered(self):
+        rows = [
+            ThreadsRow(benchmark="cg", avg_threads=25.3, max_threads=64),
+            ThreadsRow(benchmark="ft", avg_threads=64.0, max_threads=64),
+        ]
+        text = render_threads("Fig3", rows)
+        assert "25.3" in text and "64.0" in text
+
+
+class TestOverheadRendering:
+    def test_counts_reductions(self):
+        rows = [
+            OverheadRow(benchmark="cg", baseline_overhead=0.010, ilan_overhead=0.005,
+                        normalized=0.5),
+            OverheadRow(benchmark="matmul", baseline_overhead=0.004, ilan_overhead=0.006,
+                        normalized=1.5),
+        ]
+        text = render_overheads("Fig5", rows)
+        assert "ILAN overhead lower in 1/2 benchmarks" in text
+        assert "0.500" in text and "1.500" in text
+
+
+class TestVariabilityRendering:
+    def test_counts_reductions(self):
+        rows = [
+            VariabilityRow(benchmark="ft", baseline_std=0.0117, ilan_std=0.0037,
+                           baseline_rel_std=0.01, ilan_rel_std=0.004),
+            VariabilityRow(benchmark="bt", baseline_std=0.0133, ilan_std=0.0197,
+                           baseline_rel_std=0.012, ilan_rel_std=0.018),
+        ]
+        text = render_variability("T1", rows)
+        assert "ILAN variance lower in 1/2 benchmarks" in text
+        assert "0.0037" in text
+
+
+class TestFigure6Rendering:
+    def test_both_columns(self):
+        rows = {
+            "ilan": [srow("cg", 1.08), srow("ft", 1.11)],
+            "worksharing": [srow("cg", 0.89, "worksharing"), srow("ft", 1.19, "worksharing")],
+        }
+        text = render_figure6(rows)
+        assert "worksharing" in text
+        assert "0.890" in text
+        assert "1.190" in text
+        assert "geo-mean" in text

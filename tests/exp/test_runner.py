@@ -1,0 +1,74 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.exp.runner import CellResult, ExperimentConfig, Runner, default_noise
+
+
+@pytest.fixture
+def runner(tiny):
+    return Runner(ExperimentConfig(seeds=2, timesteps=2, with_noise=False), topology=tiny)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = ExperimentConfig()
+        assert cfg.seeds == 30
+        assert cfg.with_noise
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEEDS", "5")
+        monkeypatch.setenv("REPRO_ITERS", "10")
+        cfg = ExperimentConfig.from_env()
+        assert cfg.seeds == 5
+        assert cfg.timesteps == 10
+
+    def test_full_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEEDS", "5")
+        monkeypatch.setenv("REPRO_FULL", "1")
+        cfg = ExperimentConfig.from_env()
+        assert cfg.seeds == 30
+        assert cfg.timesteps is None
+
+    def test_default_noise_params(self):
+        noise = default_noise()
+        assert noise.enabled
+        assert 0 < noise.slow_factor < 1
+
+
+class TestRunner:
+    def test_cell_runs_all_seeds(self, runner):
+        cell = runner.cell("matmul", "baseline")
+        assert isinstance(cell, CellResult)
+        assert len(cell.runs) == 2
+        assert cell.runs[0].seed == 0
+        assert cell.runs[1].seed == 1
+
+    def test_cell_cached(self, runner):
+        a = runner.cell("matmul", "baseline")
+        b = runner.cell("matmul", "baseline")
+        assert a is b
+
+    def test_clear_cache(self, runner):
+        a = runner.cell("matmul", "baseline")
+        runner.clear()
+        assert runner.cell("matmul", "baseline") is not a
+
+    def test_summaries(self, runner):
+        cell = runner.cell("matmul", "baseline")
+        s = cell.summary()
+        assert s.n == 2 and s.mean > 0
+        assert cell.overhead_summary().mean > 0
+        assert cell.weighted_threads().mean == pytest.approx(4.0)
+
+    def test_invalid_seed_count(self, tiny):
+        r = Runner(ExperimentConfig(seeds=0, timesteps=1), topology=tiny)
+        with pytest.raises(ExperimentError):
+            r.cell("matmul", "baseline")
+
+    def test_scheduler_dimension_distinct(self, runner):
+        base = runner.cell("matmul", "baseline")
+        ws = runner.cell("matmul", "worksharing")
+        assert base.scheduler == "baseline" and ws.scheduler == "worksharing"
+        assert base is not ws

@@ -1,0 +1,59 @@
+"""Unit tests for experiment statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.exp.stats import geo_mean, percent, speedup, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(np.std([1, 2, 3], ddof=1))
+        assert s.min == 1.0 and s.max == 3.0
+
+    def test_single_sample(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+
+    def test_rel_std(self):
+        s = summarize([1.0, 3.0])
+        assert s.rel_std == pytest.approx(s.std / 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize([])
+
+
+class TestSpeedup:
+    def test_direction(self):
+        assert speedup(2.0, 1.0) == 2.0  # scheduler twice as fast
+        assert speedup(1.0, 2.0) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ExperimentError):
+            speedup(1.0, -1.0)
+
+
+class TestGeoMean:
+    def test_value(self):
+        assert geo_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geo_mean([3.0]) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            geo_mean([])
+        with pytest.raises(ExperimentError):
+            geo_mean([1.0, 0.0])
+
+
+def test_percent():
+    assert percent(1.132) == pytest.approx(13.2)
+    assert percent(0.98) == pytest.approx(-2.0)

@@ -1,0 +1,71 @@
+"""Unit tests for the parameter-sweep utilities."""
+
+import pytest
+
+from repro.core.scheduler import IlanScheduler
+from repro.errors import ExperimentError
+from repro.exp.sweeps import render_sweep, sweep
+from repro.topology.presets import tiny_two_node
+from repro.workloads.synthetic import make_synthetic
+
+
+def factory():
+    return make_synthetic(timesteps=2, num_tasks=8, total_iters=64, region_mib=16)
+
+
+class TestSweep:
+    def test_rows_per_variant(self, tiny):
+        rows = sweep(
+            app_factory=factory,
+            schedulers={"base": "baseline", "ilan": IlanScheduler()},
+            seeds=2,
+            topology=tiny,
+        )
+        assert [r.label for r in rows] == ["base", "ilan"]
+        for r in rows:
+            assert r.time.n == 2
+            assert r.time.mean > 0
+            assert 1 <= r.threads_mean <= tiny.num_cores
+            assert r.overhead_mean > 0
+
+    def test_registry_names_accepted(self, tiny):
+        rows = sweep(
+            app_factory=factory,
+            schedulers={"ws": "worksharing"},
+            seeds=1,
+            topology=tiny,
+        )
+        assert rows[0].time.n == 1
+
+    def test_validation(self, tiny):
+        with pytest.raises(ExperimentError):
+            sweep(app_factory=factory, schedulers={}, topology=tiny)
+        with pytest.raises(ExperimentError):
+            sweep(app_factory=factory, schedulers={"a": "baseline"}, seeds=0, topology=tiny)
+
+
+class TestRender:
+    def test_plain_table(self, tiny):
+        rows = sweep(
+            app_factory=factory, schedulers={"base": "baseline"}, seeds=1, topology=tiny
+        )
+        text = render_sweep("Sweep", rows)
+        assert "variant" in text and "base" in text
+
+    def test_normalised_table(self, tiny):
+        rows = sweep(
+            app_factory=factory,
+            schedulers={"base": "baseline", "ilan": "ilan"},
+            seeds=1,
+            topology=tiny,
+        )
+        text = render_sweep("Sweep", rows, baseline="base")
+        assert "speedup" in text
+        assert "1.000" in text  # the baseline row against itself
+
+    def test_unknown_baseline_rejected(self, tiny):
+        rows = sweep(
+            app_factory=factory, schedulers={"base": "baseline"}, seeds=1, topology=tiny
+        )
+        with pytest.raises(ExperimentError):
+            render_sweep("Sweep", rows, baseline="nope")

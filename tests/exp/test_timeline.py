@@ -1,0 +1,67 @@
+"""Unit tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.exp.timeline import render_node_utilisation, render_taskloop_timeline
+from repro.runtime.runtime import OpenMPRuntime
+from repro.workloads.synthetic import make_synthetic
+
+
+@pytest.fixture
+def traced_run(tiny):
+    app = make_synthetic(timesteps=2, num_tasks=16, total_iters=64, region_mib=32)
+    rt = OpenMPRuntime(tiny, scheduler="ilan", seed=0, trace=True)
+    result = rt.run_application(app)
+    return rt.last_ctx, result, app
+
+
+class TestTimeline:
+    def test_renders_all_cores(self, traced_run, tiny):
+        ctx, result, app = traced_run
+        text = render_taskloop_timeline(ctx.trace, tiny, "synthetic.loop")
+        for core in tiny.core_ids():
+            assert f"\n{core:>6} |" in text
+        assert "legend" in text
+        assert "node 0" in text and "node 1" in text
+
+    def test_marks_present(self, traced_run, tiny):
+        ctx, _, _ = traced_run
+        text = render_taskloop_timeline(ctx.trace, tiny, "synthetic.loop")
+        assert "#" in text or "s" in text
+
+    def test_occurrence_selection(self, traced_run, tiny):
+        ctx, _, _ = traced_run
+        t0 = render_taskloop_timeline(ctx.trace, tiny, "synthetic.loop", occurrence=0)
+        t1 = render_taskloop_timeline(ctx.trace, tiny, "synthetic.loop", occurrence=1)
+        assert t0 != t1
+
+    def test_unknown_uid_rejected(self, traced_run, tiny):
+        ctx, _, _ = traced_run
+        with pytest.raises(ExperimentError):
+            render_taskloop_timeline(ctx.trace, tiny, "nope")
+
+    def test_occurrence_out_of_range(self, traced_run, tiny):
+        ctx, _, _ = traced_run
+        with pytest.raises(ExperimentError):
+            render_taskloop_timeline(ctx.trace, tiny, "synthetic.loop", occurrence=9)
+
+    def test_width_validation(self, traced_run, tiny):
+        ctx, _, _ = traced_run
+        with pytest.raises(ExperimentError):
+            render_taskloop_timeline(ctx.trace, tiny, "synthetic.loop", width=4)
+
+
+class TestUtilisation:
+    def test_renders_every_node(self, traced_run, tiny):
+        ctx, _, _ = traced_run
+        text = render_node_utilisation(ctx.trace, tiny, "synthetic.loop")
+        assert "node 0" in text and "node 1" in text
+        assert "%" in text
+
+    def test_fractions_bounded(self, traced_run, tiny):
+        ctx, _, _ = traced_run
+        text = render_node_utilisation(ctx.trace, tiny, "synthetic.loop")
+        for line in text.splitlines()[1:]:
+            pct = float(line.split("%")[0].split()[-1])
+            assert 0.0 <= pct <= 100.5

@@ -1,0 +1,98 @@
+"""End-to-end integration tests across the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.moldability import Phase
+from repro.core.scheduler import IlanScheduler
+from repro.runtime.runtime import OpenMPRuntime
+from repro.topology.presets import dual_socket_small, zen4_9354
+from repro.workloads.registry import make_benchmark
+from repro.workloads.synthetic import make_mixed, make_synthetic
+
+
+class TestWorkConservation:
+    """Every scheduler must execute exactly the same task set."""
+
+    def test_task_counts_equal_across_schedulers(self, small):
+        app = make_synthetic(timesteps=3, num_tasks=32, total_iters=128, region_mib=64)
+        counts = {}
+        for sched in ("baseline", "ilan", "ilan-nomold"):
+            result = OpenMPRuntime(small, scheduler=sched, seed=0).run_application(app)
+            counts[sched] = sum(r.tasks_executed for r in result.taskloops)
+        assert len(set(counts.values())) == 1
+
+    def test_clock_equals_sum_of_parts(self, small):
+        app = make_synthetic(timesteps=3, num_tasks=16, total_iters=64, region_mib=32)
+        app.serial_seconds = 0.01
+        result = OpenMPRuntime(small, scheduler="baseline", seed=0).run_application(app)
+        loops = sum(r.elapsed for r in result.taskloops)
+        serial = 0.01 * 3
+        assert result.total_time == pytest.approx(loops + serial, rel=1e-9)
+
+
+class TestIlanOnRealisticWorkloads:
+    def test_ilan_settles_on_zen4_cg(self):
+        """On the paper platform, CG's spmv must settle below full width."""
+        topo = zen4_9354()
+        app = make_benchmark("cg", timesteps=14)
+        sched = IlanScheduler()
+        rt = OpenMPRuntime(topo, scheduler=sched, seed=0)
+        result = rt.run_application(app)
+        ctrl = sched.controller("cg.spmv")
+        assert ctrl.phase is Phase.SETTLED
+        assert ctrl.settled_config.num_threads < 64
+        assert result.weighted_avg_threads < 60
+
+    def test_ilan_keeps_full_width_on_matmul(self):
+        topo = zen4_9354()
+        app = make_benchmark("matmul", timesteps=12)
+        sched = IlanScheduler()
+        OpenMPRuntime(topo, scheduler=sched, seed=0).run_application(app)
+        ctrl = sched.controller("matmul.tile_gemm")
+        assert ctrl.phase is Phase.SETTLED
+        assert ctrl.settled_config.num_threads == 64
+
+    def test_mixed_app_gets_per_loop_configs(self):
+        """The compute loop keeps the machine; the memory loop molds down."""
+        topo = dual_socket_small()
+        app = make_mixed(timesteps=14)
+        sched = IlanScheduler()
+        OpenMPRuntime(topo, scheduler=sched, seed=0).run_application(app)
+        compute = sched.controller("mixed.compute").settled_config
+        memory = sched.controller("mixed.memory").settled_config
+        assert compute.num_threads == 16
+        assert memory.num_threads < 16
+
+
+class TestFirstTouchDynamics:
+    def test_pages_homed_after_first_timestep(self, small):
+        app = make_synthetic(timesteps=2, num_tasks=16, total_iters=64, region_mib=64)
+        rt = OpenMPRuntime(small, scheduler="ilan", seed=0)
+        rt.run_application(app)
+        region = rt.last_ctx.mem.region("data")
+        assert region.pages.untouched_fraction() == 0.0
+
+    def test_ilan_homes_blocked_pages_across_nodes(self, small):
+        app = make_synthetic(
+            timesteps=2, num_tasks=16, total_iters=64, region_mib=64, blocked_fraction=1.0
+        )
+        rt = OpenMPRuntime(small, scheduler="ilan", seed=0)
+        rt.run_application(app)
+        region = rt.last_ctx.mem.region("data")
+        w = region.pages.region_home_weights()
+        # deterministic block distribution spreads homes over all 4 nodes
+        assert np.all(w > 0.1)
+
+
+class TestTraceIntegration:
+    def test_trace_covers_whole_run(self, small):
+        app = make_synthetic(timesteps=2, num_tasks=16, total_iters=64, region_mib=32)
+        rt = OpenMPRuntime(small, scheduler="baseline", seed=0, trace=True)
+        rt.run_application(app)
+        trace = rt.last_ctx.trace
+        assert len(trace.taskloops) == 2
+        assert len(trace.tasks) == 32
+        # every chunk index executed exactly once per encounter
+        first = [t for t in trace.tasks if t.start < trace.taskloops[0].end]
+        assert sorted(t.chunk_index for t in first) == list(range(16))

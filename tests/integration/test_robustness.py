@@ -1,0 +1,121 @@
+"""Robustness integration tests: noise under load, UMA, extreme shapes."""
+
+import numpy as np
+import pytest
+
+from repro.interference.noise import NoiseParams
+from repro.runtime.runtime import OpenMPRuntime
+from repro.runtime.schedulers import SCHEDULERS, create_scheduler
+from repro.topology.machine import MachineTopology
+from repro.topology.presets import single_node
+from repro.workloads.synthetic import make_synthetic
+
+ALL_SCHEDULERS = ("baseline", "worksharing", "ilan", "ilan-nomold", "affinity-hint")
+
+
+class TestNoiseUnderLoad:
+    """External noise firing while taskloops execute must not corrupt
+    accounting: work conservation and monotone clocks hold throughout."""
+
+    def test_heavy_noise_all_schedulers(self, small):
+        app = make_synthetic(timesteps=4, num_tasks=32, total_iters=128, region_mib=64)
+        noise = NoiseParams(
+            mean_interval=0.0005, mean_duration=0.001, slow_factor=0.4, cores_fraction=0.25
+        )
+        for sched in ALL_SCHEDULERS:
+            res = OpenMPRuntime(small, scheduler=sched, seed=1, noise=noise).run_application(app)
+            expected = 16 if sched == "worksharing" else 32
+            assert all(r.tasks_executed == expected for r in res.taskloops), sched
+            assert res.total_time > 0
+
+    def test_noise_only_slows_never_breaks_determinism(self, small):
+        app = make_synthetic(timesteps=3, num_tasks=16, total_iters=64, region_mib=32)
+        noise = NoiseParams(mean_interval=0.002, mean_duration=0.004, slow_factor=0.5)
+        a = OpenMPRuntime(small, scheduler="ilan", seed=2, noise=noise).run_application(app)
+        b = OpenMPRuntime(small, scheduler="ilan", seed=2, noise=noise).run_application(app)
+        assert a.total_time == b.total_time
+
+    def test_ilan_still_settles_under_noise(self, small):
+        from repro.core.moldability import Phase
+        from repro.core.scheduler import IlanScheduler
+
+        app = make_synthetic(
+            mem_frac=0.8, blocked_fraction=0.0, gamma=1.2, timesteps=14,
+            num_tasks=32, total_iters=128, region_mib=64,
+        )
+        noise = NoiseParams(mean_interval=0.01, mean_duration=0.003, slow_factor=0.6)
+        sched = IlanScheduler()
+        OpenMPRuntime(small, scheduler=sched, seed=0, noise=noise).run_application(app)
+        assert sched.controller("synthetic.loop").phase is Phase.SETTLED
+
+
+class TestUmaMachine:
+    """One NUMA node: hierarchical scheduling degenerates gracefully."""
+
+    @pytest.fixture
+    def uma8(self):
+        return single_node(8)
+
+    def test_all_schedulers_run(self, uma8):
+        app = make_synthetic(timesteps=3, num_tasks=16, total_iters=64, region_mib=32)
+        times = {}
+        for sched in ALL_SCHEDULERS:
+            res = OpenMPRuntime(uma8, scheduler=sched, seed=0).run_application(app)
+            times[sched] = res.total_time
+        # no scheduler catastrophically loses on UMA (< 25% spread)
+        assert max(times.values()) < 1.25 * min(times.values())
+
+    def test_ilan_uses_whole_machine(self, uma8):
+        app = make_synthetic(timesteps=6, num_tasks=16, total_iters=64, region_mib=32)
+        res = OpenMPRuntime(uma8, scheduler="ilan", seed=0).run_application(app)
+        assert res.weighted_avg_threads == pytest.approx(8.0)
+
+
+class TestExtremeShapes:
+    def test_single_core_machine(self):
+        topo = single_node(1)
+        app = make_synthetic(timesteps=2, num_tasks=8, total_iters=64, region_mib=16)
+        for sched in ("baseline", "ilan", "worksharing"):
+            res = OpenMPRuntime(topo, scheduler=sched, seed=0).run_application(app)
+            assert res.total_time > 0, sched
+
+    def test_many_small_nodes(self):
+        topo = MachineTopology.build(
+            num_sockets=2, nodes_per_socket=8, ccds_per_node=1, cores_per_ccd=1
+        )
+        app = make_synthetic(timesteps=3, num_tasks=32, total_iters=128, region_mib=32)
+        res = OpenMPRuntime(topo, scheduler="ilan", seed=0).run_application(app)
+        assert all(r.tasks_executed == 32 for r in res.taskloops)
+
+    def test_single_task_taskloop(self, small):
+        app = make_synthetic(timesteps=2, num_tasks=1, total_iters=1, region_mib=16)
+        for sched in ALL_SCHEDULERS:
+            res = OpenMPRuntime(small, scheduler=sched, seed=0).run_application(app)
+            assert all(r.tasks_executed == 1 for r in res.taskloops), sched
+
+    def test_heterogeneous_core_speeds(self):
+        """Static asymmetry: ILAN's node-perf ranking finds the fast nodes."""
+        from repro.core.scheduler import IlanScheduler
+        from repro.topology.machine import Core, MachineTopology
+
+        base = MachineTopology.build(
+            num_sockets=1, nodes_per_socket=2, ccds_per_node=1, cores_per_ccd=4
+        )
+        cores = tuple(
+            Core(c.core_id, c.ccd_id, c.node_id, c.socket_id,
+                 base_speed=1.0 if c.node_id == 1 else 0.6)
+            for c in base.cores
+        )
+        topo = MachineTopology.from_components(
+            name="asym", sockets=base.sockets, nodes=base.nodes, ccds=base.ccds, cores=cores
+        )
+        app = make_synthetic(
+            mem_frac=0.7, blocked_fraction=0.0, gamma=1.5, timesteps=14,
+            num_tasks=32, total_iters=128, region_mib=64,
+        )
+        sched = IlanScheduler()
+        OpenMPRuntime(topo, scheduler=sched, seed=0).run_application(app)
+        cfg = sched.controller("synthetic.loop").settled_config
+        if cfg.num_threads <= 4:
+            # a molded configuration must sit on the fast node
+            assert cfg.node_mask.indices() == [1]

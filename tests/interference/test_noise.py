@@ -1,0 +1,84 @@
+"""Unit tests for the external-noise process."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.interference.noise import NoiseParams, NoiseProcess
+from repro.sim.engine import Simulator
+from repro.sim.progress import CoreStates
+from repro.sim.rng import stream
+
+
+def make_proc(params):
+    sim = Simulator()
+    states = CoreStates(8, 2)
+    proc = NoiseProcess(sim, states, params, stream(3, "noise"))
+    return sim, states, proc
+
+
+class TestParams:
+    def test_disabled_by_default(self):
+        assert not NoiseParams().enabled
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            NoiseParams(mean_interval=-1.0)
+        with pytest.raises(SimulationError):
+            NoiseParams(mean_duration=0.0)
+        with pytest.raises(SimulationError):
+            NoiseParams(slow_factor=1.0)
+        with pytest.raises(SimulationError):
+            NoiseParams(cores_fraction=0.0)
+
+
+class TestProcess:
+    def test_disabled_schedules_nothing(self):
+        sim, _, proc = make_proc(NoiseParams())
+        proc.start()
+        assert sim.events.is_empty()
+
+    def test_enabled_schedules_onset(self):
+        sim, _, proc = make_proc(NoiseParams(mean_interval=0.1))
+        proc.start()
+        assert len(sim.events) == 1
+
+    def test_onset_slows_and_offset_restores(self):
+        params = NoiseParams(
+            mean_interval=0.01, mean_duration=0.01, slow_factor=0.5, cores_fraction=0.25
+        )
+        sim, states, proc = make_proc(params)
+        proc.start()
+        # drive the event loop until one episode has begun
+        for _ in range(100):
+            nxt = sim.events.next_time()
+            sim.clock.advance_to(nxt)
+            sim.run_due_events()
+            if proc.episodes >= 1 and np.any(states.speed < 1.0):
+                break
+        slowed = np.flatnonzero(states.speed < 1.0)
+        assert 1 <= slowed.size <= 2  # 25% of 8 cores
+        assert np.all(states.speed[slowed] == pytest.approx(0.5))
+        # run further until that episode ends
+        for _ in range(200):
+            nxt = sim.events.next_time()
+            sim.clock.advance_to(nxt)
+            sim.run_due_events()
+            if np.all(states.speed == 1.0):
+                break
+        assert np.all(states.speed == pytest.approx(1.0))
+
+    def test_deterministic_given_seed(self):
+        params = NoiseParams(mean_interval=0.02)
+        times = []
+        for _ in range(2):
+            sim, _, proc = make_proc(params)
+            proc.start()
+            times.append(sim.events.next_time())
+        assert times[0] == times[1]
+
+    def test_factors_copy(self):
+        sim, _, proc = make_proc(NoiseParams())
+        f = proc.factors
+        f[0] = 99.0
+        assert proc.factors[0] == 1.0

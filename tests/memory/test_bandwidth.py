@@ -1,0 +1,87 @@
+"""Unit tests for the bandwidth-contention model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.memory.bandwidth import BandwidthModel, contention_slowdown, node_demand
+from repro.topology.machine import GIB
+
+
+class TestBandwidthModel:
+    def test_from_topology(self, zen4):
+        bw = BandwidthModel.from_topology(zen4)
+        assert bw.num_nodes == 8
+        assert np.all(bw.node_bandwidth == 40.0 * GIB)
+
+    def test_validation(self):
+        with pytest.raises(MemoryModelError):
+            BandwidthModel(node_bandwidth=np.array([]))
+        with pytest.raises(MemoryModelError):
+            BandwidthModel(node_bandwidth=np.array([-1.0]))
+        with pytest.raises(MemoryModelError):
+            BandwidthModel(node_bandwidth=np.array([1.0]), core_bandwidth=0.0)
+
+    def test_frozen_vector(self, zen4):
+        bw = BandwidthModel.from_topology(zen4)
+        with pytest.raises(ValueError):
+            bw.node_bandwidth[0] = 1.0
+
+
+class TestNodeDemand:
+    def test_single_task(self):
+        w = np.array([[1.0, 0.0]])
+        d = node_demand(w, np.array([0.5]), core_bandwidth=10.0)
+        assert d[0] == pytest.approx(5.0)
+        assert d[1] == 0.0
+
+    def test_aggregates_tasks(self):
+        w = np.array([[1.0, 0.0], [0.5, 0.5]])
+        d = node_demand(w, np.array([1.0, 1.0]), core_bandwidth=10.0)
+        assert d[0] == pytest.approx(15.0)
+        assert d[1] == pytest.approx(5.0)
+
+    def test_zero_mem_tasks_demand_nothing(self):
+        w = np.array([[1.0, 0.0]])
+        d = node_demand(w, np.array([0.0]), core_bandwidth=10.0)
+        assert np.all(d == 0)
+
+    def test_shape_validation(self):
+        with pytest.raises(MemoryModelError):
+            node_demand(np.ones(3), np.ones(3), 1.0)
+        with pytest.raises(MemoryModelError):
+            node_demand(np.ones((2, 3)), np.ones(3), 1.0)
+
+
+class TestContentionSlowdown:
+    def test_below_saturation_no_penalty(self):
+        s = contention_slowdown(np.array([5.0]), np.array([10.0]))
+        assert s[0] == 1.0
+
+    def test_fair_sharing_gamma_zero(self):
+        s = contention_slowdown(np.array([20.0]), np.array([10.0]), gamma=0.0)
+        assert s[0] == pytest.approx(2.0)
+
+    def test_superlinear_penalty(self):
+        s0 = contention_slowdown(np.array([20.0]), np.array([10.0]), gamma=0.0)
+        s1 = contention_slowdown(np.array([20.0]), np.array([10.0]), gamma=1.0)
+        assert s1[0] == pytest.approx(4.0)
+        assert s1[0] > s0[0]
+
+    def test_per_node_gamma(self):
+        s = contention_slowdown(
+            np.array([20.0, 20.0]), np.array([10.0, 10.0]), gamma=np.array([0.0, 1.0])
+        )
+        assert s[0] == pytest.approx(2.0)
+        assert s[1] == pytest.approx(4.0)
+
+    def test_monotone_in_demand(self):
+        demands = [np.array([x]) for x in (10.0, 15.0, 30.0, 60.0)]
+        values = [contention_slowdown(d, np.array([10.0]), gamma=0.5)[0] for d in demands]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(MemoryModelError):
+            contention_slowdown(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(MemoryModelError):
+            contention_slowdown(np.array([1.0]), np.array([1.0]), gamma=-0.5)

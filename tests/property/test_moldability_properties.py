@@ -1,0 +1,114 @@
+"""Property-based tests for the moldability controller's invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import StealPolicyMode
+from repro.core.moldability import MoldabilityController, Phase
+from repro.core.ptt import TaskloopPTT
+from repro.topology.machine import MachineTopology
+from repro.topology.presets import default_distances
+
+
+def build_machine(nodes: int, cores_per_node: int) -> MachineTopology:
+    return MachineTopology.build(
+        num_sockets=1,
+        nodes_per_socket=nodes,
+        ccds_per_node=1,
+        cores_per_ccd=cores_per_node,
+    )
+
+
+@st.composite
+def machine_and_times(draw):
+    nodes = draw(st.integers(min_value=1, max_value=8))
+    cores = draw(st.integers(min_value=1, max_value=8))
+    # an arbitrary positive time per thread count, drawn lazily
+    time_seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return nodes, cores, time_seed
+
+
+@settings(max_examples=40, deadline=None)
+@given(machine_and_times())
+def test_every_configuration_is_well_formed(params):
+    """Whatever the (deterministic) time landscape, every configuration
+    the controller emits is legal: threads a positive multiple of g capped
+    at the machine, mask sized to the thread count, strict policy during
+    exploration, and the process settles within a bounded number of
+    encounters."""
+    nodes, cores, time_seed = params
+    topo = build_machine(nodes, cores)
+    g = cores  # node-size granularity, as in the paper
+    ctrl = MoldabilityController(
+        topology=topo, distances=default_distances(topo), granularity=g
+    )
+    ptt = TaskloopPTT(num_nodes=nodes)
+    rng = np.random.default_rng(time_seed)
+    times = {}
+
+    def time_for(threads: int) -> float:
+        if threads not in times:
+            times[threads] = float(rng.uniform(0.5, 2.0))
+        return times[threads]
+
+    m_max = topo.num_cores
+    encounters = 0
+    while ctrl.phase is not Phase.SETTLED and encounters < 30:
+        cfg = ctrl.next_config(ptt)
+        encounters += 1
+        assert 1 <= cfg.num_threads <= m_max
+        assert cfg.num_threads % g == 0
+        expected_nodes = -(-cfg.num_threads // cores)
+        assert cfg.node_mask.count() == expected_nodes
+        if ctrl.phase in (Phase.WARMUP, Phase.BOOTSTRAP, Phase.SEARCH, Phase.CONFIRM):
+            assert cfg.steal_policy is StealPolicyMode.STRICT
+        phase = ctrl.phase
+        recorded = ctrl.record_next
+        if recorded:
+            perf = np.full(nodes, np.nan)
+            for n in cfg.node_mask.indices():
+                perf[n] = 1.0
+            ptt.record(cfg.key, time_for(cfg.num_threads), perf)
+        ctrl.observe(recorded)
+        if phase is Phase.TRIAL:
+            ctrl.finish_trial(ptt)
+
+    assert ctrl.phase is Phase.SETTLED
+    # bounded exploration: warmup + 2 bootstrap + log2 search + confirm + trial
+    assert encounters <= 6 + int(np.log2(max(m_max // g, 1)))
+
+    settled = ctrl.settled_config
+    assert settled is not None
+    # the settled width is the best among explored strict configurations
+    per = ptt.best_time_per_thread_count(policy="strict")
+    assert per[settled.num_threads] == min(per.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+)
+def test_settled_config_is_stable(nodes, cores):
+    """After settling, next_config returns the identical configuration."""
+    topo = build_machine(nodes, cores)
+    ctrl = MoldabilityController(
+        topology=topo, distances=default_distances(topo), granularity=cores
+    )
+    ptt = TaskloopPTT(num_nodes=nodes)
+    for _ in range(30):
+        if ctrl.phase is Phase.SETTLED:
+            break
+        cfg = ctrl.next_config(ptt)
+        phase = ctrl.phase
+        recorded = ctrl.record_next
+        if recorded:
+            ptt.record(cfg.key, 1.0 / cfg.num_threads, None)
+        ctrl.observe(recorded)
+        if phase is Phase.TRIAL:
+            ctrl.finish_trial(ptt)
+    assert ctrl.phase is Phase.SETTLED
+    first = ctrl.next_config(ptt)
+    for _ in range(3):
+        assert ctrl.next_config(ptt) == first

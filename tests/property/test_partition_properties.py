@@ -1,0 +1,80 @@
+"""Property-based tests for taskloop partitioning and profile masses."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.runtime.taskloop import chunk_bounds, profile_mass
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    total=st.integers(min_value=1, max_value=20_000),
+    data=st.data(),
+)
+def test_chunk_bounds_partition_exactly(total, data):
+    n = data.draw(st.integers(min_value=1, max_value=total))
+    bounds = chunk_bounds(total, n)
+    assert len(bounds) == n
+    assert bounds[0][0] == 0
+    assert bounds[-1][1] == total
+    for (a, b), (c, d) in zip(bounds, bounds[1:]):
+        assert b == c
+    sizes = [hi - lo for lo, hi in bounds]
+    assert max(sizes) - min(sizes) <= 1
+    assert all(s >= 1 for s in sizes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    total=st.integers(min_value=1, max_value=10_000),
+    data=st.data(),
+)
+def test_chunk_sizes_monotone_nonincreasing(total, data):
+    """LLVM gives the remainder to the first chunks."""
+    n = data.draw(st.integers(min_value=1, max_value=total))
+    sizes = [hi - lo for lo, hi in chunk_bounds(total, n)]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+weights_strategy = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=128),
+    elements=st.floats(min_value=0.001, max_value=100.0),
+)
+
+
+@settings(max_examples=50)
+@given(weights=weights_strategy, cuts=st.integers(min_value=1, max_value=20))
+def test_profile_mass_tiles_to_one(weights, cuts):
+    w = weights / weights.sum()
+    edges = np.linspace(0.0, 1.0, cuts + 1)
+    total = sum(profile_mass(w, float(a), float(b)) for a, b in zip(edges, edges[1:]))
+    assert abs(total - 1.0) < 1e-9
+
+
+@settings(max_examples=50)
+@given(
+    weights=weights_strategy,
+    lo=st.floats(min_value=0.0, max_value=0.99),
+    span=st.floats(min_value=0.001, max_value=1.0),
+)
+def test_profile_mass_nonnegative_and_bounded(weights, lo, span):
+    w = weights / weights.sum()
+    hi = min(lo + span, 1.0)
+    if hi <= lo:
+        return
+    m = profile_mass(w, lo, hi)
+    assert 0.0 <= m <= 1.0 + 1e-9
+
+
+@settings(max_examples=50)
+@given(weights=weights_strategy, lo=st.floats(0.0, 0.5), mid=st.floats(0.5, 0.8), hi=st.floats(0.8, 1.0))
+def test_profile_mass_additive(weights, lo, mid, hi):
+    if not (lo < mid < hi):
+        return
+    w = weights / weights.sum()
+    whole = profile_mass(w, lo, hi)
+    parts = profile_mass(w, lo, mid) + profile_mass(w, mid, hi)
+    assert abs(whole - parts) < 1e-9

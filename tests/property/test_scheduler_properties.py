@@ -1,0 +1,97 @@
+"""Property-based tests for scheduler invariants (Algorithm 1, distribution)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distribution import distribute_chunks
+from repro.core.selection import initial_threads, select_next_threads
+from repro.runtime.task import Chunk, TaskloopWork
+from repro.memory.access import AccessPattern
+from repro.memory.allocator import MemoryMap
+
+
+def make_chunks(n):
+    mm = MemoryMap(num_nodes=8, page_bytes=1024)
+    region = mm.allocate("r", 64 * 1024)
+    work = TaskloopWork(
+        uid="p.loop", name="loop", total_iters=max(n, 1), num_tasks=max(n, 1),
+        work_seconds=1.0, mem_frac=0.5, weights=np.ones(16), region=region,
+        pattern=AccessPattern.blocked(),
+    )
+    return [
+        Chunk(work=work, index=i, lo=i, hi=i + 1, lo_frac=i / n, hi_frac=(i + 1) / n,
+              body_time=0.001)
+        for i in range(n)
+    ]
+
+
+@settings(max_examples=60)
+@given(
+    n_chunks=st.integers(min_value=1, max_value=200),
+    data=st.data(),
+)
+def test_distribution_partitions_chunks(n_chunks, data):
+    n_nodes = data.draw(st.integers(min_value=1, max_value=8))
+    nodes = data.draw(
+        st.lists(st.integers(0, 7), min_size=n_nodes, max_size=n_nodes, unique=True)
+    )
+    frac = data.draw(st.floats(min_value=0.0, max_value=1.0))
+    chunks = make_chunks(n_chunks)
+    per_node = distribute_chunks(chunks, nodes, strict_fraction=frac)
+    # every chunk assigned exactly once
+    assigned = [c for nc in per_node.values() for c in nc]
+    assert sorted(c.index for c in assigned) == list(range(n_chunks))
+    # near-even split
+    sizes = [len(per_node[n]) for n in nodes]
+    assert max(sizes) - min(sizes) <= 1
+    # block contiguity: each node's indices are consecutive
+    for nc in per_node.values():
+        idx = [c.index for c in nc]
+        assert idx == list(range(idx[0], idx[0] + len(idx))) if idx else True
+    # strict fraction respected per node
+    for nc in per_node.values():
+        expected = int(frac * len(nc))
+        assert sum(c.strict for c in nc) == expected
+
+
+@settings(max_examples=80)
+@given(
+    g_exp=st.integers(min_value=0, max_value=3),
+    m_exp=st.integers(min_value=0, max_value=4),
+    opt_idx=st.integers(min_value=0, max_value=100),
+)
+def test_algorithm1_always_terminates_at_local_optimum(g_exp, m_exp, opt_idx):
+    """For any unimodal time function, the search terminates in a bounded
+    number of steps on a configuration, and always on the measured best."""
+    g = 2**g_exp
+    m_max = g * (2**m_exp)
+    levels = list(range(g, m_max + 1, g))
+    optimum = levels[opt_idx % len(levels)]
+
+    def time_for(threads):
+        return abs(threads - optimum) + 1.0
+
+    per = {m_max: time_for(m_max)}
+    second = initial_threads(2, m_max, g)
+    finished = False
+    if second == m_max:
+        finished = True
+        best = m_max
+    else:
+        per[second] = time_for(second)
+        cur, k = second, 3
+        for _ in range(32):
+            sel = select_next_threads(per, cur, k, g)
+            if sel.search_finished:
+                finished = True
+                best = sel.threads
+                break
+            cur = sel.threads
+            per[cur] = time_for(cur)
+            k += 1
+    assert finished
+    # the selected config must be the best among *explored* configs
+    assert per[best] == min(per.values())
+    # bounded exploration: at most ~log2 probes
+    assert len(per) <= m_exp + 3

@@ -1,0 +1,109 @@
+"""Unit tests for the baseline and work-sharing schedulers + registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.context import RunContext
+from repro.runtime.executor import TaskloopExecutor
+from repro.runtime.schedulers import (
+    SCHEDULERS,
+    BaselineScheduler,
+    WorksharingScheduler,
+    create_scheduler,
+)
+from repro.runtime.worksteal import NoStealPolicy, RandomStealPolicy
+from tests.conftest import make_work
+
+
+class TestRegistry:
+    def test_known_schedulers(self):
+        for name in ("baseline", "worksharing", "ilan", "ilan-nomold"):
+            sched = create_scheduler(name)
+            assert sched.name == name
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(ConfigurationError):
+            create_scheduler("magic")
+
+    def test_registry_contains_builtin(self):
+        create_scheduler("baseline")
+        assert "baseline" in SCHEDULERS
+
+
+class TestBaseline:
+    def test_uses_all_cores(self, small_ctx):
+        work = make_work(small_ctx, num_tasks=16, total_iters=64)
+        plan = BaselineScheduler().plan(work, small_ctx)
+        assert plan.worker_cores == list(range(16))
+        assert plan.num_threads == 16
+        assert isinstance(plan.policy, RandomStealPolicy)
+        assert plan.owner_lifo
+
+    def test_random_placement_spreads(self, small_ctx):
+        work = make_work(small_ctx, num_tasks=32, total_iters=64)
+        plan = BaselineScheduler().plan(work, small_ctx)
+        used = [c for c, chunks in plan.initial_queues.items() if chunks]
+        assert len(used) > 3  # with 32 random tasks over 16 queues
+
+    def test_placement_varies_with_seed(self, small):
+        def placement(seed):
+            ctx = RunContext.create(small, seed=seed)
+            work = make_work(ctx, num_tasks=16, total_iters=64)
+            plan = BaselineScheduler().plan(work, ctx)
+            return tuple(
+                tuple(c.index for c in plan.initial_queues[core]) for core in range(16)
+            )
+
+        assert placement(1) != placement(2)
+
+    def test_executes(self, small_ctx):
+        work = make_work(small_ctx, num_tasks=16, total_iters=64)
+        plan = BaselineScheduler().plan(work, small_ctx)
+        result = TaskloopExecutor(small_ctx).run(work, plan)
+        assert result.tasks_executed == 16
+        assert result.steal_policy == "random"
+
+
+class TestWorksharing:
+    def test_one_block_per_thread(self, small_ctx):
+        work = make_work(small_ctx, num_tasks=8, total_iters=64)
+        plan = WorksharingScheduler().plan(work, small_ctx)
+        assert plan.static
+        assert isinstance(plan.policy, NoStealPolicy)
+        assert all(len(chunks) == 1 for chunks in plan.initial_queues.values())
+        assert plan.total_chunks == 16
+
+    def test_blocks_in_iteration_order(self, small_ctx):
+        work = make_work(small_ctx, num_tasks=8, total_iters=64)
+        plan = WorksharingScheduler().plan(work, small_ctx)
+        for core in range(16):
+            (chunk,) = plan.initial_queues[core]
+            assert chunk.index == core
+
+    def test_fewer_iters_than_threads(self, small_ctx):
+        work = make_work(small_ctx, num_tasks=4, total_iters=4)
+        plan = WorksharingScheduler().plan(work, small_ctx)
+        assert plan.total_chunks == 4
+
+    def test_executes_without_steals(self, small_ctx):
+        work = make_work(small_ctx, num_tasks=8, total_iters=64)
+        plan = WorksharingScheduler().plan(work, small_ctx)
+        result = TaskloopExecutor(small_ctx).run(work, plan)
+        assert result.tasks_executed == 16
+        assert result.steals_local == 0
+        assert result.steals_remote == 0
+        assert result.overhead.fork > 0
+
+
+class TestRegistryKwargs:
+    def test_create_with_kwargs(self):
+        sched = create_scheduler("ilan", granularity=4, strict_fraction=0.5)
+        assert sched.granularity == 4
+        assert sched.strict_fraction == 0.5
+
+    def test_create_baseline_with_affinity(self):
+        sched = create_scheduler("baseline", num_threads=8, proc_bind="spread")
+        assert sched.num_threads == 8
+
+    def test_affinity_hint_registered(self):
+        assert create_scheduler("affinity-hint").name == "affinity-hint"

@@ -1,0 +1,100 @@
+"""Unit tests for taskloop partitioning and the work-density profile."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeModelError
+from repro.runtime.taskloop import chunk_bounds, partition, profile_mass
+from tests.conftest import make_work
+
+
+class TestChunkBounds:
+    def test_even_split(self):
+        assert chunk_bounds(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_goes_first(self):
+        bounds = chunk_bounds(10, 4)
+        sizes = [hi - lo for lo, hi in bounds]
+        assert sizes == [3, 3, 2, 2]
+
+    def test_covers_exactly(self):
+        for total, n in [(100, 7), (64, 64), (5, 1)]:
+            bounds = chunk_bounds(total, n)
+            assert bounds[0][0] == 0
+            assert bounds[-1][1] == total
+            for (a, b), (c, d) in zip(bounds, bounds[1:]):
+                assert b == c
+
+    def test_validation(self):
+        with pytest.raises(RuntimeModelError):
+            chunk_bounds(4, 0)
+        with pytest.raises(RuntimeModelError):
+            chunk_bounds(4, 5)
+
+
+class TestProfileMass:
+    def test_uniform_mass_proportional(self):
+        w = np.ones(8) / 8
+        assert profile_mass(w, 0.0, 0.5) == pytest.approx(0.5)
+        assert profile_mass(w, 0.25, 0.75) == pytest.approx(0.5)
+
+    def test_partial_cells(self):
+        w = np.ones(4) / 4
+        assert profile_mass(w, 0.0, 0.125) == pytest.approx(0.125)
+
+    def test_tiling_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        w = rng.random(32)
+        w /= w.sum()
+        cuts = np.linspace(0, 1, 11)
+        total = sum(profile_mass(w, a, b) for a, b in zip(cuts, cuts[1:]))
+        assert total == pytest.approx(1.0)
+
+    def test_empty_span(self):
+        w = np.ones(4) / 4
+        assert profile_mass(w, 0.5, 0.5) == 0.0
+
+    def test_bad_span(self):
+        with pytest.raises(RuntimeModelError):
+            profile_mass(np.ones(4), 0.6, 0.4)
+
+
+class TestPartition:
+    def test_chunk_count_and_coverage(self, tiny_ctx):
+        w = make_work(tiny_ctx, total_iters=64, num_tasks=8)
+        chunks = partition(w)
+        assert len(chunks) == 8
+        assert chunks[0].lo == 0
+        assert chunks[-1].hi == 64
+        assert all(c.index == i for i, c in enumerate(chunks))
+
+    def test_body_times_sum_to_work(self, tiny_ctx):
+        w = make_work(tiny_ctx, work_seconds=0.5, total_iters=64, num_tasks=7)
+        chunks = partition(w)
+        assert sum(c.body_time for c in chunks) == pytest.approx(0.5)
+
+    def test_imbalanced_profile_respected(self, tiny_ctx):
+        weights = np.concatenate([np.ones(32), np.ones(32) * 3.0])
+        w = make_work(tiny_ctx, weights=weights, total_iters=64, num_tasks=2)
+        chunks = partition(w)
+        assert chunks[1].body_time == pytest.approx(3 * chunks[0].body_time)
+
+    def test_override_chunk_count(self, tiny_ctx):
+        w = make_work(tiny_ctx, total_iters=64, num_tasks=8)
+        chunks = partition(w, num_chunks=4)
+        assert len(chunks) == 4
+
+    def test_all_bodies_positive(self, tiny_ctx):
+        weights = np.zeros(64)
+        weights[0] = 1.0  # pathological: all mass in one cell
+        w = make_work(tiny_ctx, weights=weights, total_iters=64, num_tasks=8)
+        chunks = partition(w)
+        assert all(c.body_time > 0 for c in chunks)
+
+    def test_fracs_match_iteration_space(self, tiny_ctx):
+        w = make_work(tiny_ctx, total_iters=10, num_tasks=3)
+        chunks = partition(w)
+        assert chunks[0].lo_frac == 0.0
+        assert chunks[-1].hi_frac == pytest.approx(1.0)
+        for c in chunks:
+            assert c.lo_frac == pytest.approx(c.lo / 10)

@@ -1,0 +1,112 @@
+"""Unit tests for the clock and event queue."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Clock, EventQueue, Simulator
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_advance(self):
+        c = Clock()
+        c.advance(1.5)
+        c.advance(0.5)
+        assert c.now == 2.0
+
+    def test_advance_to(self):
+        c = Clock()
+        c.advance_to(3.0)
+        assert c.now == 3.0
+        c.advance_to(3.0)  # idempotent
+        assert c.now == 3.0
+
+    def test_no_negative_advance(self):
+        c = Clock()
+        with pytest.raises(SimulationError):
+            c.advance(-1.0)
+        with pytest.raises(SimulationError):
+            c.advance(math.nan)
+
+    def test_no_time_travel(self):
+        c = Clock(start=5.0)
+        with pytest.raises(SimulationError):
+            c.advance_to(1.0)
+
+    def test_bad_start(self):
+        with pytest.raises(SimulationError):
+            Clock(start=-1.0)
+
+
+class TestEventQueue:
+    def test_ordering(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(2.0, lambda: fired.append("b"))
+        q.schedule(1.0, lambda: fired.append("a"))
+        q.schedule(3.0, lambda: fired.append("c"))
+        for ev in q.pop_due(2.5):
+            ev.action()
+        assert fired == ["a", "b"]
+        assert q.next_time() == 3.0
+
+    def test_stable_for_ties(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append(1))
+        q.schedule(1.0, lambda: fired.append(2))
+        for ev in q.pop_due(1.0):
+            ev.action()
+        assert fired == [1, 2]
+
+    def test_cancel(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        ev.cancel()
+        assert q.is_empty()
+        assert q.next_time() == math.inf
+        assert q.pop_due(5.0) == []
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        a = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        a.cancel()
+        assert len(q) == 1
+
+    def test_empty_next_time(self):
+        assert EventQueue().next_time() == math.inf
+
+    def test_rejects_bad_time(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule(-1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            q.schedule(math.inf, lambda: None)
+
+
+class TestSimulator:
+    def test_schedule_in_and_run_due(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_in(1.0, lambda: fired.append("x"))
+        sim.clock.advance(1.0)
+        assert sim.run_due_events() == 1
+        assert fired == ["x"]
+
+    def test_events_not_due_stay(self):
+        sim = Simulator()
+        sim.schedule_in(2.0, lambda: None)
+        sim.clock.advance(1.0)
+        assert sim.run_due_events() == 0
+        assert len(sim.events) == 1
+
+    def test_bump_counters(self):
+        sim = Simulator()
+        sim.bump("steals")
+        sim.bump("steals", 2)
+        assert sim.stats["steals"] == 3

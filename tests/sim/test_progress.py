@@ -1,0 +1,147 @@
+"""Unit tests for the vectorised per-core progress state."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.progress import CoreStates
+
+
+def start_simple(states, core, body=1.0, overhead=0.0, mem_frac=0.0, weights=None):
+    w = weights if weights is not None else np.zeros(states.num_nodes)
+    states.start(
+        core, body=body, overhead=overhead, mem_frac=mem_frac, gamma=0.0,
+        weights=w, payload=f"task-{core}",
+    )
+
+
+@pytest.fixture
+def states():
+    return CoreStates(num_cores=4, num_nodes=2)
+
+
+class TestStartFinish:
+    def test_start_marks_active(self, states):
+        start_simple(states, 0)
+        assert states.active[0]
+        assert not states.active[1]
+        assert states.any_active()
+
+    def test_double_start_rejected(self, states):
+        start_simple(states, 0)
+        with pytest.raises(SimulationError):
+            start_simple(states, 0)
+
+    def test_finish_returns_payload(self, states):
+        start_simple(states, 2)
+        assert states.finish(2) == "task-2"
+        assert not states.active[2]
+
+    def test_finish_idle_rejected(self, states):
+        with pytest.raises(SimulationError):
+            states.finish(1)
+
+    def test_validation(self, states):
+        with pytest.raises(SimulationError):
+            start_simple(states, 9)
+        with pytest.raises(SimulationError):
+            states.start(0, body=-1.0, overhead=0.0, mem_frac=0.0, gamma=0.0,
+                         weights=np.zeros(2), payload=None)
+        with pytest.raises(SimulationError):
+            states.start(0, body=1.0, overhead=0.0, mem_frac=2.0, gamma=0.0,
+                         weights=np.zeros(2), payload=None)
+        with pytest.raises(SimulationError):
+            states.start(0, body=1.0, overhead=0.0, mem_frac=0.5, gamma=0.0,
+                         weights=np.zeros(3), payload=None)
+
+
+class TestCompletionTimes:
+    def test_idle_cores_infinite(self, states):
+        t = states.completion_times(np.ones(4))
+        assert np.all(np.isinf(t))
+
+    def test_plain_body(self, states):
+        start_simple(states, 0, body=2.0)
+        t = states.completion_times(np.ones(4))
+        assert t[0] == pytest.approx(2.0)
+
+    def test_slowdown_scales_body(self, states):
+        start_simple(states, 0, body=2.0)
+        s = np.ones(4)
+        s[0] = 3.0
+        assert states.completion_times(s)[0] == pytest.approx(6.0)
+
+    def test_overhead_not_slowed(self, states):
+        start_simple(states, 0, body=2.0, overhead=1.0)
+        s = np.ones(4)
+        s[0] = 2.0
+        assert states.completion_times(s)[0] == pytest.approx(1.0 + 4.0)
+
+    def test_speed_scales_everything(self):
+        states = CoreStates(2, 1, base_speed=np.array([2.0, 1.0]))
+        start_simple(states, 0, body=2.0, overhead=1.0, weights=np.zeros(1))
+        assert states.completion_times(np.ones(2))[0] == pytest.approx(1.5)
+
+
+class TestAdvance:
+    def test_completion_detection(self, states):
+        start_simple(states, 0, body=1.0)
+        start_simple(states, 1, body=2.0)
+        done = states.advance(1.0, np.ones(4))
+        assert done == [0]
+        states.finish(0)  # caller contract: retire completed cores
+        done = states.advance(1.0, np.ones(4))
+        assert done == [1]
+
+    def test_partial_progress(self, states):
+        start_simple(states, 0, body=2.0)
+        assert states.advance(0.5, np.ones(4)) == []
+        assert states.rem[0] == pytest.approx(1.5)
+
+    def test_overhead_burns_first(self, states):
+        start_simple(states, 0, body=1.0, overhead=0.5)
+        states.advance(0.25, np.ones(4))
+        assert states.ov[0] == pytest.approx(0.25)
+        assert states.rem[0] == pytest.approx(1.0)
+        states.advance(0.5, np.ones(4))
+        assert states.ov[0] == pytest.approx(0.0)
+        assert states.rem[0] == pytest.approx(0.75)
+
+    def test_zero_dt_noop(self, states):
+        start_simple(states, 0)
+        assert states.advance(0.0, np.ones(4)) == []
+
+    def test_bad_dt(self, states):
+        with pytest.raises(SimulationError):
+            states.advance(-1.0, np.ones(4))
+        with pytest.raises(SimulationError):
+            states.advance(math.inf, np.ones(4))
+
+    def test_busy_and_work_accounting(self, states):
+        start_simple(states, 0, body=1.0)
+        states.advance(1.0, np.ones(4))
+        assert states.busy_time[0] == pytest.approx(1.0)
+        assert states.work_done[0] == pytest.approx(1.0)
+        assert states.busy_time[1] == 0.0
+
+
+class TestNoise:
+    def test_set_noise_scales_speed(self, states):
+        states.set_noise(np.array([0.5, 1.0, 1.0, 1.0]))
+        assert states.speed[0] == 0.5
+        states.set_noise(np.ones(4))
+        assert states.speed[0] == 1.0
+
+    def test_noise_validation(self, states):
+        with pytest.raises(SimulationError):
+            states.set_noise(np.array([0.0, 1.0, 1.0, 1.0]))
+        with pytest.raises(SimulationError):
+            states.set_noise(np.ones(3))
+
+    def test_idle_cores_helper(self, states):
+        start_simple(states, 1)
+        eligible = np.array([True, True, True, False])
+        assert states.idle_cores(eligible) == [0, 2]
+        assert states.idle_cores() == [0, 2, 3]

@@ -1,0 +1,80 @@
+"""Unit tests for the SLIT-style NUMA distance matrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.distances import LOCAL_DISTANCE, DistanceMatrix
+
+
+class TestConstruction:
+    def test_from_topology_zen4(self, zen4):
+        d = DistanceMatrix.from_topology(zen4)
+        assert d.num_nodes == 8
+        assert d.distance(0, 0) == LOCAL_DISTANCE
+        assert d.distance(0, 1) == 11  # same socket
+        assert d.distance(0, 4) == 14  # cross socket
+
+    def test_symmetry(self, zen4):
+        d = DistanceMatrix.from_topology(zen4)
+        assert np.allclose(d.matrix, d.matrix.T)
+
+    def test_custom_distances(self, small):
+        d = DistanceMatrix.from_topology(small, intra_socket=12, inter_socket=20)
+        assert d.distance(0, 1) == 12
+        assert d.distance(0, 2) == 20
+
+    def test_invalid_ordering_rejected(self, small):
+        with pytest.raises(TopologyError):
+            DistanceMatrix.from_topology(small, intra_socket=40, inter_socket=20)
+        with pytest.raises(TopologyError):
+            DistanceMatrix.from_topology(small, intra_socket=5, inter_socket=20)
+
+    def test_bad_matrix_rejected(self):
+        with pytest.raises(TopologyError):
+            DistanceMatrix(matrix=np.array([[10.0, 16.0]]))  # not square
+        with pytest.raises(TopologyError):
+            DistanceMatrix(matrix=np.array([[12.0]]))  # bad diagonal
+        m = np.array([[10.0, 16.0], [20.0, 10.0]])
+        with pytest.raises(TopologyError):
+            DistanceMatrix(matrix=m)  # asymmetric
+        m = np.array([[10.0, 5.0], [5.0, 10.0]])
+        with pytest.raises(TopologyError):
+            DistanceMatrix(matrix=m)  # remote below local
+
+    def test_matrix_is_frozen(self, zen4):
+        d = DistanceMatrix.from_topology(zen4)
+        with pytest.raises(ValueError):
+            d.matrix[0, 1] = 99
+
+
+class TestLatencyFactors:
+    def test_local_factor_is_one(self, small):
+        d = DistanceMatrix.from_topology(small)
+        assert d.latency_factor(2, 2) == 1.0
+
+    def test_remote_factors(self, small):
+        d = DistanceMatrix.from_topology(small)
+        assert d.latency_factor(0, 1) == pytest.approx(1.1)
+        assert d.latency_factor(0, 2) == pytest.approx(1.4)
+
+    def test_factors_vector(self, small):
+        d = DistanceMatrix.from_topology(small)
+        vec = d.latency_factors_from(0)
+        assert vec.shape == (4,)
+        assert vec[0] == 1.0
+        assert vec[3] == pytest.approx(1.4)
+
+    def test_nearest_nodes_order(self, zen4):
+        d = DistanceMatrix.from_topology(zen4)
+        order = d.nearest_nodes(5)
+        assert order[0] == 5
+        # same-socket nodes (4..7) come before the other socket
+        assert set(order[:4]) == {4, 5, 6, 7}
+
+    def test_unknown_node_raises(self, small):
+        d = DistanceMatrix.from_topology(small)
+        with pytest.raises(TopologyError):
+            d.distance(0, 9)
+        with pytest.raises(TopologyError):
+            d.nearest_nodes(-1)

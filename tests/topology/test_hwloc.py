@@ -1,0 +1,102 @@
+"""Unit tests for the textual topology format."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.hwloc import format_size, format_topology, parse_size, parse_topology
+from repro.topology.machine import GIB, MIB
+
+
+class TestSizes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("96G", 96 * GIB), ("32M", 32 * MIB), ("4096", 4096), ("1T", 1024 * GIB), ("1.5G", int(1.5 * GIB))],
+    )
+    def test_parse(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(TopologyError):
+            parse_size("lots")
+        with pytest.raises(TopologyError):
+            parse_size("12X")
+
+    @pytest.mark.parametrize(
+        "num,expected", [(96 * GIB, "96G"), (32 * MIB, "32M"), (1536, "1.5K" if False else "1536")]
+    )
+    def test_format(self, num, expected):
+        assert format_size(num) == expected
+
+    def test_roundtrip(self):
+        for v in (1, 1024, 7 * MIB, 3 * GIB):
+            assert parse_size(format_size(v)) == v
+
+
+class TestRoundTrip:
+    def test_zen4_roundtrip(self, zen4):
+        text = format_topology(zen4)
+        parsed = parse_topology(text)
+        assert parsed.name == zen4.name
+        assert parsed.num_sockets == zen4.num_sockets
+        assert parsed.num_nodes == zen4.num_nodes
+        assert parsed.num_ccds == zen4.num_ccds
+        assert parsed.num_cores == zen4.num_cores
+        for a, b in zip(parsed.nodes, zen4.nodes):
+            assert a.core_ids == b.core_ids
+            assert a.mem_bytes == b.mem_bytes
+            assert a.mem_bandwidth == b.mem_bandwidth
+
+    def test_tiny_roundtrip(self, tiny):
+        assert format_topology(parse_topology(format_topology(tiny))) == format_topology(tiny)
+
+
+class TestParse:
+    def test_minimal(self):
+        text = """
+        machine mini
+          socket 0
+            node 0 mem=2G bw=4G
+              ccd 0 l3=16M
+                cores 0-1
+        """
+        topo = parse_topology(text)
+        assert topo.name == "mini"
+        assert topo.num_cores == 2
+        assert topo.nodes[0].mem_bytes == 2 * GIB
+        assert topo.ccds[0].l3_bytes == 16 * MIB
+
+    def test_comments_and_blanks_ignored(self):
+        text = "machine m\n# comment\n\nsocket 0\nnode 0 mem=1G bw=1G\nccd 0 l3=1M\ncores 0\n"
+        assert parse_topology(text).num_cores == 1
+
+    def test_core_list_forms(self):
+        text = """
+        machine m
+          socket 0
+            node 0 mem=1G bw=1G
+              ccd 0 l3=1M
+                cores 0,2-3,1
+        """
+        assert parse_topology(text).num_cores == 4
+
+    def test_errors(self):
+        with pytest.raises(TopologyError):
+            parse_topology("machine empty\n")
+        with pytest.raises(TopologyError):
+            parse_topology("machine m\nnode 0 mem=1G bw=1G\n")  # node outside socket
+        with pytest.raises(TopologyError):
+            parse_topology("machine m\nsocket 0\nnode 0 mem=1G bw=1G\ncores 0\n")  # cores outside ccd
+        with pytest.raises(TopologyError):
+            parse_topology(
+                "machine m\nsocket 0\nnode 0 mem=1G bw=1G\nccd 0 l3=1M\ncores 0\ncores 0\n"
+            )  # duplicate core
+        with pytest.raises(TopologyError):
+            parse_topology(
+                "machine m\nsocket 0\nnode 0 mem=1G bw=1G\nccd 0 l3=1M\ncores 1\n"
+            )  # non-dense ids
+        with pytest.raises(TopologyError):
+            parse_topology(
+                "machine m\nsocket 0\nnode 0 mem=1G bw=1G\nccd 0 l3=1M\ncores 3-1\n"
+            )  # descending range
+        with pytest.raises(TopologyError):
+            parse_topology("machine m\nwidget 1\n")  # unknown directive

@@ -1,0 +1,71 @@
+"""Unit tests for workload serialisation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.runtime.runtime import OpenMPRuntime
+from repro.workloads.registry import PAPER_ORDER, make_benchmark
+from repro.workloads.serialize import (
+    application_from_dict,
+    application_to_dict,
+    load_application,
+    save_application,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_every_benchmark_roundtrips(self, name):
+        app = make_benchmark(name)
+        clone = application_from_dict(application_to_dict(app))
+        assert clone.name == app.name
+        assert clone.timesteps == app.timesteps
+        assert len(clone.loops) == len(app.loops)
+        for a, b in zip(clone.loops, app.loops):
+            assert a == b
+        for a, b in zip(clone.regions, app.regions):
+            assert a == b
+
+    def test_file_roundtrip(self, tmp_path):
+        app = make_benchmark("cg", timesteps=7)
+        path = save_application(app, tmp_path / "cg.json")
+        clone = load_application(path)
+        assert application_to_dict(clone) == application_to_dict(app)
+
+    def test_loaded_app_runs(self, tiny, tmp_path):
+        app = make_benchmark("matmul", timesteps=2)
+        clone = load_application(save_application(app, tmp_path / "m.json"))
+        res = OpenMPRuntime(tiny, scheduler="ilan", seed=0).run_application(clone)
+        assert res.total_time > 0
+
+
+class TestFromDict:
+    def test_minimal_definition(self):
+        app = application_from_dict(
+            {
+                "name": "mini",
+                "regions": [{"name": "d", "mib": 64}],
+                "loops": [
+                    {"name": "l", "region": "d", "work_seconds": 0.1, "mem_frac": 0.5}
+                ],
+            }
+        )
+        assert app.timesteps == 50
+        assert app.loops[0].pattern.is_blocked
+        assert app.loops[0].num_tasks == 256
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(WorkloadError):
+            application_from_dict({"name": "x", "regions": [], "loops": [{"name": "l"}]})
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(WorkloadError):
+            application_from_dict(
+                {
+                    "name": "x",
+                    "regions": [{"name": "d", "mib": 1, "policy": "teleport"}],
+                    "loops": [
+                        {"name": "l", "region": "d", "work_seconds": 0.1, "mem_frac": 0.5}
+                    ],
+                }
+            )

@@ -1,0 +1,52 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.runtime.runtime import OpenMPRuntime
+from repro.workloads.synthetic import make_mixed, make_synthetic
+
+
+class TestMakeSynthetic:
+    def test_knobs_plumb_through(self):
+        app = make_synthetic(
+            mem_frac=0.7, blocked_fraction=0.3, reuse=0.2, gamma=1.2,
+            imbalance="irregular", imbalance_cv=0.4, num_tasks=32, total_iters=128,
+        )
+        (lp,) = app.loops
+        assert lp.mem_frac == 0.7
+        assert lp.pattern.blocked_fraction == 0.3
+        assert lp.reuse == 0.2
+        assert lp.gamma == 1.2
+        assert lp.num_tasks == 32
+
+    def test_runs(self, tiny):
+        app = make_synthetic(timesteps=2, num_tasks=8, total_iters=64, region_mib=16)
+        result = OpenMPRuntime(tiny, seed=0).run_application(app)
+        assert result.total_time > 0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            make_synthetic(region_mib=0)
+        with pytest.raises(WorkloadError):
+            make_synthetic(mem_frac=1.5)
+
+
+class TestMakeMixed:
+    def test_two_contrasting_loops(self):
+        app = make_mixed()
+        by_name = {lp.name: lp for lp in app.loops}
+        assert by_name["compute"].mem_frac < 0.2
+        assert by_name["memory"].mem_frac > 0.6
+        assert by_name["compute"].gamma == 0.0
+        assert by_name["memory"].gamma > 1.0
+
+    def test_distinct_regions(self):
+        app = make_mixed()
+        assert len(app.regions) == 2
+        assert {lp.region for lp in app.loops} == {"dense", "sparse"}
+
+    def test_runs_under_ilan(self, tiny):
+        app = make_mixed(timesteps=2)
+        result = OpenMPRuntime(tiny, scheduler="ilan", seed=0).run_application(app)
+        assert len(result.taskloops) == 4
