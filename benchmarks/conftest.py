@@ -5,16 +5,17 @@ evaluation section and prints it.  The cells (benchmark x scheduler runs)
 are cached in a process-wide runner, so figures that share cells (e.g.
 Figure 2 and Figure 3) only pay once.
 
-Scaling knobs (environment):
+Scaling knobs (environment, read once when the runner is first built):
 
-* ``REPRO_SEEDS``  — repetitions per cell (default 10 here; paper: 30);
-* ``REPRO_ITERS``  — application timesteps (default: the models' 50);
-* ``REPRO_FULL=1`` — paper-parity scale (30 seeds, model defaults).
+* ``REPRO_SEEDS``     — repetitions per cell (default 10 here; paper: 30);
+* ``REPRO_ITERS``     — application timesteps (default: the models' 50);
+* ``REPRO_FULL=1``    — paper-parity scale (30 seeds, model defaults);
+* ``REPRO_JOBS``      — worker processes for the runs (default 1);
+* ``REPRO_CACHE_DIR`` — persistent run cache: reruns of the bench suite
+  reuse completed runs instead of re-simulating them.
 """
 
 from __future__ import annotations
-
-import os
 
 import pytest
 
@@ -23,11 +24,7 @@ from repro.exp.runner import ExperimentConfig, Runner
 
 def bench_config() -> ExperimentConfig:
     """Benchmark-suite scale: lighter default than the paper's 30 seeds."""
-    if os.environ.get("REPRO_FULL") == "1":
-        return ExperimentConfig()
-    seeds = int(os.environ.get("REPRO_SEEDS", "10"))
-    iters = os.environ.get("REPRO_ITERS")
-    return ExperimentConfig(seeds=seeds, timesteps=int(iters) if iters else None)
+    return ExperimentConfig.from_env(default_seeds=10)
 
 
 _RUNNER: Runner | None = None

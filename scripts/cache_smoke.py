@@ -1,0 +1,70 @@
+"""End-to-end smoke test of the persistent run cache.
+
+Runs a small campaign twice against the same cache directory and asserts
+
+* the warm rerun re-simulates zero runs (pure cache hits), and
+* it completes at least ``--min-speedup`` times faster than the cold run.
+
+Exits non-zero on violation; CI runs this to keep the cache hit path
+exercised end-to-end.  Usage::
+
+    PYTHONPATH=src python scripts/cache_smoke.py [--seeds 2] [--jobs 2]
+                                                 [--min-speedup 5]
+"""
+
+import argparse
+import sys
+import tempfile
+import time
+
+from repro.exp.cache import ResultCache
+from repro.exp.runner import ExperimentConfig, Runner
+from repro.topology.presets import dual_socket_small
+
+BENCHMARKS = ["matmul", "cg"]
+SCHEDULERS = ["baseline", "ilan"]
+
+
+def campaign(cache_dir: str, *, seeds: int, jobs: int) -> tuple[float, ResultCache]:
+    """One full (benchmarks x schedulers x seeds) campaign; returns wall time."""
+    runner = Runner(
+        ExperimentConfig(seeds=seeds, timesteps=5, with_noise=True, jobs=jobs,
+                         cache_dir=cache_dir),
+        topology=dual_socket_small(),
+    )
+    t0 = time.perf_counter()
+    runner.prefetch(BENCHMARKS, SCHEDULERS)
+    return time.perf_counter() - t0, runner.cache
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=2)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    args = parser.parse_args(argv)
+
+    expected_runs = len(BENCHMARKS) * len(SCHEDULERS) * args.seeds
+    with tempfile.TemporaryDirectory(prefix="repro-cache-smoke-") as cache_dir:
+        cold_time, cold_cache = campaign(cache_dir, seeds=args.seeds, jobs=args.jobs)
+        print(f"cold: {cold_time:.3f}s  {cold_cache.stats}")
+        if cold_cache.stats.stores != expected_runs:
+            print(f"FAIL: cold run stored {cold_cache.stats.stores} runs, "
+                  f"expected {expected_runs}")
+            return 1
+        warm_time, warm_cache = campaign(cache_dir, seeds=args.seeds, jobs=args.jobs)
+        print(f"warm: {warm_time:.3f}s  {warm_cache.stats}")
+        if warm_cache.stats.misses or warm_cache.stats.stores:
+            print("FAIL: warm rerun re-simulated runs (expected pure cache hits)")
+            return 1
+        speedup = cold_time / warm_time if warm_time > 0 else float("inf")
+        print(f"speedup: {speedup:.1f}x (required: >= {args.min_speedup:.1f}x)")
+        if speedup < args.min_speedup:
+            print("FAIL: cached rerun not fast enough")
+            return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

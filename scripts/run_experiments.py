@@ -1,15 +1,49 @@
-"""Generate the EXPERIMENTS.md data: full campaign at paper parity."""
-import sys, time
-from repro.exp.runner import Runner, ExperimentConfig
+"""Generate the EXPERIMENTS.md data: full campaign at paper parity.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_experiments.py [--seeds N] [--jobs N]
+                                                     [--cache-dir DIR | --no-cache]
+
+Runs are cached on disk keyed by their full configuration, so re-running
+after an unrelated edit only re-simulates what actually changed; ``--jobs``
+fans the independent runs out over worker processes.  Results are
+byte-identical for any job count and cache state.
+"""
+import argparse
+import time
+
+from repro.exp.cache import default_cache_dir
 from repro.exp.figures import figure2, figure3, figure4, figure5, figure6, table1
+from repro.exp.persistence import results_to_dict, save_results
 from repro.exp.report import (render_speedups, render_threads, render_overheads,
                               render_figure6, render_variability)
-from repro.exp.persistence import results_to_dict, save_results
+from repro.exp.runner import Runner, ExperimentConfig
+from repro.workloads.registry import PAPER_ORDER
 
-seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+parser = argparse.ArgumentParser(description=__doc__)
+parser.add_argument("seeds", nargs="?", type=int, default=30,
+                    help="repetitions per cell (paper: 30)")
+parser.add_argument("--seeds", dest="seeds_flag", type=int, default=None,
+                    help="repetitions per cell (flag form)")
+parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+parser.add_argument("--cache-dir", default=None,
+                    help=f"run-cache directory (default: {default_cache_dir()})")
+parser.add_argument("--no-cache", action="store_true",
+                    help="re-simulate everything, persist nothing")
+parser.add_argument("--out", default="experiments_data.json",
+                    help="cell-summary JSON output path")
+args = parser.parse_args()
+
+seeds = args.seeds_flag if args.seeds_flag is not None else args.seeds
+cache_dir = None if args.no_cache else str(args.cache_dir or default_cache_dir())
 t0 = time.time()
-r = Runner(ExperimentConfig(seeds=seeds, timesteps=None, with_noise=True))
-print(f"campaign: seeds={seeds}, timesteps=model defaults (50), noise on")
+r = Runner(ExperimentConfig(seeds=seeds, timesteps=None, with_noise=True,
+                            jobs=args.jobs, cache_dir=cache_dir))
+print(f"campaign: seeds={seeds}, timesteps=model defaults (50), noise on, "
+      f"jobs={args.jobs}, cache={'off' if cache_dir is None else cache_dir}")
+# one fan-out for every cell any figure needs, before any rendering
+r.prefetch(PAPER_ORDER, ["baseline", "ilan", "ilan-nomold", "worksharing"])
 print()
 print(render_speedups("Figure 2: ILAN vs baseline", figure2(r)))
 print()
@@ -22,5 +56,8 @@ print()
 print(render_figure6(figure6(r)))
 print()
 print(render_variability("Table 1: execution-time standard deviation", table1(r)))
-save_results("experiments_data.json", results_to_dict(r))
-print(f"\nwall time: {time.time()-t0:.0f}s; cell summaries saved to experiments_data.json")
+save_results(args.out, results_to_dict(r))
+if r.cache is not None:
+    st = r.cache.stats
+    print(f"\nrun cache: {st.hits} hit(s), {st.misses} miss(es), {st.stores} stored")
+print(f"wall time: {time.time()-t0:.0f}s; cell summaries saved to {args.out}")

@@ -1,0 +1,348 @@
+"""Persistent content-addressed cache of experiment runs.
+
+A campaign is a set of independent (benchmark, scheduler, seed) runs, each
+fully determined by its configuration: the simulator draws every random
+number from seed-derived Philox substreams (:mod:`repro.sim.rng`), so the
+same configuration always produces the same :class:`AppRunResult`.  That
+makes runs content-addressable — this module hashes the *complete* run
+configuration (topology structure, scheduler name + parameters, workload,
+noise parameters, timesteps, seed, and a schema version) into a key and
+stores the serialised result under it, one JSON file per run.
+
+Guarantees:
+
+* **losslessness** — floats round-trip through JSON via Python's
+  shortest-repr encoding, so a decoded run is bit-identical to the
+  original (NaN entries in per-node arrays included);
+* **atomicity** — entries are written to a temp file and ``os.replace``\\d
+  into place, so a crash mid-write never leaves a readable half-entry;
+* **self-healing** — corrupt, truncated, or stale-schema entries are
+  treated as misses, deleted, and recomputed rather than crashing.
+
+Bump :data:`SCHEMA_VERSION` whenever the simulator's observable behaviour
+or the serialisation format changes; old entries then miss and are
+recomputed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from repro.counters.metrics import TaskloopCounters
+from repro.interference.noise import NoiseParams
+from repro.runtime.overhead import OverheadLedger
+from repro.runtime.results import AppRunResult, TaskloopResult
+from repro.topology.machine import MachineTopology
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultCache",
+    "CacheStats",
+    "default_cache_dir",
+    "topology_fingerprint",
+    "run_key",
+    "encode_run",
+    "decode_run",
+    "run_to_json",
+]
+
+#: Bump when simulator behaviour or the entry format changes; every cached
+#: entry carrying an older version is invalidated on read.
+SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` > ``$XDG_CACHE_HOME/repro`` > ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "runs"
+
+
+# ----------------------------------------------------------------------
+# content hashing
+# ----------------------------------------------------------------------
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def topology_fingerprint(topology: MachineTopology) -> str:
+    """Hash of everything about a machine that can influence a run.
+
+    Two topologies with the same fingerprint are structurally identical:
+    same component tree, core speeds, cache sizes, memory sizes and
+    bandwidths.  (The machine *name* is deliberately excluded — renaming a
+    preset must not invalidate its runs.)
+    """
+    payload = {
+        "sockets": [dataclasses.asdict(s) for s in topology.sockets],
+        "nodes": [dataclasses.asdict(n) for n in topology.nodes],
+        "ccds": [dataclasses.asdict(c) for c in topology.ccds],
+        "cores": [dataclasses.asdict(c) for c in topology.cores],
+    }
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def run_key(
+    *,
+    benchmark: str,
+    scheduler: str,
+    seed: int,
+    timesteps: int | None,
+    noise: NoiseParams | None,
+    topology: MachineTopology | str,
+    scheduler_params: Mapping[str, Any] | None = None,
+) -> str:
+    """Content hash addressing one (benchmark, scheduler, seed) run.
+
+    ``topology`` accepts a pre-computed fingerprint string so callers
+    hashing many runs on one machine pay for :func:`topology_fingerprint`
+    once.
+    """
+    topo_fp = (
+        topology if isinstance(topology, str) else topology_fingerprint(topology)
+    )
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "scheduler": scheduler,
+        "scheduler_params": dict(scheduler_params or {}),
+        "seed": seed,
+        "timesteps": timesteps,
+        "noise": dataclasses.asdict(noise) if noise is not None else None,
+        "topology": topo_fp,
+    }
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# run (de)serialisation
+# ----------------------------------------------------------------------
+def _encode_counters(c: TaskloopCounters | None) -> dict[str, Any] | None:
+    if c is None:
+        return None
+    return {
+        "uid": c.uid,
+        "elapsed": c.elapsed,
+        "sat_time_integral": c.sat_time_integral,
+        "peak_saturation": c.peak_saturation,
+        "bytes_total": c.bytes_total,
+        "bytes_remote": c.bytes_remote,
+        "busy_time": c.busy_time,
+        "idle_time": c.idle_time,
+    }
+
+
+def _decode_counters(d: dict[str, Any] | None) -> TaskloopCounters | None:
+    return None if d is None else TaskloopCounters(**d)
+
+
+_LEDGER_FIELDS = (
+    "task_create",
+    "dequeue",
+    "steal_local",
+    "steal_remote",
+    "steal_fail",
+    "barrier",
+    "fork",
+    "select",
+    "ptt_update",
+)
+
+
+def _encode_ledger(ledger: OverheadLedger) -> dict[str, Any]:
+    d: dict[str, Any] = {name: getattr(ledger, name) for name in _LEDGER_FIELDS}
+    d["counts"] = dict(ledger.counts)
+    return d
+
+
+def _decode_ledger(d: dict[str, Any]) -> OverheadLedger:
+    return OverheadLedger(**{**d, "counts": dict(d["counts"])})
+
+
+def _encode_taskloop(r: TaskloopResult) -> dict[str, Any]:
+    return {
+        "uid": r.uid,
+        "name": r.name,
+        "elapsed": r.elapsed,
+        "num_threads": r.num_threads,
+        "node_mask_bits": r.node_mask_bits,
+        "steal_policy": r.steal_policy,
+        "overhead": _encode_ledger(r.overhead),
+        "node_perf": [float(x) for x in r.node_perf],
+        "node_busy": [float(x) for x in r.node_busy],
+        "tasks_executed": r.tasks_executed,
+        "steals_local": r.steals_local,
+        "steals_remote": r.steals_remote,
+        "counters": _encode_counters(r.counters),
+    }
+
+
+def _decode_taskloop(d: dict[str, Any]) -> TaskloopResult:
+    return TaskloopResult(
+        uid=d["uid"],
+        name=d["name"],
+        elapsed=d["elapsed"],
+        num_threads=d["num_threads"],
+        node_mask_bits=d["node_mask_bits"],
+        steal_policy=d["steal_policy"],
+        overhead=_decode_ledger(d["overhead"]),
+        node_perf=np.asarray(d["node_perf"], dtype=np.float64),
+        node_busy=np.asarray(d["node_busy"], dtype=np.float64),
+        tasks_executed=d["tasks_executed"],
+        steals_local=d["steals_local"],
+        steals_remote=d["steals_remote"],
+        counters=_decode_counters(d["counters"]),
+    )
+
+
+def encode_run(result: AppRunResult) -> dict[str, Any]:
+    """JSON-ready dict capturing an :class:`AppRunResult` losslessly."""
+    return {
+        "app_name": result.app_name,
+        "scheduler": result.scheduler,
+        "seed": result.seed,
+        "total_time": result.total_time,
+        "taskloops": [_encode_taskloop(r) for r in result.taskloops],
+    }
+
+
+def decode_run(data: dict[str, Any]) -> AppRunResult:
+    """Inverse of :func:`encode_run`."""
+    return AppRunResult(
+        app_name=data["app_name"],
+        scheduler=data["scheduler"],
+        seed=data["seed"],
+        total_time=data["total_time"],
+        taskloops=[_decode_taskloop(d) for d in data["taskloops"]],
+    )
+
+
+def run_to_json(result: AppRunResult) -> str:
+    """Canonical JSON text of a run — equal strings mean identical runs.
+
+    This is the byte-identity the determinism tests compare: NaN entries
+    serialise to the literal ``NaN`` token, so two runs differing only in
+    NaN positions still compare correctly as text.
+    """
+    return _canonical(encode_run(result))
+
+
+# ----------------------------------------------------------------------
+# the on-disk store
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidated: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class ResultCache:
+    """One-file-per-run JSON store addressed by :func:`run_key` hashes.
+
+    Entries live two directory levels deep (``ab/abcdef....json``) to keep
+    directories small at paper scale.  All operations are safe against
+    concurrent writers of the *same* key: both write identical content and
+    ``os.replace`` is atomic.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    # -- paths ----------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- operations -----------------------------------------------------
+    def get(self, key: str) -> AppRunResult | None:
+        """The cached run under ``key``, or ``None`` on miss.
+
+        A corrupt or stale-schema entry counts as a miss; the offending
+        file is removed so the recomputed run can replace it.
+        """
+        path = self.path_for(key)
+        try:
+            envelope = json.loads(path.read_text())
+            if envelope["schema"] != SCHEMA_VERSION or envelope["key"] != key:
+                raise ValueError("stale or mismatched cache entry")
+            result = decode_run(envelope["run"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            self._invalidate(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: AppRunResult) -> Path:
+        """Atomically persist ``result`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"schema": SCHEMA_VERSION, "key": key, "run": encode_run(result)}
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(envelope, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    def _invalidate(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.stats.invalidated += 1
+
+    # -- maintenance ----------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """Keys of every entry currently on disk."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("??/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                self.path_for(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -4,7 +4,13 @@ Examples::
 
     repro-exp fig2 --seeds 30
     repro-exp table1 --seeds 30 --timesteps 50
-    repro-exp all --seeds 10
+    repro-exp all --seeds 10 --jobs 8            # parallel campaign
+    repro-exp all --seeds 30 --cache-dir .cache  # warm/reuse a run cache
+    repro-exp fig2 --no-cache                    # force re-simulation
+
+Campaign runs are cached on disk by default (under ``~/.cache/repro`` or
+``$REPRO_CACHE_DIR``), keyed by the full run configuration; re-running a
+figure re-simulates nothing unless the configuration changed.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.exp.cache import default_cache_dir
 from repro.exp.figures import figure2, figure3, figure4, figure5, figure6, table1
 from repro.exp.report import (
     render_figure6,
@@ -30,6 +37,17 @@ __all__ = ["main"]
 
 _EXPERIMENTS = ("fig2", "fig3", "fig4", "fig5", "fig6", "table1", "all")
 
+# scheduler cells each experiment consumes — used to prefetch everything a
+# campaign needs in one parallel fan-out before any figure renders
+_EXPERIMENT_SCHEDULERS = {
+    "fig2": ("baseline", "ilan"),
+    "fig3": ("ilan",),
+    "fig4": ("baseline", "ilan-nomold"),
+    "fig5": ("baseline", "ilan"),
+    "fig6": ("baseline", "ilan", "worksharing"),
+    "table1": ("baseline", "ilan"),
+}
+
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -41,6 +59,26 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seeds", type=int, default=None, help="repetitions per cell (paper: 30)")
     parser.add_argument("--timesteps", type=int, default=None, help="application timesteps override")
     parser.add_argument("--no-noise", action="store_true", help="disable external system noise")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the campaign's runs (default: $REPRO_JOBS "
+        "or 1); results are identical for any N",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent run-cache directory (default: $REPRO_CACHE_DIR or "
+        f"{default_cache_dir()}); completed runs are reused across invocations",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent run cache (every run is re-simulated)",
+    )
     parser.add_argument(
         "--machine",
         default="zen4",
@@ -120,16 +158,30 @@ def _resolve_machine(spec: str) -> MachineTopology:
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     env_cfg = ExperimentConfig.from_env()
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = str(args.cache_dir or env_cfg.cache_dir or default_cache_dir())
     cfg = ExperimentConfig(
         seeds=args.seeds if args.seeds is not None else env_cfg.seeds,
         timesteps=args.timesteps if args.timesteps is not None else env_cfg.timesteps,
         with_noise=not args.no_noise,
+        jobs=args.jobs if args.jobs is not None else env_cfg.jobs,
+        cache_dir=cache_dir,
     )
     runner = Runner(cfg, topology=_resolve_machine(args.machine))
     names = [args.experiment] if args.experiment != "all" else list(_EXPERIMENTS[:-1])
+    schedulers = sorted({s for n in names for s in _EXPERIMENT_SCHEDULERS[n]})
+    runner.prefetch(args.benchmarks or list(PAPER_ORDER), schedulers)
     for name in names:
         print(run_experiment(name, runner, args.benchmarks))
         print()
+    if runner.cache is not None:
+        st = runner.cache.stats
+        print(
+            f"run cache ({runner.cache.root}): {st.hits} hit(s), "
+            f"{st.misses} miss(es), {st.stores} new run(s) stored"
+        )
     if args.save:
         from repro.exp.persistence import results_to_dict, save_results
 

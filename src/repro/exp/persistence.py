@@ -4,6 +4,12 @@ Experiment campaigns are cheap to re-run but the figure tables belong in
 version control (EXPERIMENTS.md is generated from them); this module
 serialises :class:`CellResult` summaries and figure rows to plain JSON and
 loads them back, so reports can be regenerated without re-simulation.
+
+Floats are written with Python's shortest-repr JSON encoding, which
+round-trips ``float64`` exactly — the golden-trace regression fixtures
+under ``tests/exp/fixtures/`` rely on this to compare campaigns for exact
+equality.  (The raw per-run records live in the content-addressed run
+cache instead; see :mod:`repro.exp.cache`.)
 """
 
 from __future__ import annotations
@@ -17,7 +23,16 @@ from repro.errors import ExperimentError
 from repro.exp.figures import OverheadRow, SpeedupRow, ThreadsRow, VariabilityRow
 from repro.exp.runner import Runner
 
-__all__ = ["results_to_dict", "save_results", "load_results", "rows_to_dicts"]
+__all__ = [
+    "RESULTS_SCHEMA_VERSION",
+    "results_to_dict",
+    "save_results",
+    "load_results",
+    "rows_to_dicts",
+]
+
+#: Version tag stamped into campaign summary payloads.
+RESULTS_SCHEMA_VERSION = 1
 
 _ROW_TYPES = {
     "SpeedupRow": SpeedupRow,
@@ -52,7 +67,12 @@ def _dicts_to_rows(dicts: list[dict[str, Any]]) -> list[Any]:
 
 
 def results_to_dict(runner: Runner) -> dict[str, Any]:
-    """Summarise every cached cell of ``runner`` (means/stds, not raw runs)."""
+    """Summarise every cached cell of ``runner``.
+
+    Besides the aggregate statistics each cell carries its per-run seeds
+    and execution times, so a stored campaign pins results run-by-run —
+    any simulator change that shifts a single run is detectable.
+    """
     cells = []
     for (bench, sched), cell in sorted(runner.cached_cells().items()):
         s = cell.summary()
@@ -62,6 +82,8 @@ def results_to_dict(runner: Runner) -> dict[str, Any]:
                 "benchmark": bench,
                 "scheduler": sched,
                 "runs": s.n,
+                "seeds": cell.seeds,
+                "times": cell.times,
                 "time_mean": s.mean,
                 "time_std": s.std,
                 "time_min": s.min,
@@ -71,6 +93,7 @@ def results_to_dict(runner: Runner) -> dict[str, Any]:
             }
         )
     return {
+        "schema": RESULTS_SCHEMA_VERSION,
         "config": {
             "seeds": runner.config.seeds,
             "timesteps": runner.config.timesteps,

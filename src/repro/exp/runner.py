@@ -1,31 +1,63 @@
-"""Experiment runner: benchmark x scheduler x seeds, with result caching.
+"""Experiment runner: benchmark x scheduler x seeds, parallel and cached.
 
 The paper's methodology is 30 repetitions per (benchmark, scheduler) cell;
 several figures share the same cells (Figure 2 and Figure 3 both need the
-ILAN runs), so the runner memoises completed cells per process.
+ILAN runs), so the runner memoises completed cells in memory and — when a
+cache is attached — persists every individual run on disk, content-addressed
+by its full configuration (see :mod:`repro.exp.cache`).
 
-Environment knobs (used by the pytest benches so CI can scale):
+Every run is an independent simulation whose randomness derives entirely
+from its seed, and each cell gets its own seed sequence spawned from the
+stable ``(benchmark, scheduler)`` cell key (:func:`derive_run_seed`, built
+on :mod:`repro.sim.rng`).  Two consequences:
+
+* runs can execute in any order on any number of worker processes and the
+  results are byte-identical to a sequential execution (``jobs=1``);
+* adding a cell never perturbs the random draws of existing cells.
+
+Environment knobs — read exactly once, inside
+:meth:`ExperimentConfig.from_env`; a constructed config never re-reads the
+environment:
 
 * ``REPRO_SEEDS`` — repetitions per cell (default 30, the paper's count);
 * ``REPRO_ITERS`` — application timesteps (default: each model's own);
-* ``REPRO_FULL=1`` — force the paper-scale defaults regardless of others.
+* ``REPRO_FULL=1`` — force the paper-scale defaults, overriding
+  ``REPRO_SEEDS``/``REPRO_ITERS``;
+* ``REPRO_JOBS`` — worker processes (default 1 = in-process);
+* ``REPRO_CACHE_DIR`` — persistent run-cache directory (default: none).
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.errors import ExperimentError
+from repro.exp.cache import ResultCache, run_key, topology_fingerprint
 from repro.exp.stats import Summary, summarize
 from repro.interference.noise import NoiseParams
 from repro.runtime.results import AppRunResult
 from repro.runtime.runtime import OpenMPRuntime
+from repro.sim.rng import spawn_key
 from repro.topology.machine import MachineTopology
 from repro.topology.presets import zen4_9354
 from repro.workloads.registry import make_benchmark
 
-__all__ = ["ExperimentConfig", "CellResult", "Runner", "default_noise"]
+__all__ = [
+    "ExperimentConfig",
+    "CellResult",
+    "RunSpec",
+    "Runner",
+    "default_noise",
+    "derive_run_seed",
+    "execute_spec",
+    "shared_runner",
+]
 
 
 def default_noise() -> NoiseParams:
@@ -41,20 +73,91 @@ def default_noise() -> NoiseParams:
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Shape of one experiment campaign."""
+    """Shape of one experiment campaign.
+
+    ``jobs`` and ``cache_dir`` control *how* a campaign executes, never
+    what it computes: results are independent of both.
+    """
 
     seeds: int = 30
     timesteps: int | None = None
     with_noise: bool = True
+    jobs: int = 1
+    cache_dir: str | None = None
 
     @staticmethod
-    def from_env() -> "ExperimentConfig":
-        """Read the ``REPRO_*`` environment knobs."""
+    def from_env(*, default_seeds: int = 30) -> "ExperimentConfig":
+        """Read the ``REPRO_*`` environment knobs — once, here.
+
+        Precedence: ``REPRO_FULL=1`` forces paper-parity scale (30 seeds,
+        model-default timesteps) over ``REPRO_SEEDS``/``REPRO_ITERS``.
+        ``REPRO_JOBS`` and ``REPRO_CACHE_DIR`` are orthogonal to scale and
+        are honoured either way.  Later environment changes never affect a
+        config (or a :class:`Runner`) that was already constructed.
+        """
+        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
         if os.environ.get("REPRO_FULL") == "1":
-            return ExperimentConfig()
-        seeds = int(os.environ.get("REPRO_SEEDS", "30"))
+            return ExperimentConfig(jobs=jobs, cache_dir=cache_dir)
+        seeds = int(os.environ.get("REPRO_SEEDS", str(default_seeds)))
         iters = os.environ.get("REPRO_ITERS")
-        return ExperimentConfig(seeds=seeds, timesteps=int(iters) if iters else None)
+        return ExperimentConfig(
+            seeds=seeds,
+            timesteps=int(iters) if iters else None,
+            jobs=jobs,
+            cache_dir=cache_dir,
+        )
+
+
+def derive_run_seed(benchmark: str, scheduler: str, index: int) -> int:
+    """Seed of repetition ``index`` of cell ``(benchmark, scheduler)``.
+
+    Spawned through :class:`numpy.random.SeedSequence` from the stable
+    string cell key (same CRC-based spawning as :func:`repro.sim.rng.stream`),
+    so every cell owns an independent, order-insensitive seed stream and
+    parallel workers need no shared RNG state at all.
+    """
+    if index < 0:
+        raise ExperimentError(f"repetition index must be non-negative, got {index}")
+    ss = np.random.SeedSequence(
+        entropy=index, spawn_key=tuple(spawn_key("exp.cell", benchmark, scheduler))
+    )
+    return int(ss.generate_state(1, np.uint32)[0])
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Complete, picklable configuration of one simulated run.
+
+    This is both the unit of work shipped to worker processes and the
+    input of the cache key — the two stay in lockstep by construction.
+    """
+
+    benchmark: str
+    scheduler: str
+    seed: int
+    timesteps: int | None
+    noise: NoiseParams | None
+    topology: MachineTopology
+
+    def key(self, topology_fp: str | None = None) -> str:
+        return run_key(
+            benchmark=self.benchmark,
+            scheduler=self.scheduler,
+            seed=self.seed,
+            timesteps=self.timesteps,
+            noise=self.noise,
+            topology=topology_fp if topology_fp is not None else self.topology,
+        )
+
+
+def execute_spec(spec: RunSpec) -> AppRunResult:
+    """Simulate one run from scratch (the worker-process entry point)."""
+    app = make_benchmark(spec.benchmark, timesteps=spec.timesteps)
+    runtime = OpenMPRuntime(
+        spec.topology, scheduler=spec.scheduler, seed=spec.seed, noise=spec.noise
+    )
+    return runtime.run_application(app)
 
 
 @dataclass
@@ -69,6 +172,10 @@ class CellResult:
     def times(self) -> list[float]:
         return [r.total_time for r in self.runs]
 
+    @property
+    def seeds(self) -> list[int]:
+        return [r.seed for r in self.runs]
+
     def summary(self) -> Summary:
         return summarize(self.times)
 
@@ -80,48 +187,125 @@ class CellResult:
 
 
 class Runner:
-    """Memoising benchmark runner bound to one machine model."""
+    """Parallel, caching benchmark runner bound to one machine model.
+
+    ``jobs`` > 1 fans run simulations out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; an attached
+    :class:`ResultCache` is consulted before any simulation and updated
+    after every completed run.  Both are transparent: summaries are
+    byte-identical whatever the job count or cache state.
+    """
 
     def __init__(
         self,
         config: ExperimentConfig | None = None,
         topology: MachineTopology | None = None,
+        *,
+        cache: ResultCache | None = None,
+        jobs: int | None = None,
     ):
         self.config = config or ExperimentConfig.from_env()
         self.topology = topology or zen4_9354()
-        self._cache: dict[tuple[str, str], CellResult] = {}
+        self.jobs = max(1, jobs if jobs is not None else self.config.jobs)
+        if cache is None and self.config.cache_dir:
+            cache = ResultCache(self.config.cache_dir)
+        self.cache = cache
+        self._cells: dict[tuple[str, str], CellResult] = {}
+        self._topology_fp: str | None = None
 
     # ------------------------------------------------------------------
-    def cell(self, benchmark: str, scheduler: str) -> CellResult:
-        """Runs of (benchmark, scheduler); computed once, then cached."""
-        key = (benchmark, scheduler)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        result = self._run_cell(benchmark, scheduler)
-        self._cache[key] = result
-        return result
+    @property
+    def topology_fp(self) -> str:
+        """Structural fingerprint of the machine (computed once)."""
+        if self._topology_fp is None:
+            self._topology_fp = topology_fingerprint(self.topology)
+        return self._topology_fp
 
-    def _run_cell(self, benchmark: str, scheduler: str) -> CellResult:
+    def specs(self, benchmark: str, scheduler: str) -> list[RunSpec]:
+        """The run specs of one cell, in repetition order."""
         cfg = self.config
         if cfg.seeds < 1:
             raise ExperimentError(f"need at least one seed, got {cfg.seeds}")
-        app = make_benchmark(benchmark, timesteps=cfg.timesteps)
         noise = default_noise() if cfg.with_noise else None
-        runs: list[AppRunResult] = []
-        for seed in range(cfg.seeds):
-            runtime = OpenMPRuntime(
-                self.topology, scheduler=scheduler, seed=seed, noise=noise
+        return [
+            RunSpec(
+                benchmark=benchmark,
+                scheduler=scheduler,
+                seed=derive_run_seed(benchmark, scheduler, index),
+                timesteps=cfg.timesteps,
+                noise=noise,
+                topology=self.topology,
             )
-            runs.append(runtime.run_application(app))
-        return CellResult(benchmark=benchmark, scheduler=scheduler, runs=runs)
+            for index in range(cfg.seeds)
+        ]
 
+    # ------------------------------------------------------------------
+    def cell(self, benchmark: str, scheduler: str) -> CellResult:
+        """Runs of (benchmark, scheduler); computed once, then memoised."""
+        return self.cells([(benchmark, scheduler)])[(benchmark, scheduler)]
+
+    def cells(
+        self, pairs: Iterable[tuple[str, str]]
+    ) -> dict[tuple[str, str], CellResult]:
+        """Compute many cells at once, fanning *all* their missing runs
+        out over one worker pool (cross-cell parallelism)."""
+        wanted = list(dict.fromkeys(pairs))
+        todo = [pair for pair in wanted if pair not in self._cells]
+        if todo:
+            cell_specs = {pair: self.specs(*pair) for pair in todo}
+            results = self._execute({
+                spec.key(self.topology_fp): spec
+                for specs in cell_specs.values()
+                for spec in specs
+            })
+            for pair, specs in cell_specs.items():
+                runs = [results[spec.key(self.topology_fp)] for spec in specs]
+                self._cells[pair] = CellResult(
+                    benchmark=pair[0], scheduler=pair[1], runs=runs
+                )
+        return {pair: self._cells[pair] for pair in wanted}
+
+    def prefetch(
+        self, benchmarks: Sequence[str], schedulers: Sequence[str]
+    ) -> dict[tuple[str, str], CellResult]:
+        """Warm every (benchmark, scheduler) combination in one fan-out."""
+        return self.cells(product(benchmarks, schedulers))
+
+    # ------------------------------------------------------------------
+    def _execute(self, by_key: dict[str, RunSpec]) -> dict[str, AppRunResult]:
+        """Resolve runs by key: cache first, then simulate the misses."""
+        results: dict[str, AppRunResult] = {}
+        missing: dict[str, RunSpec] = {}
+        for key, spec in by_key.items():
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                results[key] = cached
+            else:
+                missing[key] = spec
+        if missing:
+            keys = list(missing)
+            specs = [missing[k] for k in keys]
+            if self.jobs > 1 and len(specs) > 1:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(specs))
+                ) as pool:
+                    computed = list(pool.map(execute_spec, specs))
+            else:
+                computed = [execute_spec(spec) for spec in specs]
+            for key, result in zip(keys, computed):
+                results[key] = result
+                if self.cache is not None:
+                    self.cache.put(key, result)
+        return results
+
+    # ------------------------------------------------------------------
     def cached_cells(self) -> dict[tuple[str, str], CellResult]:
         """Snapshot of all completed (benchmark, scheduler) cells."""
-        return dict(self._cache)
+        return dict(self._cells)
 
     def clear(self) -> None:
-        self._cache.clear()
+        """Drop the in-memory cells (the disk cache is left untouched)."""
+        self._cells.clear()
 
 
 _SHARED: Runner | None = None

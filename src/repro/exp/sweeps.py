@@ -13,10 +13,19 @@ the same pattern available to library users::
 
 Every cell is ``seeds`` independent runs; rows carry mean time, std, mean
 weighted threads and mean total overhead.
+
+Like the campaign :class:`~repro.exp.runner.Runner`, a sweep can fan its
+(variant, seed) runs out over worker processes (``jobs=N``).  Each run is
+an independent simulation (the runtime resets scheduler state per run), so
+parallel and sequential sweeps produce identical rows.  Process fan-out
+requires the factory and scheduler objects to be picklable; closures and
+lambdas fall back to in-process execution transparently.
 """
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
@@ -42,6 +51,32 @@ class SweepRow:
     overhead_mean: float
 
 
+def _run_point(
+    args: tuple[
+        Callable[[], Application],
+        Scheduler | str,
+        MachineTopology,
+        NoiseParams | None,
+        int,
+    ],
+) -> tuple[float, float, float]:
+    """One (variant, seed) run — the worker-process entry point."""
+    app_factory, sched, topo, noise, seed = args
+    app = app_factory()
+    runtime = OpenMPRuntime(topo, scheduler=sched, seed=seed, noise=noise)
+    result = runtime.run_application(app)
+    return result.total_time, result.weighted_avg_threads, result.total_overhead
+
+
+def _picklable(*objects: object) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
 def sweep(
     *,
     app_factory: Callable[[], Application],
@@ -49,30 +84,38 @@ def sweep(
     seeds: int = 3,
     topology: MachineTopology | None = None,
     noise: NoiseParams | None = None,
+    jobs: int = 1,
 ) -> list[SweepRow]:
     """Run ``app_factory()`` under every scheduler variant.
 
     ``schedulers`` maps row labels to scheduler instances or registry
     names.  A fresh application model is built per cell so no state leaks
-    between variants.
+    between variants.  ``jobs`` > 1 distributes the (variant, seed) runs
+    over worker processes when the factory and schedulers are picklable,
+    with identical results either way.
     """
     if seeds < 1:
         raise ExperimentError(f"need at least one seed, got {seeds}")
     if not schedulers:
         raise ExperimentError("sweep needs at least one scheduler variant")
     topo = topology or zen4_9354()
+    points = [
+        (app_factory, sched, topo, noise, seed)
+        for sched in schedulers.values()
+        for seed in range(seeds)
+    ]
+    parallel = jobs > 1 and len(points) > 1 and _picklable(app_factory, *schedulers.values())
+    if parallel:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(points))) as pool:
+            measurements = list(pool.map(_run_point, points))
+    else:
+        measurements = [_run_point(point) for point in points]
     rows: list[SweepRow] = []
-    for label, sched in schedulers.items():
-        times: list[float] = []
-        threads: list[float] = []
-        overheads: list[float] = []
-        for seed in range(seeds):
-            app = app_factory()
-            runtime = OpenMPRuntime(topo, scheduler=sched, seed=seed, noise=noise)
-            result = runtime.run_application(app)
-            times.append(result.total_time)
-            threads.append(result.weighted_avg_threads)
-            overheads.append(result.total_overhead)
+    for i, label in enumerate(schedulers):
+        cell = measurements[i * seeds : (i + 1) * seeds]
+        times = [m[0] for m in cell]
+        threads = [m[1] for m in cell]
+        overheads = [m[2] for m in cell]
         rows.append(
             SweepRow(
                 label=label,

@@ -17,6 +17,25 @@ from repro.topology.presets import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_cache_dir(tmp_path, monkeypatch):
+    """Point the persistent run cache inside ``tmp_path`` for every test.
+
+    Anything that resolves the default cache location (the CLI, scripts,
+    ``ExperimentConfig.from_env``) lands in the test's private directory,
+    so no test ever writes outside ``tmp_path``.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-run-cache"))
+
+
+@pytest.fixture
+def tmp_cache(tmp_path):
+    """A fresh on-disk run cache rooted inside ``tmp_path``."""
+    from repro.exp.cache import ResultCache
+
+    return ResultCache(tmp_path / "run-cache")
+
+
 @pytest.fixture
 def tiny():
     """4 cores, 2 NUMA nodes, 1 socket."""

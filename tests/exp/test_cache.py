@@ -1,0 +1,209 @@
+"""Tests for the persistent content-addressed run cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.counters.metrics import TaskloopCounters
+from repro.exp.cache import (
+    SCHEMA_VERSION,
+    ResultCache,
+    decode_run,
+    default_cache_dir,
+    encode_run,
+    run_key,
+    run_to_json,
+    topology_fingerprint,
+)
+from repro.exp.runner import RunSpec, default_noise, execute_spec
+from repro.interference.noise import NoiseParams
+from repro.runtime.overhead import OverheadLedger
+from repro.runtime.results import AppRunResult, TaskloopResult
+from repro.topology.presets import single_node, tiny_two_node
+
+
+def synthetic_run(seed: int = 7) -> AppRunResult:
+    """A hand-built run exercising every serialised field, NaN included."""
+    ledger = OverheadLedger()
+    ledger.charge("task_create", 1.25e-6, count=5)
+    ledger.charge("steal_remote", 2.5e-6, count=1)
+    loop = TaskloopResult(
+        uid="app.loop",
+        name="loop",
+        elapsed=0.123456789012345,
+        num_threads=4,
+        node_mask_bits=0b11,
+        steal_policy="hier",
+        overhead=ledger,
+        node_perf=np.array([1.5e9, float("nan")]),
+        node_busy=np.array([0.25, 0.0]),
+        tasks_executed=32,
+        steals_local=3,
+        steals_remote=1,
+        counters=TaskloopCounters(
+            uid="app.loop", elapsed=0.1, sat_time_integral=0.05, peak_saturation=1.2,
+            bytes_total=1e9, bytes_remote=2e8, busy_time=0.4, idle_time=0.1,
+        ),
+    )
+    return AppRunResult(
+        app_name="app", scheduler="ilan", seed=seed,
+        total_time=0.987654321098765, taskloops=[loop],
+    )
+
+
+def real_run() -> AppRunResult:
+    spec = RunSpec(
+        benchmark="matmul", scheduler="ilan", seed=11, timesteps=2,
+        noise=default_noise(), topology=tiny_two_node(),
+    )
+    return execute_spec(spec)
+
+
+BASE_KEY_KWARGS = dict(
+    benchmark="matmul",
+    scheduler="ilan",
+    seed=3,
+    timesteps=5,
+    noise=default_noise(),
+    topology=tiny_two_node(),
+)
+
+
+class TestRunKey:
+    def test_deterministic(self):
+        assert run_key(**BASE_KEY_KWARGS) == run_key(**BASE_KEY_KWARGS)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"benchmark": "cg"},
+            {"scheduler": "baseline"},
+            {"seed": 4},
+            {"timesteps": 6},
+            {"timesteps": None},
+            {"noise": None},
+            {"noise": NoiseParams(mean_interval=0.01)},
+            {"topology": single_node(4)},
+            {"scheduler_params": {"granularity": 4}},
+        ],
+    )
+    def test_any_field_change_changes_key(self, change):
+        assert run_key(**{**BASE_KEY_KWARGS, **change}) != run_key(**BASE_KEY_KWARGS)
+
+    def test_accepts_precomputed_fingerprint(self):
+        fp = topology_fingerprint(tiny_two_node())
+        assert run_key(**{**BASE_KEY_KWARGS, "topology": fp}) == run_key(**BASE_KEY_KWARGS)
+
+
+class TestTopologyFingerprint:
+    def test_name_excluded(self, tiny):
+        import dataclasses
+
+        renamed = dataclasses.replace(tiny, name="other-name")
+        assert topology_fingerprint(renamed) == topology_fingerprint(tiny)
+
+    def test_structure_included(self, tiny, uma):
+        assert topology_fingerprint(tiny) != topology_fingerprint(uma)
+
+
+class TestRunCodec:
+    @pytest.mark.parametrize("run", [synthetic_run(), real_run()],
+                             ids=["synthetic", "simulated"])
+    def test_lossless_roundtrip(self, run):
+        decoded = decode_run(encode_run(run))
+        assert run_to_json(decoded) == run_to_json(run)
+        assert decoded.seed == run.seed
+        assert decoded.total_time == run.total_time
+        assert len(decoded.taskloops) == len(run.taskloops)
+        a, b = run.taskloops[0], decoded.taskloops[0]
+        assert np.array_equal(a.node_perf, b.node_perf, equal_nan=True)
+        assert a.overhead.total == b.overhead.total
+        assert a.overhead.counts == b.overhead.counts
+
+    def test_none_counters_roundtrip(self):
+        run = synthetic_run()
+        run.taskloops[0].counters = None
+        decoded = decode_run(encode_run(run))
+        assert decoded.taskloops[0].counters is None
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_cache):
+        key = run_key(**BASE_KEY_KWARGS)
+        assert tmp_cache.get(key) is None
+        run = synthetic_run()
+        tmp_cache.put(key, run)
+        got = tmp_cache.get(key)
+        assert got is not None
+        assert run_to_json(got) == run_to_json(run)
+        assert tmp_cache.stats.misses == 1
+        assert tmp_cache.stats.hits == 1
+        assert tmp_cache.stats.stores == 1
+
+    def test_contains_len_keys_clear(self, tmp_cache):
+        keys = [run_key(**{**BASE_KEY_KWARGS, "seed": s}) for s in range(3)]
+        for k in keys:
+            tmp_cache.put(k, synthetic_run())
+        assert len(tmp_cache) == 3
+        assert all(k in tmp_cache for k in keys)
+        assert sorted(tmp_cache.keys()) == sorted(keys)
+        assert tmp_cache.clear() == 3
+        assert len(tmp_cache) == 0
+
+    def test_corrupt_entry_is_miss_and_removed(self, tmp_cache):
+        key = run_key(**BASE_KEY_KWARGS)
+        path = tmp_cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text('{"schema": %d, "key": "%s", "run": {"app_na' % (SCHEMA_VERSION, key))
+        assert tmp_cache.get(key) is None
+        assert not path.exists()
+        assert tmp_cache.stats.invalidated == 1
+        # the slot is reusable afterwards
+        tmp_cache.put(key, synthetic_run())
+        assert tmp_cache.get(key) is not None
+
+    def test_stale_schema_is_miss(self, tmp_cache):
+        key = run_key(**BASE_KEY_KWARGS)
+        tmp_cache.put(key, synthetic_run())
+        envelope = json.loads(tmp_cache.path_for(key).read_text())
+        envelope["schema"] = SCHEMA_VERSION - 1
+        tmp_cache.path_for(key).write_text(json.dumps(envelope))
+        assert tmp_cache.get(key) is None
+        assert not tmp_cache.path_for(key).exists()
+
+    def test_key_mismatch_is_miss(self, tmp_cache):
+        """An entry copied to the wrong address must not be served."""
+        key_a = run_key(**BASE_KEY_KWARGS)
+        key_b = run_key(**{**BASE_KEY_KWARGS, "seed": 99})
+        tmp_cache.put(key_a, synthetic_run())
+        path_b = tmp_cache.path_for(key_b)
+        path_b.parent.mkdir(parents=True, exist_ok=True)
+        path_b.write_text(tmp_cache.path_for(key_a).read_text())
+        assert tmp_cache.get(key_b) is None
+
+    def test_put_leaves_no_temp_files(self, tmp_cache):
+        key = run_key(**BASE_KEY_KWARGS)
+        tmp_cache.put(key, synthetic_run())
+        leftovers = [p for p in tmp_cache.root.rglob("*") if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_garbage_bytes_recovered(self, tmp_cache):
+        key = run_key(**BASE_KEY_KWARGS)
+        path = tmp_cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"\x00\xff not json at all")
+        assert tmp_cache.get(key) is None
+        tmp_cache.put(key, synthetic_run())
+        assert tmp_cache.get(key) is not None
+
+
+class TestDefaultCacheDir:
+    def test_env_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro" / "runs"

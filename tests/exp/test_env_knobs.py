@@ -1,0 +1,106 @@
+"""Environment-knob handling: precedence and read-once semantics.
+
+``ExperimentConfig.from_env`` is the single place the ``REPRO_*`` knobs
+are read; a constructed config (and any :class:`Runner` built from it) is
+immutable against later environment changes.
+"""
+
+import pytest
+
+from repro.exp.runner import ExperimentConfig, Runner
+from repro.topology.presets import tiny_two_node
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    for name in ("REPRO_SEEDS", "REPRO_ITERS", "REPRO_FULL", "REPRO_JOBS",
+                 "REPRO_CACHE_DIR"):
+        monkeypatch.delenv(name, raising=False)
+
+
+class TestDefaults:
+    def test_paper_defaults_without_env(self):
+        cfg = ExperimentConfig.from_env()
+        assert cfg == ExperimentConfig(
+            seeds=30, timesteps=None, with_noise=True, jobs=1, cache_dir=None
+        )
+
+    def test_default_seeds_parameter(self):
+        """The bench suite's lighter default flows through ``from_env``."""
+        assert ExperimentConfig.from_env(default_seeds=10).seeds == 10
+
+    def test_env_seeds_beat_default_seeds_parameter(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEEDS", "4")
+        assert ExperimentConfig.from_env(default_seeds=10).seeds == 4
+
+
+class TestPrecedence:
+    def test_seeds_and_iters(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEEDS", "7")
+        monkeypatch.setenv("REPRO_ITERS", "12")
+        cfg = ExperimentConfig.from_env()
+        assert cfg.seeds == 7
+        assert cfg.timesteps == 12
+
+    def test_full_overrides_seeds_and_iters(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEEDS", "3")
+        monkeypatch.setenv("REPRO_ITERS", "2")
+        monkeypatch.setenv("REPRO_FULL", "1")
+        cfg = ExperimentConfig.from_env()
+        assert cfg.seeds == 30
+        assert cfg.timesteps is None
+
+    def test_full_zero_is_not_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEEDS", "3")
+        monkeypatch.setenv("REPRO_FULL", "0")
+        assert ExperimentConfig.from_env().seeds == 3
+
+    def test_full_keeps_execution_knobs(self, monkeypatch):
+        """REPRO_FULL controls scale; jobs/cache are orthogonal and survive."""
+        monkeypatch.setenv("REPRO_FULL", "1")
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
+        cfg = ExperimentConfig.from_env()
+        assert cfg.seeds == 30
+        assert cfg.jobs == 6
+        assert cfg.cache_dir == "/tmp/somewhere"
+
+    def test_jobs_and_cache_dir(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/elsewhere")
+        cfg = ExperimentConfig.from_env()
+        assert cfg.jobs == 4
+        assert cfg.cache_dir == "/tmp/elsewhere"
+
+    def test_empty_cache_dir_means_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        assert ExperimentConfig.from_env().cache_dir is None
+
+
+class TestReadOnce:
+    def test_config_frozen_against_env_changes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEEDS", "5")
+        cfg = ExperimentConfig.from_env()
+        monkeypatch.setenv("REPRO_SEEDS", "9")
+        assert cfg.seeds == 5
+        assert ExperimentConfig.from_env().seeds == 9
+
+    def test_runner_captures_env_at_construction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEEDS", "2")
+        monkeypatch.setenv("REPRO_ITERS", "1")
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        runner = Runner(topology=tiny_two_node())
+        monkeypatch.setenv("REPRO_SEEDS", "30")
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert runner.config.seeds == 2
+        assert runner.config.timesteps == 1
+        assert runner.jobs == 2
+        cell = runner.cell("matmul", "baseline")
+        assert len(cell.runs) == 2
+
+    def test_specs_never_reread_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEEDS", "3")
+        runner = Runner(topology=tiny_two_node())
+        monkeypatch.setenv("REPRO_SEEDS", "1")
+        assert len(runner.specs("matmul", "baseline")) == 3

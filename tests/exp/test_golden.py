@@ -1,0 +1,79 @@
+"""Golden-trace regression: a committed campaign the Runner must reproduce.
+
+The fixture pins a small fixed-seed campaign — 2 benchmarks x 3 schedulers
+x 3 seeds on the tiny machine, noise on — down to every per-run execution
+time at full float precision.  Any change anywhere in ``core/``, ``sim/``,
+``runtime/`` or ``memory/`` that shifts a single simulated run fails this
+test loudly; intentional behaviour changes regenerate the fixture with::
+
+    PYTHONPATH=src python tests/exp/test_golden.py --write
+
+and the resulting diff is reviewed like any other code change.
+"""
+
+import json
+from pathlib import Path
+
+from repro.exp.persistence import results_to_dict
+from repro.exp.runner import ExperimentConfig, Runner
+from repro.topology.presets import tiny_two_node
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_campaign.json"
+
+GOLDEN_BENCHMARKS = ["matmul", "cg"]
+GOLDEN_SCHEDULERS = ["baseline", "ilan", "worksharing"]
+GOLDEN_CONFIG = ExperimentConfig(seeds=3, timesteps=2, with_noise=True)
+
+
+def golden_campaign() -> dict:
+    """Recompute the pinned campaign from scratch."""
+    runner = Runner(GOLDEN_CONFIG, topology=tiny_two_node())
+    runner.prefetch(GOLDEN_BENCHMARKS, GOLDEN_SCHEDULERS)
+    return results_to_dict(runner)
+
+
+def canonical(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def test_runner_reproduces_golden_campaign():
+    committed = json.loads(FIXTURE.read_text())
+    recomputed = golden_campaign()
+    assert canonical(recomputed) == canonical(committed), (
+        "the simulator no longer reproduces the committed campaign — if the "
+        "behaviour change is intentional, regenerate with "
+        "`PYTHONPATH=src python tests/exp/test_golden.py --write`"
+    )
+
+
+def test_golden_covers_declared_grid():
+    committed = json.loads(FIXTURE.read_text())
+    cells = {(c["benchmark"], c["scheduler"]) for c in committed["cells"]}
+    assert cells == {
+        (b, s) for b in GOLDEN_BENCHMARKS for s in GOLDEN_SCHEDULERS
+    }
+    assert all(c["runs"] == GOLDEN_CONFIG.seeds for c in committed["cells"])
+    assert all(len(c["times"]) == GOLDEN_CONFIG.seeds for c in committed["cells"])
+
+
+def test_golden_seeds_are_cell_derived():
+    """The fixture must pin the derived per-cell seed streams, not 0..n."""
+    from repro.exp.runner import derive_run_seed
+
+    committed = json.loads(FIXTURE.read_text())
+    for cell in committed["cells"]:
+        expected = [
+            derive_run_seed(cell["benchmark"], cell["scheduler"], i)
+            for i in range(cell["runs"])
+        ]
+        assert cell["seeds"] == expected
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" not in sys.argv:
+        sys.exit("refusing to overwrite the fixture without --write")
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(canonical(golden_campaign()))
+    print(f"wrote {FIXTURE}")

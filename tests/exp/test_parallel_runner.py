@@ -1,0 +1,164 @@
+"""Determinism and cache-integration tests for the parallel runner.
+
+The load-bearing claims locked down here:
+
+* a campaign run with ``jobs=N`` is **byte-identical** to ``jobs=1``;
+* a warm-cache rerun re-simulates **zero** runs and still produces
+  byte-identical results;
+* the in-memory cell memoisation, the disk cache, and the process pool
+  compose without changing any result.
+"""
+
+import json
+
+import pytest
+
+from repro.exp.cache import ResultCache, run_to_json
+from repro.exp.figures import figure2
+from repro.exp.persistence import results_to_dict
+from repro.exp.runner import ExperimentConfig, Runner
+
+BENCHES = ["matmul", "cg"]
+PAIRS = [(b, s) for b in BENCHES for s in ("baseline", "ilan")]
+CFG = ExperimentConfig(seeds=2, timesteps=2, with_noise=True)
+
+
+def campaign_fingerprint(runner: Runner) -> str:
+    """Canonical text of every run of every cell (NaN-safe byte identity)."""
+    parts = {
+        f"{bench}/{sched}": [run_to_json(r) for r in cell.runs]
+        for (bench, sched), cell in sorted(runner.cached_cells().items())
+    }
+    return json.dumps(parts, sort_keys=True)
+
+
+@pytest.fixture
+def make_runner(tiny):
+    def _make(jobs: int = 1, cache: ResultCache | None = None) -> Runner:
+        return Runner(CFG, topology=tiny, jobs=jobs, cache=cache)
+
+    return _make
+
+
+class TestParallelEqualsSequential:
+    def test_campaign_byte_identical(self, make_runner):
+        seq = make_runner(jobs=1)
+        par = make_runner(jobs=2)
+        seq.cells(PAIRS)
+        par.cells(PAIRS)
+        assert campaign_fingerprint(par) == campaign_fingerprint(seq)
+
+    def test_figure2_rows_identical(self, make_runner):
+        """The acceptance check: figure-2 summaries match run-for-run."""
+        seq_rows = figure2(make_runner(jobs=1), BENCHES)
+        par_rows = figure2(make_runner(jobs=2), BENCHES)
+        assert par_rows == seq_rows
+
+    def test_summary_payload_identical(self, make_runner):
+        seq = make_runner(jobs=1)
+        par = make_runner(jobs=2)
+        seq.cells(PAIRS)
+        par.cells(PAIRS)
+        assert json.dumps(results_to_dict(par), sort_keys=True) == json.dumps(
+            results_to_dict(seq), sort_keys=True
+        )
+
+    def test_execution_order_irrelevant(self, make_runner):
+        """Cells computed one-by-one equal cells computed in one fan-out."""
+        one_by_one = make_runner(jobs=1)
+        for pair in PAIRS:
+            one_by_one.cell(*pair)
+        fanned = make_runner(jobs=2)
+        fanned.cells(list(reversed(PAIRS)))
+        assert campaign_fingerprint(fanned) == campaign_fingerprint(one_by_one)
+
+
+class TestCacheIntegration:
+    def test_cold_run_populates_cache(self, make_runner, tmp_cache):
+        runner = make_runner(jobs=2, cache=tmp_cache)
+        runner.cells(PAIRS)
+        expected_runs = len(PAIRS) * CFG.seeds
+        assert tmp_cache.stats.stores == expected_runs
+        assert tmp_cache.stats.hits == 0
+        assert len(tmp_cache) == expected_runs
+
+    def test_warm_rerun_simulates_nothing(self, make_runner, tmp_cache):
+        make_runner(jobs=2, cache=tmp_cache).cells(PAIRS)
+        warm = make_runner(jobs=2, cache=ResultCache(tmp_cache.root))
+        warm.cells(PAIRS)
+        assert warm.cache.stats.misses == 0, "warm rerun must re-simulate zero runs"
+        assert warm.cache.stats.stores == 0
+        assert warm.cache.stats.hits == len(PAIRS) * CFG.seeds
+
+    def test_warm_results_byte_identical(self, make_runner, tmp_cache):
+        cold = make_runner(jobs=1, cache=tmp_cache)
+        cold.cells(PAIRS)
+        warm = make_runner(jobs=2, cache=ResultCache(tmp_cache.root))
+        warm.cells(PAIRS)
+        assert campaign_fingerprint(warm) == campaign_fingerprint(cold)
+
+    def test_unrelated_config_does_not_hit(self, make_runner, tmp_cache):
+        """Changing any configuration field must miss, not serve stale runs."""
+        make_runner(cache=tmp_cache).cells(PAIRS)
+        other_cfg = ExperimentConfig(seeds=2, timesteps=3, with_noise=True)
+        other = Runner(other_cfg, topology=make_runner().topology,
+                       cache=ResultCache(tmp_cache.root))
+        other.cell("matmul", "baseline")
+        assert other.cache.stats.hits == 0
+
+    def test_growing_seed_count_reuses_prefix(self, tiny, tmp_cache):
+        """Runs are cached individually: going 2 → 4 seeds reuses the 2."""
+        Runner(CFG, topology=tiny, cache=tmp_cache).cell("matmul", "baseline")
+        bigger = Runner(
+            ExperimentConfig(seeds=4, timesteps=2, with_noise=True),
+            topology=tiny,
+            cache=ResultCache(tmp_cache.root),
+        )
+        bigger.cell("matmul", "baseline")
+        assert bigger.cache.stats.hits == 2
+        assert bigger.cache.stats.stores == 2
+
+    def test_corrupt_entry_recomputed_transparently(self, make_runner, tmp_cache):
+        cold = make_runner(cache=tmp_cache)
+        cold.cells(PAIRS)
+        fingerprint = campaign_fingerprint(cold)
+        # truncate one entry on disk
+        victim = next(iter(tmp_cache.keys()))
+        path = tmp_cache.path_for(victim)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        warm = make_runner(jobs=2, cache=ResultCache(tmp_cache.root))
+        warm.cells(PAIRS)
+        assert campaign_fingerprint(warm) == fingerprint
+        assert warm.cache.stats.misses == 1
+        assert warm.cache.stats.stores == 1
+
+
+class TestJobsPlumbing:
+    def test_config_jobs_used_by_default(self, tiny):
+        runner = Runner(
+            ExperimentConfig(seeds=1, timesteps=1, with_noise=False, jobs=3),
+            topology=tiny,
+        )
+        assert runner.jobs == 3
+
+    def test_jobs_argument_overrides_config(self, tiny):
+        runner = Runner(
+            ExperimentConfig(seeds=1, timesteps=1, with_noise=False, jobs=3),
+            topology=tiny,
+            jobs=1,
+        )
+        assert runner.jobs == 1
+
+    def test_jobs_floor_is_one(self, tiny):
+        assert Runner(CFG, topology=tiny, jobs=0).jobs == 1
+
+    def test_config_cache_dir_builds_cache(self, tiny, tmp_path):
+        cache_dir = tmp_path / "from-config"
+        runner = Runner(
+            ExperimentConfig(seeds=1, timesteps=1, with_noise=False,
+                             cache_dir=str(cache_dir)),
+            topology=tiny,
+        )
+        assert runner.cache is not None
+        runner.cell("matmul", "baseline")
+        assert cache_dir.is_dir() and len(runner.cache) == 1

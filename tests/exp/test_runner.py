@@ -3,7 +3,13 @@
 import pytest
 
 from repro.errors import ExperimentError
-from repro.exp.runner import CellResult, ExperimentConfig, Runner, default_noise
+from repro.exp.runner import (
+    CellResult,
+    ExperimentConfig,
+    Runner,
+    default_noise,
+    derive_run_seed,
+)
 
 
 @pytest.fixture
@@ -16,6 +22,8 @@ class TestConfig:
         cfg = ExperimentConfig()
         assert cfg.seeds == 30
         assert cfg.with_noise
+        assert cfg.jobs == 1
+        assert cfg.cache_dir is None
 
     def test_from_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_SEEDS", "5")
@@ -37,13 +45,33 @@ class TestConfig:
         assert 0 < noise.slow_factor < 1
 
 
+class TestDerivedSeeds:
+    def test_stable(self):
+        assert derive_run_seed("matmul", "baseline", 0) == derive_run_seed(
+            "matmul", "baseline", 0
+        )
+
+    def test_distinct_per_cell_and_index(self):
+        seeds = {
+            derive_run_seed(bench, sched, i)
+            for bench in ("matmul", "cg")
+            for sched in ("baseline", "ilan")
+            for i in range(5)
+        }
+        assert len(seeds) == 2 * 2 * 5
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ExperimentError):
+            derive_run_seed("matmul", "baseline", -1)
+
+
 class TestRunner:
     def test_cell_runs_all_seeds(self, runner):
         cell = runner.cell("matmul", "baseline")
         assert isinstance(cell, CellResult)
         assert len(cell.runs) == 2
-        assert cell.runs[0].seed == 0
-        assert cell.runs[1].seed == 1
+        assert cell.runs[0].seed == derive_run_seed("matmul", "baseline", 0)
+        assert cell.runs[1].seed == derive_run_seed("matmul", "baseline", 1)
 
     def test_cell_cached(self, runner):
         a = runner.cell("matmul", "baseline")
@@ -72,3 +100,21 @@ class TestRunner:
         ws = runner.cell("matmul", "worksharing")
         assert base.scheduler == "baseline" and ws.scheduler == "worksharing"
         assert base is not ws
+
+    def test_cells_batch_matches_single(self, tiny):
+        batch = Runner(
+            ExperimentConfig(seeds=2, timesteps=2, with_noise=False), topology=tiny
+        )
+        single = Runner(
+            ExperimentConfig(seeds=2, timesteps=2, with_noise=False), topology=tiny
+        )
+        pairs = [("matmul", "baseline"), ("matmul", "ilan")]
+        got = batch.cells(pairs)
+        for pair in pairs:
+            assert got[pair].times == single.cell(*pair).times
+
+    def test_prefetch_populates_all_cells(self, runner):
+        runner.prefetch(["matmul"], ["baseline", "ilan"])
+        cached = runner.cached_cells()
+        assert ("matmul", "baseline") in cached
+        assert ("matmul", "ilan") in cached

@@ -43,6 +43,28 @@ class TestSweep:
         with pytest.raises(ExperimentError):
             sweep(app_factory=factory, schedulers={"a": "baseline"}, seeds=0, topology=tiny)
 
+    def test_parallel_equals_sequential(self, tiny):
+        kwargs = dict(
+            app_factory=factory,
+            schedulers={"base": "baseline", "ilan": IlanScheduler()},
+            seeds=2,
+            topology=tiny,
+        )
+        assert sweep(jobs=2, **kwargs) == sweep(jobs=1, **kwargs)
+
+    def test_unpicklable_factory_falls_back_inline(self, tiny):
+        rows = sweep(
+            app_factory=lambda: factory(),  # lambdas cannot cross processes
+            schedulers={"base": "baseline"},
+            seeds=2,
+            topology=tiny,
+            jobs=4,
+        )
+        assert rows == sweep(
+            app_factory=factory, schedulers={"base": "baseline"}, seeds=2,
+            topology=tiny,
+        )
+
 
 class TestRender:
     def test_plain_table(self, tiny):

@@ -1,0 +1,195 @@
+"""Property-based tests: cache-key injectivity and persistence losslessness."""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.counters.metrics import TaskloopCounters
+from repro.exp.cache import decode_run, encode_run, run_key, run_to_json
+from repro.exp.figures import OverheadRow, SpeedupRow, ThreadsRow, VariabilityRow
+from repro.exp.persistence import load_results, save_results
+from repro.interference.noise import NoiseParams
+from repro.runtime.overhead import OverheadLedger
+from repro.runtime.results import AppRunResult, TaskloopResult
+from repro.topology.presets import tiny_two_node
+
+_TOPO_FP = "0" * 64  # a fixed pre-computed fingerprint; keys only mix it in
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+positive = st.floats(min_value=1e-6, max_value=1e3, allow_nan=False)
+
+
+noise_params = st.one_of(
+    st.none(),
+    st.builds(
+        NoiseParams,
+        mean_interval=positive,
+        mean_duration=positive,
+        slow_factor=st.floats(min_value=0.01, max_value=0.99),
+        cores_fraction=st.floats(min_value=0.01, max_value=1.0),
+    ),
+)
+
+_FIELD_STRATEGIES = {
+    "benchmark": st.sampled_from(["ft", "bt", "cg", "lu", "sp", "matmul", "lulesh"]),
+    "scheduler": st.sampled_from(["baseline", "ilan", "ilan-nomold", "worksharing"]),
+    "seed": st.integers(min_value=0, max_value=2**32 - 1),
+    "timesteps": st.one_of(st.none(), st.integers(min_value=1, max_value=200)),
+    "noise": noise_params,
+}
+
+key_configs = st.fixed_dictionaries(_FIELD_STRATEGIES)
+
+
+@settings(max_examples=80)
+@given(a=key_configs, b=key_configs)
+def test_key_equality_iff_config_equality(a, b):
+    """Keys collide exactly when the full configuration is identical."""
+    key_a = run_key(topology=_TOPO_FP, **a)
+    key_b = run_key(topology=_TOPO_FP, **b)
+    assert (key_a == key_b) == (a == b)
+
+
+@settings(max_examples=60, suppress_health_check=[HealthCheck.large_base_example])
+@given(cfg=key_configs, data=st.data())
+def test_single_field_perturbation_changes_key(cfg, data):
+    """Any changed config field yields a different key (injectivity)."""
+    field = data.draw(st.sampled_from(sorted(cfg)), label="perturbed field")
+    value = data.draw(
+        _FIELD_STRATEGIES[field].filter(lambda v: v != cfg[field]),
+        label="replacement value",
+    )
+    perturbed = {**cfg, field: value}
+    assert run_key(topology=_TOPO_FP, **perturbed) != run_key(topology=_TOPO_FP, **cfg)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=30)
+def test_key_stable_across_topology_value_and_fingerprint(seed):
+    topo = tiny_two_node()
+    from repro.exp.cache import topology_fingerprint
+
+    by_value = run_key(
+        benchmark="cg", scheduler="ilan", seed=seed, timesteps=None, noise=None,
+        topology=topo,
+    )
+    by_fp = run_key(
+        benchmark="cg", scheduler="ilan", seed=seed, timesteps=None, noise=None,
+        topology=topology_fingerprint(topo),
+    )
+    assert by_value == by_fp
+
+
+# ----------------------------------------------------------------------
+# save_results / load_results losslessness over every figure row type
+# ----------------------------------------------------------------------
+row_strategies = st.one_of(
+    st.builds(
+        SpeedupRow,
+        benchmark=st.sampled_from(["ft", "cg", "sp"]),
+        scheduler=st.sampled_from(["ilan", "ilan-nomold"]),
+        baseline_mean=finite,
+        baseline_std=finite,
+        sched_mean=finite,
+        sched_std=finite,
+        speedup=finite,
+    ),
+    st.builds(
+        ThreadsRow,
+        benchmark=st.sampled_from(["ft", "cg"]),
+        avg_threads=finite,
+        max_threads=st.integers(min_value=1, max_value=1024),
+    ),
+    st.builds(
+        OverheadRow,
+        benchmark=st.sampled_from(["ft", "cg"]),
+        baseline_overhead=finite,
+        ilan_overhead=finite,
+        normalized=finite,
+    ),
+    st.builds(
+        VariabilityRow,
+        benchmark=st.sampled_from(["ft", "cg"]),
+        baseline_std=finite,
+        ilan_std=finite,
+        baseline_rel_std=finite,
+        ilan_rel_std=finite,
+    ),
+)
+
+
+@settings(max_examples=80, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(rows=st.lists(row_strategies, min_size=1, max_size=6))
+def test_row_roundtrip_lossless(rows, tmp_path):
+    """Every figure-row type survives save/load bit-exactly."""
+    loaded = load_results(save_results(tmp_path / "rows.json", rows))
+    assert loaded == rows
+    for orig, back in zip(rows, loaded):
+        assert type(back) is type(orig)
+        for f in dataclasses.fields(orig):
+            assert getattr(back, f.name) == getattr(orig, f.name)
+
+
+# ----------------------------------------------------------------------
+# encode_run / decode_run losslessness (NaN included)
+# ----------------------------------------------------------------------
+maybe_nan = st.floats(allow_nan=True, allow_infinity=False, width=64)
+
+
+@st.composite
+def app_runs(draw):
+    n_loops = draw(st.integers(min_value=0, max_value=3))
+    loops = []
+    for i in range(n_loops):
+        ledger = OverheadLedger()
+        ledger.charge("dequeue", draw(positive), count=draw(st.integers(1, 50)))
+        loops.append(
+            TaskloopResult(
+                uid=f"app.loop{i}",
+                name=f"loop{i}",
+                elapsed=draw(positive),
+                num_threads=draw(st.integers(1, 64)),
+                node_mask_bits=draw(st.integers(0, 2**8 - 1)),
+                steal_policy=draw(st.sampled_from(["hier", "random", "none"])),
+                overhead=ledger,
+                node_perf=np.array(draw(st.lists(maybe_nan, min_size=1, max_size=4))),
+                node_busy=np.array(draw(st.lists(finite, min_size=1, max_size=4))),
+                tasks_executed=draw(st.integers(0, 10_000)),
+                steals_local=draw(st.integers(0, 1000)),
+                steals_remote=draw(st.integers(0, 1000)),
+                counters=draw(
+                    st.one_of(
+                        st.none(),
+                        st.builds(
+                            TaskloopCounters,
+                            uid=st.just(f"app.loop{i}"),
+                            elapsed=finite,
+                            sat_time_integral=finite,
+                            peak_saturation=finite,
+                            bytes_total=finite,
+                            bytes_remote=finite,
+                            busy_time=finite,
+                            idle_time=finite,
+                        ),
+                    )
+                ),
+            )
+        )
+    return AppRunResult(
+        app_name=draw(st.sampled_from(["cg", "sp", "matmul"])),
+        scheduler=draw(st.sampled_from(["baseline", "ilan"])),
+        seed=draw(st.integers(0, 2**32 - 1)),
+        total_time=draw(finite),
+        taskloops=loops,
+    )
+
+
+@settings(max_examples=60)
+@given(run=app_runs())
+def test_run_codec_roundtrip_lossless(run):
+    decoded = decode_run(encode_run(run))
+    assert run_to_json(decoded) == run_to_json(run)
+    # and a second trip is a fixed point (NaN-safe comparison via canonical text)
+    assert run_to_json(decode_run(encode_run(decoded))) == run_to_json(run)
