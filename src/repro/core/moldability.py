@@ -17,6 +17,10 @@ Drives one taskloop callsite through ILAN's lifecycle:
 5. **trial** — one execution with ``steal_policy = full``;
 6. **settled** — the winning configuration runs for the rest of the
    application.
+
+When an ``allowed_nodes`` lease is set (multi-tenant service), the whole
+lifecycle operates on the leased sub-machine: ``m_max`` is the lease's
+core count and every node mask stays inside the lease.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.core.ptt import TaskloopPTT
 from repro.core.selection import initial_threads, select_next_threads
 from repro.core.steal_eval import evaluate_steal_policy
 from repro.errors import ConfigurationError
+from repro.topology.affinity import NodeMask
 from repro.topology.distances import DistanceMatrix
 from repro.topology.machine import MachineTopology
 
@@ -57,6 +62,7 @@ class MoldabilityController:
     topology: MachineTopology
     distances: DistanceMatrix
     granularity: int
+    allowed_nodes: NodeMask | None = None
     phase: Phase = Phase.WARMUP
     k: int = 0  # recorded execution counter (the paper's iteration count)
     cur_threads: int = 0
@@ -69,8 +75,16 @@ class MoldabilityController:
     skip_search: bool = False
 
     def __post_init__(self) -> None:
+        if self.allowed_nodes is not None:
+            if self.allowed_nodes.width != self.topology.num_nodes:
+                raise ConfigurationError(
+                    f"lease mask width {self.allowed_nodes.width} does not match "
+                    f"machine with {self.topology.num_nodes} nodes"
+                )
+            if self.allowed_nodes.is_empty():
+                raise ConfigurationError("lease mask must contain at least one node")
         g = self.granularity
-        m_max = self.topology.num_cores
+        m_max = self.m_max
         if g < 1 or g > m_max:
             raise ConfigurationError(f"granularity {g} out of range for {m_max} cores")
         if m_max % g:
@@ -81,7 +95,12 @@ class MoldabilityController:
     # ------------------------------------------------------------------
     @property
     def m_max(self) -> int:
-        return self.topology.num_cores
+        """Widest explorable thread count: the (leased) machine's cores."""
+        if self.allowed_nodes is None:
+            return self.topology.num_cores
+        return sum(
+            len(self.topology.cores_of_node(n)) for n in self.allowed_nodes.indices()
+        )
 
     def next_config(self, ptt: TaskloopPTT) -> TaskloopConfig:
         """Configuration for the upcoming encounter (mutates phase state)."""
@@ -151,16 +170,21 @@ class MoldabilityController:
         """After the full-stealing trial: fix the final configuration."""
         if self.phase is not Phase.TRIAL:
             raise ConfigurationError(f"finish_trial called in phase {self.phase}")
-        mask = get_numa_mask(self.best_threads, ptt, self.topology, self.distances)
+        mask = self._mask(self.best_threads, ptt)
         policy = evaluate_steal_policy(ptt, self.best_threads, mask.bits)
         self.settled_config = TaskloopConfig(self.best_threads, mask, policy)
         self.phase = Phase.SETTLED
 
     # ------------------------------------------------------------------
+    def _mask(self, threads: int, ptt: TaskloopPTT) -> "NodeMask":
+        return get_numa_mask(
+            threads, ptt, self.topology, self.distances, allowed=self.allowed_nodes
+        )
+
     def _enter_post_search(self, ptt: TaskloopPTT) -> TaskloopConfig:
         """Search finished: go to CONFIRM if the settled strict point is
         missing from the PTT, else straight to the TRIAL."""
-        mask = get_numa_mask(self.best_threads, ptt, self.topology, self.distances)
+        mask = self._mask(self.best_threads, ptt)
         strict_key = (self.best_threads, mask.bits, StealPolicyMode.STRICT.value)
         if ptt.mean_time(strict_key) is None:
             self.phase = Phase.CONFIRM
@@ -171,12 +195,11 @@ class MoldabilityController:
         return TaskloopConfig(self.best_threads, mask, StealPolicyMode.FULL)
 
     def _trial_config(self, ptt: TaskloopPTT) -> TaskloopConfig:
-        mask = get_numa_mask(self.best_threads, ptt, self.topology, self.distances)
+        mask = self._mask(self.best_threads, ptt)
         self.cur_threads = self.best_threads
         return TaskloopConfig(self.best_threads, mask, StealPolicyMode.FULL)
 
     def _config(
         self, threads: int, ptt: TaskloopPTT, policy: StealPolicyMode
     ) -> TaskloopConfig:
-        mask = get_numa_mask(threads, ptt, self.topology, self.distances)
-        return TaskloopConfig(threads, mask, policy)
+        return TaskloopConfig(threads, self._mask(threads, ptt), policy)

@@ -8,6 +8,12 @@ socket are prioritized over nodes crossing socket domains."
 
 Ties between equally distant candidates break on measured per-node
 performance (faster first), then node id, keeping selection deterministic.
+
+Multi-tenant extension: an optional ``allowed`` lease mask restricts every
+choice to a subset of the machine's nodes.  Inside a lease the same policy
+applies unchanged — the fastest *leased* node seeds the mask and growth
+stays topology-proximate — so a job molded inside a 2-node lease behaves
+exactly like ILAN on a 2-node machine.
 """
 
 from __future__ import annotations
@@ -25,12 +31,28 @@ from repro.topology.machine import MachineTopology
 __all__ = ["get_numa_mask", "worker_cores_for_mask", "nodes_needed"]
 
 
-def nodes_needed(num_threads: int, topology: MachineTopology) -> int:
+def nodes_needed(
+    num_threads: int, topology: MachineTopology, allowed: NodeMask | None = None
+) -> int:
     """How many NUMA nodes ``num_threads`` pinned threads occupy."""
     if num_threads < 1:
         raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
     n = math.ceil(num_threads / topology.cores_per_node)
-    return min(n, topology.num_nodes)
+    limit = topology.num_nodes if allowed is None else allowed.count()
+    return min(n, limit)
+
+
+def _fastest_allowed(ptt: TaskloopPTT, universe: list[int]) -> int:
+    """The fastest node by observed throughput, restricted to ``universe``.
+
+    Falls back to the lowest allowed node id while no per-node observation
+    exists yet (mirroring :meth:`TaskloopPTT.fastest_node`).
+    """
+    perf = ptt.node_perf
+    known = [n for n in universe if not np.isnan(perf[n])]
+    if not known:
+        return universe[0]
+    return max(known, key=lambda n: (perf[n], -n))
 
 
 def get_numa_mask(
@@ -38,10 +60,26 @@ def get_numa_mask(
     ptt: TaskloopPTT,
     topology: MachineTopology,
     distances: DistanceMatrix,
+    allowed: NodeMask | None = None,
 ) -> NodeMask:
-    """Select the node mask for a configuration with ``num_threads`` threads."""
-    count = nodes_needed(num_threads, topology)
-    fastest = ptt.fastest_node()
+    """Select the node mask for a configuration with ``num_threads`` threads.
+
+    ``allowed`` restricts the selection to a leased subset of nodes; it
+    must be a non-empty mask as wide as the machine's node count.
+    """
+    if allowed is not None:
+        if allowed.width != topology.num_nodes:
+            raise ConfigurationError(
+                f"lease mask width {allowed.width} does not match machine with "
+                f"{topology.num_nodes} nodes"
+            )
+        if allowed.is_empty():
+            raise ConfigurationError("lease mask must contain at least one node")
+        universe = allowed.indices()
+    else:
+        universe = list(topology.node_ids())
+    count = nodes_needed(num_threads, topology, allowed)
+    fastest = _fastest_allowed(ptt, universe)
     perf = ptt.node_perf
     dist_row = distances.matrix[fastest]
 
@@ -50,7 +88,7 @@ def get_numa_mask(
         p = -p if not np.isnan(p) else 0.0  # unknown perf ranks after known-fast
         return (float(dist_row[node]), p, node)
 
-    candidates = sorted(topology.node_ids(), key=order_key)
+    candidates = sorted(universe, key=order_key)
     # the fastest node always comes first (its self-distance is minimal by
     # SLIT construction, but make the guarantee explicit)
     chosen = [fastest] + [n for n in candidates if n != fastest]

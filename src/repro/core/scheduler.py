@@ -59,6 +59,11 @@ class IlanScheduler(Scheduler):
     energy_model:
         The :class:`repro.energy.EnergyModel` used by the energy
         objectives; defaults to the Zen 4-calibrated model.
+    allowed_nodes:
+        Optional NUMA-node lease (multi-tenant service): every
+        configuration — thread counts, node masks, worker cores — stays
+        inside this mask, so ILAN molds the taskloops as if the lease were
+        the whole machine.  ``None`` (the default) uses all nodes.
     """
 
     name = "ilan"
@@ -72,6 +77,7 @@ class IlanScheduler(Scheduler):
         use_counters: bool = False,
         objective: str = "time",
         energy_model: "EnergyModel | None" = None,
+        allowed_nodes: NodeMask | None = None,
     ):
         if objective not in self.OBJECTIVES:
             raise ConfigurationError(
@@ -81,6 +87,7 @@ class IlanScheduler(Scheduler):
         self.strict_fraction = strict_fraction
         self.use_counters = use_counters
         self.objective = objective
+        self.allowed_nodes = allowed_nodes
         if objective != "time" and energy_model is None:
             from repro.energy.model import EnergyModel
 
@@ -118,7 +125,10 @@ class IlanScheduler(Scheduler):
         if ctrl is None:
             g = self.granularity or ctx.topology.cores_per_node
             ctrl = MoldabilityController(
-                topology=ctx.topology, distances=ctx.distances, granularity=g
+                topology=ctx.topology,
+                distances=ctx.distances,
+                granularity=g,
+                allowed_nodes=self.allowed_nodes,
             )
             self._controllers[work.uid] = ctrl
         table = ptt_all.table(work.uid)

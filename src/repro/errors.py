@@ -38,3 +38,7 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness for invalid experiment requests."""
+
+
+class ServeError(ReproError):
+    """Base class of the multi-tenant scheduling service's errors."""

@@ -18,7 +18,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.exp.cache import default_cache_dir
+from repro.exp.cliopts import (
+    add_campaign_arguments,
+    add_machine_argument,
+    config_from_args,
+    resolve_machine,
+)
 from repro.exp.figures import figure2, figure3, figure4, figure5, figure6, table1
 from repro.exp.report import (
     render_figure6,
@@ -27,10 +32,7 @@ from repro.exp.report import (
     render_threads,
     render_variability,
 )
-from repro.exp.runner import ExperimentConfig, Runner
-from repro.topology.hwloc import parse_topology
-from repro.topology.machine import MachineTopology
-from repro.topology.presets import dual_socket_small, single_node, tiny_two_node, zen4_9354
+from repro.exp.runner import Runner
 from repro.workloads.registry import PAPER_ORDER
 
 __all__ = ["main"]
@@ -56,35 +58,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "on the simulated NUMA platform.",
     )
     parser.add_argument("experiment", choices=_EXPERIMENTS, help="which artefact to run")
-    parser.add_argument("--seeds", type=int, default=None, help="repetitions per cell (paper: 30)")
-    parser.add_argument("--timesteps", type=int, default=None, help="application timesteps override")
-    parser.add_argument("--no-noise", action="store_true", help="disable external system noise")
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        metavar="N",
-        help="worker processes for the campaign's runs (default: $REPRO_JOBS "
-        "or 1); results are identical for any N",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        metavar="DIR",
-        default=None,
-        help="persistent run-cache directory (default: $REPRO_CACHE_DIR or "
-        f"{default_cache_dir()}); completed runs are reused across invocations",
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="disable the persistent run cache (every run is re-simulated)",
-    )
-    parser.add_argument(
-        "--machine",
-        default="zen4",
-        help="machine model: a preset (zen4, small, tiny, uma) or a path "
-        "to an hwloc-style topology file (default: the paper's 64-core Zen 4)",
-    )
+    add_campaign_arguments(parser)
+    add_machine_argument(parser)
     parser.add_argument(
         "--save",
         metavar="PATH",
@@ -133,43 +108,14 @@ def run_experiment(name: str, runner: Runner, benchmarks: list[str] | None) -> s
     raise ValueError(f"unknown experiment {name!r}")  # pragma: no cover
 
 
-def _resolve_machine(spec: str) -> MachineTopology:
-    """A preset name or an hwloc-style topology file path."""
-    presets = {
-        "zen4": zen4_9354,
-        "small": dual_socket_small,
-        "tiny": tiny_two_node,
-        "uma": single_node,
-    }
-    factory = presets.get(spec)
-    if factory is not None:
-        return factory()
-    from pathlib import Path
-
-    path = Path(spec)
-    if not path.exists():
-        known = ", ".join(sorted(presets))
-        raise SystemExit(
-            f"unknown machine {spec!r}: not a preset ({known}) nor a topology file"
-        )
-    return parse_topology(path.read_text())
+# kept as an alias: the machine resolver now lives in repro.exp.cliopts
+_resolve_machine = resolve_machine
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
-    env_cfg = ExperimentConfig.from_env()
-    if args.no_cache:
-        cache_dir = None
-    else:
-        cache_dir = str(args.cache_dir or env_cfg.cache_dir or default_cache_dir())
-    cfg = ExperimentConfig(
-        seeds=args.seeds if args.seeds is not None else env_cfg.seeds,
-        timesteps=args.timesteps if args.timesteps is not None else env_cfg.timesteps,
-        with_noise=not args.no_noise,
-        jobs=args.jobs if args.jobs is not None else env_cfg.jobs,
-        cache_dir=cache_dir,
-    )
-    runner = Runner(cfg, topology=_resolve_machine(args.machine))
+    cfg = config_from_args(args)
+    runner = Runner(cfg, topology=resolve_machine(args.machine))
     names = [args.experiment] if args.experiment != "all" else list(_EXPERIMENTS[:-1])
     schedulers = sorted({s for n in names for s in _EXPERIMENT_SCHEDULERS[n]})
     runner.prefetch(args.benchmarks or list(PAPER_ORDER), schedulers)

@@ -51,6 +51,7 @@ from repro.workloads.registry import make_benchmark
 __all__ = [
     "ExperimentConfig",
     "CellResult",
+    "LEASE_SCHEDULERS",
     "RunSpec",
     "Runner",
     "default_noise",
@@ -131,6 +132,12 @@ class RunSpec:
 
     This is both the unit of work shipped to worker processes and the
     input of the cache key — the two stay in lockstep by construction.
+
+    ``lease_bits`` (multi-tenant service) confines the run to a NUMA-node
+    lease: the scheduler molds inside that node subset only.  It is part
+    of the cache key when set, so leased and unleased runs of the same
+    cell never collide; ``None`` leaves the key bit-identical to the
+    pre-lease format.
     """
 
     benchmark: str
@@ -139,8 +146,10 @@ class RunSpec:
     timesteps: int | None
     noise: NoiseParams | None
     topology: MachineTopology
+    lease_bits: int | None = None
 
     def key(self, topology_fp: str | None = None) -> str:
+        params = {"lease": self.lease_bits} if self.lease_bits is not None else None
         return run_key(
             benchmark=self.benchmark,
             scheduler=self.scheduler,
@@ -148,14 +157,40 @@ class RunSpec:
             timesteps=self.timesteps,
             noise=self.noise,
             topology=topology_fp if topology_fp is not None else self.topology,
+            scheduler_params=params,
         )
+
+
+#: Schedulers that understand a NUMA-node lease (``allowed_nodes``).
+LEASE_SCHEDULERS = frozenset({"ilan"})
+
+
+def _make_scheduler(spec: RunSpec):
+    """Scheduler instance (or name) for a spec, honouring its lease."""
+    if spec.lease_bits is None:
+        return spec.scheduler
+    if spec.scheduler not in LEASE_SCHEDULERS:
+        raise ExperimentError(
+            f"scheduler {spec.scheduler!r} does not support node leases; "
+            f"leasable schedulers: {sorted(LEASE_SCHEDULERS)}"
+        )
+    from repro.runtime.schedulers.base import create_scheduler
+    from repro.topology.affinity import NodeMask
+
+    mask = NodeMask(bits=spec.lease_bits, width=spec.topology.num_nodes)
+    if mask.is_empty():
+        raise ExperimentError("lease mask must contain at least one node")
+    return create_scheduler(spec.scheduler, allowed_nodes=mask)
 
 
 def execute_spec(spec: RunSpec) -> AppRunResult:
     """Simulate one run from scratch (the worker-process entry point)."""
     app = make_benchmark(spec.benchmark, timesteps=spec.timesteps)
     runtime = OpenMPRuntime(
-        spec.topology, scheduler=spec.scheduler, seed=spec.seed, noise=spec.noise
+        spec.topology,
+        scheduler=_make_scheduler(spec),
+        seed=spec.seed,
+        noise=spec.noise,
     )
     return runtime.run_application(app)
 
@@ -270,6 +305,63 @@ class Runner:
     ) -> dict[tuple[str, str], CellResult]:
         """Warm every (benchmark, scheduler) combination in one fan-out."""
         return self.cells(product(benchmarks, schedulers))
+
+    # ------------------------------------------------------------------
+    # job-level API (multi-tenant service)
+    # ------------------------------------------------------------------
+    def job_specs(
+        self,
+        benchmark: str,
+        scheduler: str = "ilan",
+        *,
+        seeds: int | None = None,
+        timesteps: int | None = None,
+        lease_bits: int | None = None,
+    ) -> list[RunSpec]:
+        """The run specs of one submitted *job*: a taskloop campaign of
+        ``seeds`` repetitions, optionally confined to a node lease.
+
+        Seeds reuse the campaign derivation (:func:`derive_run_seed`), so
+        an unleased job is cache-compatible with the equivalent campaign
+        cell; a leased job keys separately via ``lease_bits``.
+        """
+        cfg = self.config
+        n = cfg.seeds if seeds is None else seeds
+        if n < 1:
+            raise ExperimentError(f"need at least one seed, got {n}")
+        noise = default_noise() if cfg.with_noise else None
+        return [
+            RunSpec(
+                benchmark=benchmark,
+                scheduler=scheduler,
+                seed=derive_run_seed(benchmark, scheduler, index),
+                timesteps=timesteps if timesteps is not None else cfg.timesteps,
+                noise=noise,
+                topology=self.topology,
+                lease_bits=lease_bits,
+            )
+            for index in range(n)
+        ]
+
+    def run_specs(self, specs: Sequence[RunSpec]) -> list[AppRunResult]:
+        """Execute arbitrary specs through the cache, in the given order.
+
+        Unlike :meth:`cells` this performs no cell memoisation, so it is
+        safe to call concurrently from service worker threads: cache reads
+        and the atomic per-run writes are the only shared state.
+        """
+        if not specs:
+            return []
+        fp = self.topology_fp
+        for spec in specs:
+            if spec.topology is not self.topology and (
+                topology_fingerprint(spec.topology) != fp
+            ):
+                raise ExperimentError(
+                    "run_specs requires specs built for this runner's machine"
+                )
+        results = self._execute({spec.key(fp): spec for spec in specs})
+        return [results[spec.key(fp)] for spec in specs]
 
     # ------------------------------------------------------------------
     def _execute(self, by_key: dict[str, RunSpec]) -> dict[str, AppRunResult]:

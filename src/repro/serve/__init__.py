@@ -1,0 +1,43 @@
+"""Multi-tenant scheduling service for concurrent taskloop campaigns.
+
+This package turns the single-program simulator into a served system:
+many concurrent clients submit jobs against one simulated machine, a
+global NUMA arbiter hands each active job a disjoint topology-proximate
+node lease, ILAN molds each job inside its lease, a bounded admission
+queue applies typed backpressure, and a metrics endpoint exposes the live
+per-job and per-node state.
+
+Start a server with ``python -m repro.serve``; drive it with
+``python -m repro.serve.loadgen``.
+"""
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.arbiter import Lease, LeaseLedger, NodeArbiter
+from repro.serve.client import ServiceClient
+from repro.serve.metrics import ServiceMetrics, percentile
+from repro.serve.protocol import (
+    AdmissionRejected,
+    JobRecord,
+    JobRequest,
+    JobState,
+    LeaseError,
+    ProtocolError,
+)
+from repro.serve.server import SchedulingService
+
+__all__ = [
+    "AdmissionQueue",
+    "AdmissionRejected",
+    "JobRecord",
+    "JobRequest",
+    "JobState",
+    "Lease",
+    "LeaseError",
+    "LeaseLedger",
+    "NodeArbiter",
+    "ProtocolError",
+    "SchedulingService",
+    "ServiceClient",
+    "ServiceMetrics",
+    "percentile",
+]

@@ -1,0 +1,89 @@
+"""Run the scheduling service: ``python -m repro.serve [options]``.
+
+Examples::
+
+    python -m repro.serve --machine small --port 7077
+    python -m repro.serve --queue-capacity 32 --cache-dir .cache
+
+The server prints its bound address on startup and serves until
+interrupted (SIGINT drains gracefully: admitted jobs finish, new
+submissions are rejected with the typed ``draining`` error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import sys
+
+from repro.exp.cliopts import (
+    add_campaign_arguments,
+    add_machine_argument,
+    config_from_args,
+    resolve_machine,
+)
+from repro.serve.server import SchedulingService
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Multi-tenant taskloop scheduling service on one "
+        "simulated NUMA machine.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=7077, help="bind port (0 = ephemeral)")
+    parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=16,
+        help="bounded admission queue size; submissions beyond it are "
+        "rejected with the typed queue_full error",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="concurrent job slots (default: one per NUMA node)",
+    )
+    add_machine_argument(parser)
+    # campaign flags set the *defaults* jobs inherit (seeds, cache, noise)
+    add_campaign_arguments(parser)
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    service = SchedulingService(
+        resolve_machine(args.machine),
+        config=config_from_args(args, seeds_default=1),
+        queue_capacity=args.queue_capacity,
+        workers=args.workers,
+    )
+    host, port = await service.start(args.host, args.port)
+    print(f"serving {service.topology.describe()}")
+    print(f"listening on {host}:{port}; ctrl-c drains gracefully", flush=True)
+    try:
+        await service._drained.wait()
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        print("draining: finishing admitted jobs, rejecting new ones", flush=True)
+        snapshot = await service.drain()
+        jobs = snapshot["jobs"]
+        print(
+            f"drained: {jobs['completed']} completed, {jobs['failed']} failed, "
+            f"{jobs['rejected_total']} rejected"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    with contextlib.suppress(KeyboardInterrupt):
+        return asyncio.run(_serve(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Asyncio client for the scheduling service's line protocol.
+
+Used by the load generator, the CI smoke script and the service tests;
+applications embedding the service in-process can skip the socket and
+call :class:`~repro.serve.server.SchedulingService` directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Mapping
+
+from repro.serve.protocol import (
+    JobRequest,
+    ProtocolError,
+    raise_for_error,
+    read_message,
+    write_message,
+)
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One connection to a running service; not safe for concurrent use —
+    open one client per submitting coroutine (they are cheap)."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def request(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """One request/response round trip; raises the typed error on nok."""
+        await write_message(self._writer, payload)
+        response = await read_message(self._reader)
+        if response is None:
+            raise ProtocolError("service closed the connection mid-request")
+        return raise_for_error(response)
+
+    # ------------------------------------------------------------------
+    async def ping(self) -> dict[str, Any]:
+        return await self.request({"op": "ping"})
+
+    async def submit(self, request: JobRequest) -> str:
+        """Submit one job; returns its id.  Raises
+        :class:`~repro.serve.protocol.AdmissionRejected` on backpressure."""
+        response = await self.request({"op": "submit", "job": request.to_wire()})
+        return response["job_id"]
+
+    async def status(self, job_id: str) -> dict[str, Any]:
+        response = await self.request({"op": "status", "job_id": job_id})
+        return response["job"]
+
+    async def wait(
+        self, job_id: str, *, poll_interval: float = 0.02, timeout: float | None = None
+    ) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its record."""
+
+        async def _poll() -> dict[str, Any]:
+            while True:
+                job = await self.status(job_id)
+                if job["state"] in ("completed", "failed"):
+                    return job
+                await asyncio.sleep(poll_interval)
+
+        if timeout is None:
+            return await _poll()
+        return await asyncio.wait_for(_poll(), timeout)
+
+    async def metrics(self) -> dict[str, Any]:
+        response = await self.request({"op": "metrics"})
+        return response["metrics"]
+
+    async def drain(self) -> dict[str, Any]:
+        """Ask the service to drain gracefully; returns the final snapshot."""
+        response = await self.request({"op": "drain"})
+        return response["metrics"]

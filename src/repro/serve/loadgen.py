@@ -1,0 +1,210 @@
+"""Load generator: ``python -m repro.serve.loadgen [options]``.
+
+Drives open- or closed-loop job traffic against a running scheduling
+service and reports client-side latency plus the server's own metrics
+snapshot.
+
+* **closed loop** (default): ``--clients N`` concurrent tenants, each
+  submitting its next job as soon as the previous one finishes, for
+  ``--jobs-per-client`` jobs — the classic saturation benchmark;
+* **open loop**: jobs arrive at ``--rate`` jobs/second regardless of
+  completions (exponential inter-arrivals from a seeded RNG), measuring
+  behaviour under overload where typed ``queue_full`` rejections are part
+  of the expected outcome.
+
+``--self-host`` starts a service in-process on an ephemeral port first,
+so a one-line demo needs no separate server::
+
+    python -m repro.serve.loadgen --self-host --machine small \
+        --clients 3 --jobs-per-client 4 --nodes 2 --seeds 1 --timesteps 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.serve.client import ServiceClient
+from repro.serve.metrics import percentile
+from repro.serve.protocol import AdmissionRejected, JobRequest
+from repro.workloads.registry import PAPER_ORDER
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="Open/closed-loop traffic generator for the scheduling service.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7077)
+    parser.add_argument(
+        "--self-host",
+        action="store_true",
+        help="start an in-process service on an ephemeral port and drive that",
+    )
+    parser.add_argument("--machine", default="small",
+                        help="machine preset for --self-host (default: small)")
+    parser.add_argument("--queue-capacity", type=int, default=16,
+                        help="admission queue size for --self-host")
+    parser.add_argument("--mode", choices=("closed", "open"), default="closed")
+    parser.add_argument("--clients", type=int, default=3, help="concurrent tenants")
+    parser.add_argument("--jobs-per-client", type=int, default=4)
+    parser.add_argument("--rate", type=float, default=4.0,
+                        help="open-loop arrival rate, jobs/second")
+    parser.add_argument("--benchmark", default="matmul", choices=PAPER_ORDER)
+    parser.add_argument("--scheduler", default="ilan")
+    parser.add_argument("--nodes", type=int, default=1,
+                        help="NUMA nodes each job leases")
+    parser.add_argument("--seeds", type=int, default=1, help="repetitions per job")
+    parser.add_argument("--timesteps", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0, help="arrival-process RNG seed")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON instead of text")
+    return parser
+
+
+def _request(args: argparse.Namespace, tenant: str) -> JobRequest:
+    return JobRequest(
+        benchmark=args.benchmark,
+        scheduler=args.scheduler,
+        seeds=args.seeds,
+        timesteps=args.timesteps,
+        nodes=args.nodes,
+        tenant=tenant,
+    )
+
+
+async def _closed_client(
+    args: argparse.Namespace, host: str, port: int, tenant: str, out: dict
+) -> None:
+    """One tenant: submit, wait for completion, repeat."""
+    async with await ServiceClient.connect(host, port) as client:
+        for _ in range(args.jobs_per_client):
+            t0 = time.monotonic()
+            try:
+                job_id = await client.submit(_request(args, tenant))
+            except AdmissionRejected as exc:
+                out["rejected"].append(exc.code)
+                continue
+            job = await client.wait(job_id)
+            out["latencies"].append(time.monotonic() - t0)
+            out["states"].append(job["state"])
+
+
+async def _open_loop(args: argparse.Namespace, host: str, port: int, out: dict) -> None:
+    """Poisson arrivals at --rate; completions tracked in the background."""
+    rng = np.random.default_rng(args.seed)
+    total = args.clients * args.jobs_per_client
+    waiters: list[asyncio.Task] = []
+
+    async def _track(job_id: str, t0: float) -> None:
+        async with await ServiceClient.connect(host, port) as poller:
+            job = await poller.wait(job_id)
+            out["latencies"].append(time.monotonic() - t0)
+            out["states"].append(job["state"])
+
+    async with await ServiceClient.connect(host, port) as submitter:
+        for i in range(total):
+            tenant = f"tenant-{i % args.clients}"
+            try:
+                t0 = time.monotonic()
+                job_id = await submitter.submit(_request(args, tenant))
+                waiters.append(asyncio.create_task(_track(job_id, t0)))
+            except AdmissionRejected as exc:
+                out["rejected"].append(exc.code)
+            await asyncio.sleep(float(rng.exponential(1.0 / args.rate)))
+    if waiters:
+        await asyncio.gather(*waiters)
+
+
+async def _run(args: argparse.Namespace) -> dict:
+    service = None
+    host, port = args.host, args.port
+    if args.self_host:
+        from repro.exp.cliopts import config_from_args, resolve_machine
+        from repro.exp.runner import ExperimentConfig
+        from repro.serve.server import SchedulingService
+
+        service = SchedulingService(
+            resolve_machine(args.machine),
+            config=ExperimentConfig.from_env(),
+            queue_capacity=args.queue_capacity,
+        )
+        host, port = await service.start(args.host, 0)
+
+    out: dict = {"latencies": [], "states": [], "rejected": []}
+    t0 = time.monotonic()
+    if args.mode == "closed":
+        await asyncio.gather(
+            *(
+                _closed_client(args, host, port, f"tenant-{i}", out)
+                for i in range(args.clients)
+            )
+        )
+    else:
+        await _open_loop(args, host, port, out)
+    wall = time.monotonic() - t0
+
+    async with await ServiceClient.connect(host, port) as client:
+        server_metrics = await client.metrics()
+    if service is not None:
+        await service.drain()
+
+    lat = out["latencies"]
+    summary = {
+        "mode": args.mode,
+        "clients": args.clients,
+        "wall_s": wall,
+        "finished": len(lat),
+        "completed": sum(1 for s in out["states"] if s == "completed"),
+        "failed": sum(1 for s in out["states"] if s == "failed"),
+        "rejected": len(out["rejected"]),
+        "throughput_jps": len(lat) / wall if wall > 0 else 0.0,
+        "latency_s": {
+            "p50": percentile(lat, 50) if lat else None,
+            "p95": percentile(lat, 95) if lat else None,
+        },
+        "server": server_metrics,
+    }
+    return summary
+
+
+def _print_text(summary: dict) -> None:
+    lat = summary["latency_s"]
+    print(
+        f"{summary['mode']}-loop, {summary['clients']} client(s): "
+        f"{summary['completed']} completed, {summary['failed']} failed, "
+        f"{summary['rejected']} rejected in {summary['wall_s']:.2f}s "
+        f"({summary['throughput_jps']:.2f} jobs/s)"
+    )
+    if lat["p50"] is not None:
+        print(f"client latency: p50 {lat['p50']*1e3:.1f} ms, p95 {lat['p95']*1e3:.1f} ms")
+    nodes = summary["server"]["nodes"]
+    print(f"server lease map at end: {nodes['leases']}")
+    jobs = summary["server"]["jobs"]
+    print(
+        f"server totals: {jobs['submitted']} submitted, {jobs['completed']} "
+        f"completed, {jobs['rejected_total']} rejected, "
+        f"throughput {jobs['throughput_jps']:.2f} jobs/s"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    summary = asyncio.run(_run(args))
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        _print_text(summary)
+    return 0 if summary["failed"] == 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Live service metrics: counters, latency percentiles, lease map.
+
+The :class:`ServiceMetrics` registry aggregates everything the metrics
+snapshot endpoint exposes: monotonically increasing job counters
+(submitted / completed / failed / rejected-by-reason), completed-job
+latency percentiles (p50/p95 via linear interpolation), throughput since
+the first submission, and — joined in by the server at snapshot time —
+queue depth, per-node lease ownership, and the per-job records.
+
+The registry takes an injectable monotonic ``clock`` so tests can drive
+time deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = ["percentile", "ServiceMetrics"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Matches ``numpy.percentile``'s default behaviour without needing an
+    array; raises ``ValueError`` on an empty input or a ``q`` outside
+    [0, 100].
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not (0.0 <= q <= 100.0):
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+class ServiceMetrics:
+    """Counter and latency registry of one service instance."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self._started_at = clock()
+        self._first_submit_at: float | None = None
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected: Counter[str] = Counter()
+        self._latencies: list[float] = []
+
+    # ------------------------------------------------------------------
+    def record_submitted(self) -> None:
+        self.submitted += 1
+        if self._first_submit_at is None:
+            self._first_submit_at = self._clock()
+
+    def record_rejected(self, code: str) -> None:
+        self.rejected[code] += 1
+
+    def record_completed(self, latency: float) -> None:
+        self.completed += 1
+        self._latencies.append(latency)
+
+    def record_failed(self, latency: float) -> None:
+        self.failed += 1
+        self._latencies.append(latency)
+
+    # ------------------------------------------------------------------
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejected.values())
+
+    def latency_summary(self) -> dict[str, float | int]:
+        """p50/p95/mean/max over every finished (completed or failed) job."""
+        lat = self._latencies
+        if not lat:
+            return {"count": 0}
+        return {
+            "count": len(lat),
+            "mean_s": sum(lat) / len(lat),
+            "p50_s": percentile(lat, 50.0),
+            "p95_s": percentile(lat, 95.0),
+            "max_s": max(lat),
+        }
+
+    def throughput(self) -> float:
+        """Completed jobs per second since the first submission."""
+        if self._first_submit_at is None:
+            return 0.0
+        elapsed = self._clock() - self._first_submit_at
+        if elapsed <= 0:
+            return 0.0
+        return self.completed / elapsed
+
+    # ------------------------------------------------------------------
+    def snapshot(
+        self,
+        *,
+        queue_depth: int,
+        queue_capacity: int,
+        draining: bool,
+        active: int,
+        queued: int,
+        lease_map: Mapping[int, str | None],
+        waiting_for_lease: Sequence[str] = (),
+        jobs: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """The full JSON-able metrics snapshot.
+
+        Conservation invariant (checked by the service tests): every
+        submitted job is accounted for —
+        ``submitted == completed + failed + active + queued``, with
+        rejected submissions counted separately (they were never admitted).
+        """
+        return {
+            "service": {
+                "uptime_s": self._clock() - self._started_at,
+                "draining": draining,
+            },
+            "queue": {
+                "depth": queue_depth,
+                "capacity": queue_capacity,
+            },
+            "jobs": {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": dict(self.rejected),
+                "rejected_total": self.rejected_total,
+                "active": active,
+                "queued": queued,
+                "throughput_jps": self.throughput(),
+                "latency": self.latency_summary(),
+            },
+            "nodes": {
+                "leases": {str(node): owner for node, owner in sorted(lease_map.items())},
+                "free": sorted(n for n, owner in lease_map.items() if owner is None),
+                "waiting_for_lease": list(waiting_for_lease),
+            },
+            "per_job": dict(jobs or {}),
+        }

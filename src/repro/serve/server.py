@@ -1,0 +1,356 @@
+"""The multi-tenant scheduling service.
+
+:class:`SchedulingService` glues the subsystem together: N concurrent
+clients submit taskloop campaigns as *jobs*; a bounded
+:class:`~repro.serve.admission.AdmissionQueue` applies backpressure; the
+:class:`~repro.serve.arbiter.NodeArbiter` grants each job a disjoint
+NUMA-node lease (topology-proximate, seeded by the tenant's PTT history);
+inside its lease each job runs the ILAN scheduler unchanged via the
+lease-constrained moldability entry point; execution reuses the
+experiment runner's content-addressed cache, so a previously-seen job
+completes without simulating anything.
+
+Job lifecycle::
+
+    submit ──ok──▶ QUEUED ──lease granted──▶ RUNNING ──▶ COMPLETED
+       │                                        │
+       └──▶ AdmissionRejected                   └──────▶ FAILED
+            (queue_full | draining)
+
+Simulations are CPU-bound pure Python, so each job runs on a worker
+thread (``run_in_executor``) while the event loop keeps serving
+submissions, status polls and metrics snapshots.  Graceful drain stops
+admission (typed ``draining`` rejections), lets every admitted job finish,
+then stops the listener — zero jobs are ever dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError
+from repro.exp.runner import LEASE_SCHEDULERS, ExperimentConfig, Runner
+from repro.runtime.results import AppRunResult
+from repro.serve.admission import AdmissionQueue
+from repro.serve.arbiter import LeaseLedger, NodeArbiter
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.protocol import (
+    AdmissionRejected,
+    JobRecord,
+    JobRequest,
+    JobState,
+    ProtocolError,
+    error_response,
+    ok_response,
+    read_message,
+    write_message,
+)
+from repro.topology.machine import MachineTopology
+from repro.topology.presets import default_distances, zen4_9354
+from repro.workloads.registry import benchmark_names
+
+__all__ = ["SchedulingService"]
+
+
+class SchedulingService:
+    """One simulated machine shared by many concurrently submitted jobs."""
+
+    def __init__(
+        self,
+        topology: MachineTopology | None = None,
+        *,
+        config: ExperimentConfig | None = None,
+        queue_capacity: int = 16,
+        workers: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.topology = topology or zen4_9354()
+        self.config = config or ExperimentConfig.from_env()
+        self.runner = Runner(self.config, topology=self.topology)
+        self.clock = clock
+        ledger = LeaseLedger(self.topology, default_distances(self.topology))
+        self.arbiter = NodeArbiter(ledger)
+        self.admission: AdmissionQueue[JobRecord] = AdmissionQueue(queue_capacity)
+        self.metrics = ServiceMetrics(clock=clock)
+        self.records: dict[str, JobRecord] = {}
+        # per-(tenant, benchmark) PTT history: the fastest node observed in
+        # the tenant's previous job seeds the next lease's growth
+        self._ptt_hints: dict[tuple[str, str], int] = {}
+        self._workers = workers if workers is not None else self.topology.num_nodes
+        if self._workers < 1:
+            raise ConfigurationError(f"need at least one worker, got {self._workers}")
+        self._worker_tasks: list[asyncio.Task] = []
+        self._server: asyncio.base_events.Server | None = None
+        self._job_counter = 0
+        self._drained = asyncio.Event()
+        self._drain_started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Start the worker pool and the TCP listener; returns (host, port)."""
+        if self._worker_tasks:
+            raise RuntimeError("service already started")
+        self._worker_tasks = [
+            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self._workers)
+        ]
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+        sock = self._server.sockets[0]
+        addr = sock.getsockname()
+        return addr[0], addr[1]
+
+    def start_workers(self) -> None:
+        """In-process mode: start only the worker pool (no TCP listener)."""
+        if self._worker_tasks:
+            raise RuntimeError("service already started")
+        self._worker_tasks = [
+            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self._workers)
+        ]
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("service has no TCP listener")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def drain(self) -> dict[str, Any]:
+        """Graceful shutdown: reject new work, finish admitted work, stop.
+
+        Idempotent — concurrent callers all await the same completion and
+        receive a final metrics snapshot with zero pending jobs.
+        """
+        if not self._drain_started:
+            self._drain_started = True
+            self.admission.start_drain()
+            await self.admission.join()
+            await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            self._drained.set()
+        await self._drained.wait()
+        return self.metrics_snapshot()
+
+    # ------------------------------------------------------------------
+    # submission (in-process API; the wire handler calls this too)
+    # ------------------------------------------------------------------
+    def submit(self, request: JobRequest) -> JobRecord:
+        """Admit one job or raise a typed error; never blocks.
+
+        Raises :class:`ProtocolError` for requests the machine can never
+        run and :class:`AdmissionRejected` when the bounded queue is
+        saturated or the service is draining.
+        """
+        self._validate(request)
+        try:
+            self._job_counter += 1
+            record = JobRecord(
+                job_id=f"job-{self._job_counter:05d}",
+                request=request,
+                submitted_at=self.clock(),
+            )
+            self.admission.offer(record)
+        except AdmissionRejected as exc:
+            self._job_counter -= 1
+            self.metrics.record_rejected(exc.code)
+            raise
+        self.records[record.job_id] = record
+        self.metrics.record_submitted()
+        return record
+
+    def _validate(self, request: JobRequest) -> None:
+        request.validate()
+        if request.benchmark not in benchmark_names():
+            raise ProtocolError(
+                f"unknown benchmark {request.benchmark!r}; "
+                f"known: {benchmark_names()}"
+            )
+        if request.nodes > self.topology.num_nodes:
+            raise ProtocolError(
+                f"job wants {request.nodes} NUMA node(s) but the machine has "
+                f"{self.topology.num_nodes}"
+            )
+        if request.scheduler not in LEASE_SCHEDULERS:
+            from repro.runtime.schedulers.base import create_scheduler
+
+            try:
+                create_scheduler(request.scheduler)
+            except ConfigurationError as exc:
+                raise ProtocolError(str(exc)) from exc
+            if request.nodes != self.topology.num_nodes:
+                raise ProtocolError(
+                    f"scheduler {request.scheduler!r} cannot be confined to a "
+                    f"node lease; request nodes={self.topology.num_nodes} "
+                    "(the whole machine) to run it exclusively"
+                )
+
+    def status(self, job_id: str) -> JobRecord:
+        record = self.records.get(job_id)
+        if record is None:
+            raise ProtocolError(f"unknown job {job_id!r}")
+        return record
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        """Pull admitted jobs, arbitrate a lease, execute, release."""
+        while True:
+            record = await self.admission.take()
+            if record is None:
+                return  # drained dry
+            try:
+                await self._run_job(record)
+            finally:
+                self.admission.task_done()
+
+    async def _run_job(self, record: JobRecord) -> None:
+        req = record.request
+        hint = self._ptt_hints.get((req.tenant, req.benchmark))
+        try:
+            mask = await self.arbiter.acquire(record.job_id, req.nodes, preferred=hint)
+        except ReproError as exc:
+            self._finish(record, error=f"{type(exc).__name__}: {exc}")
+            return
+        record.lease_nodes = mask.indices()
+        record.state = JobState.RUNNING
+        record.started_at = self.clock()
+        try:
+            lease_bits = mask.bits if req.scheduler in LEASE_SCHEDULERS else None
+            specs = self.runner.job_specs(
+                req.benchmark,
+                req.scheduler,
+                seeds=req.seeds,
+                timesteps=req.timesteps,
+                lease_bits=lease_bits,
+            )
+            loop = asyncio.get_running_loop()
+            runs = await loop.run_in_executor(None, self.runner.run_specs, specs)
+            record.result = self._summarize(runs)
+            self._remember_fastest_node(req, runs)
+            error = None
+        except Exception as exc:  # a failed job must never kill its worker
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            await self.arbiter.release(record.job_id)
+        self._finish(record, error=error)
+
+    def _finish(self, record: JobRecord, *, error: str | None) -> None:
+        record.error = error
+        record.state = JobState.COMPLETED if error is None else JobState.FAILED
+        record.finished_at = self.clock()
+        latency = record.finished_at - record.submitted_at
+        if error is None:
+            self.metrics.record_completed(latency)
+        else:
+            self.metrics.record_failed(latency)
+
+    @staticmethod
+    def _summarize(runs: list[AppRunResult]) -> dict[str, Any]:
+        times = [r.total_time for r in runs]
+        return {
+            "runs": len(runs),
+            "total_time_mean_s": sum(times) / len(times),
+            "total_time_min_s": min(times),
+            "total_time_max_s": max(times),
+            "weighted_avg_threads": sum(r.weighted_avg_threads for r in runs)
+            / len(runs),
+        }
+
+    def _remember_fastest_node(self, req: JobRequest, runs: list[AppRunResult]) -> None:
+        """Record the job's fastest node as the tenant's next lease seed."""
+        perfs = [
+            tl.node_perf
+            for run in runs
+            for tl in run.taskloops
+            if tl.node_perf is not None
+        ]
+        if not perfs:
+            return
+        stacked = np.vstack(perfs)
+        valid = ~np.isnan(stacked)
+        counts = valid.sum(axis=0)
+        if not counts.any():
+            return
+        # nanmean without the all-NaN-column RuntimeWarning: nodes the job
+        # never measured stay NaN and lose the argmax below.
+        mean = np.where(valid, stacked, 0.0).sum(axis=0) / np.maximum(counts, 1)
+        mean[counts == 0] = np.nan
+        self._ptt_hints[(req.tenant, req.benchmark)] = int(np.nanargmax(mean))
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The JSON-able live state: queue, leases, counters, every job."""
+        states = [r.state for r in self.records.values()]
+        return self.metrics.snapshot(
+            queue_depth=self.admission.depth,
+            queue_capacity=self.admission.capacity,
+            draining=self.admission.draining,
+            active=sum(1 for s in states if s is JobState.RUNNING),
+            queued=sum(1 for s in states if s is JobState.QUEUED),
+            lease_map=self.arbiter.ledger.lease_map(),
+            waiting_for_lease=self.arbiter.waiting,
+            jobs={jid: r.to_wire() for jid, r in self.records.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # wire handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    message = await read_message(reader)
+                except ProtocolError as exc:
+                    await write_message(writer, error_response("bad_request", str(exc)))
+                    continue
+                if message is None:
+                    return
+                response = await self._dispatch(message)
+                await write_message(writer, response)
+                if message.get("op") == "drain":
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
+        op = message.get("op")
+        try:
+            if op == "ping":
+                return ok_response(pong=True, machine=self.topology.describe())
+            if op == "submit":
+                request = JobRequest.from_wire(message.get("job") or {})
+                record = self.submit(request)
+                return ok_response(job_id=record.job_id, state=record.state.value)
+            if op == "status":
+                record = self.status(message.get("job_id", ""))
+                return ok_response(job=record.to_wire())
+            if op == "metrics":
+                return ok_response(metrics=self.metrics_snapshot())
+            if op == "drain":
+                snapshot = await self.drain()
+                return ok_response(metrics=snapshot)
+            raise ProtocolError(f"unknown op {op!r}")
+        except AdmissionRejected as exc:
+            return error_response(exc.code, str(exc), depth=exc.depth, capacity=exc.capacity)
+        except ProtocolError as exc:
+            return error_response("bad_request", str(exc))
+        except ReproError as exc:
+            return error_response("internal", f"{type(exc).__name__}: {exc}")

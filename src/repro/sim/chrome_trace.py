@@ -1,0 +1,177 @@
+"""Chrome ``trace_event`` export of a simulated run.
+
+Converts a :class:`repro.sim.trace.Trace` into the Chrome/Perfetto JSON
+trace-event format (the JSON Array/Object format understood by
+``chrome://tracing`` and https://ui.perfetto.dev), complementing the
+ASCII timelines of :mod:`repro.exp.timeline` with an interactive view.
+
+Mapping:
+
+* each NUMA node becomes a *process* (``pid`` = node id) and each of its
+  cores a *thread* (``tid`` = core id), labelled via metadata events, so
+  Perfetto groups execution exactly like the machine's topology;
+* every executed chunk is a complete ``"X"`` slice on its core's track,
+  marked ``stolen`` in its args when it arrived by work stealing;
+* every steal is an instant ``"i"`` event on the thief's track;
+* every taskloop execution is a slice on a synthetic *runtime* process
+  (``pid`` = one past the last node id) carrying the chosen
+  configuration (threads, node mask, steal policy) in its args.
+
+Simulated seconds are exported as microseconds (the format's native
+unit), preserving full float precision.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ExperimentError
+from repro.sim.trace import Trace
+from repro.topology.machine import MachineTopology
+
+__all__ = ["RUNTIME_TRACK_NAME", "chrome_trace_events", "write_chrome_trace"]
+
+#: Label of the synthetic process that carries per-taskloop slices.
+RUNTIME_TRACK_NAME = "taskloop runtime"
+
+_US = 1e6  # simulated seconds → trace microseconds
+
+
+def _metadata(topology: MachineTopology) -> list[dict[str, Any]]:
+    events: list[dict[str, Any]] = []
+    runtime_pid = topology.num_nodes
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": runtime_pid,
+            "tid": 0,
+            "args": {"name": RUNTIME_TRACK_NAME},
+        }
+    )
+    events.append(
+        {
+            "name": "process_sort_index",
+            "ph": "M",
+            "pid": runtime_pid,
+            "tid": 0,
+            "args": {"sort_index": -1},  # show the runtime track first
+        }
+    )
+    for node in topology.node_ids():
+        socket = topology.socket_of_node(node)
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": node,
+                "tid": 0,
+                "args": {"name": f"node {node} (socket {socket})"},
+            }
+        )
+        events.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": node,
+                "tid": 0,
+                "args": {"sort_index": node},
+            }
+        )
+        for core in topology.cores_of_node(node):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": node,
+                    "tid": core,
+                    "args": {"name": f"core {core}"},
+                }
+            )
+    return events
+
+
+def chrome_trace_events(trace: Trace, topology: MachineTopology) -> list[dict[str, Any]]:
+    """All trace events (metadata + slices + instants), ready to serialise."""
+    events = _metadata(topology)
+    runtime_pid = topology.num_nodes
+    for rec in trace.taskloops:
+        events.append(
+            {
+                "name": rec.taskloop,
+                "cat": "taskloop",
+                "ph": "X",
+                "ts": rec.start * _US,
+                "dur": max(rec.end - rec.start, 0.0) * _US,
+                "pid": runtime_pid,
+                "tid": 0,
+                "args": {
+                    "iteration": rec.iteration,
+                    "num_threads": rec.num_threads,
+                    "node_mask": f"0x{rec.node_mask_bits:x}",
+                    "steal_policy": rec.steal_policy,
+                    "overhead_s": rec.overhead,
+                },
+            }
+        )
+    for task in trace.tasks:
+        events.append(
+            {
+                "name": f"{task.taskloop}[{task.chunk_index}]",
+                "cat": "task.stolen" if task.stolen else "task",
+                "ph": "X",
+                "ts": task.start * _US,
+                "dur": max(task.end - task.start, 0.0) * _US,
+                "pid": task.node,
+                "tid": task.core,
+                "args": {
+                    "taskloop": task.taskloop,
+                    "chunk": task.chunk_index,
+                    "base_time_s": task.base_time,
+                    "stolen": task.stolen,
+                },
+            }
+        )
+    for steal in trace.steals:
+        events.append(
+            {
+                "name": f"steal {steal.taskloop}[{steal.chunk_index}]",
+                "cat": "steal.remote" if steal.remote else "steal.local",
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "ts": steal.time * _US,
+                "pid": topology.node_of_core(steal.thief_core),
+                "tid": steal.thief_core,
+                "args": {
+                    "victim_core": steal.victim_core,
+                    "remote": steal.remote,
+                },
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    path: str | Path, trace: Trace, topology: MachineTopology
+) -> Path:
+    """Write ``trace`` as a Perfetto-loadable JSON object file.
+
+    Refuses an empty trace (tracing was off or nothing ran) — an empty
+    file would silently load as a blank timeline, which always means a
+    caller forgot ``trace=True``.
+    """
+    if not (trace.tasks or trace.taskloops or trace.steals):
+        raise ExperimentError(
+            "trace is empty — was the run executed with tracing enabled?"
+        )
+    payload = {
+        "traceEvents": chrome_trace_events(trace, topology),
+        "displayTimeUnit": "ms",
+        "otherData": {"machine": topology.describe()},
+    }
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload))
+    return out

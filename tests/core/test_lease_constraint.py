@@ -1,0 +1,187 @@
+"""Lease-constrained moldability: ILAN confined to a NUMA-node subset.
+
+The multi-tenant service grants each job a node lease; these tests pin
+down the contract that inside a lease ILAN behaves exactly as it would on
+a machine consisting of only the leased nodes — every mask, thread count
+and worker core stays inside the lease through the entire exploration
+lifecycle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.moldability import MoldabilityController, Phase
+from repro.core.node_mask import get_numa_mask, nodes_needed
+from repro.core.ptt import TaskloopPTT
+from repro.core.scheduler import IlanScheduler
+from repro.errors import ConfigurationError
+from repro.runtime.context import RunContext
+from repro.runtime.executor import TaskloopExecutor
+from repro.topology.affinity import NodeMask
+from repro.topology.presets import default_distances
+from tests.conftest import make_work
+
+
+def lease(indices, width=4):
+    return NodeMask.from_indices(indices, width)
+
+
+def ptt_with_perf(num_nodes, perf):
+    t = TaskloopPTT(num_nodes=num_nodes)
+    t.record((1, 1, "strict"), 1.0, node_perf=np.asarray(perf, dtype=float))
+    return t
+
+
+@pytest.fixture
+def small_distances(small):
+    return default_distances(small)
+
+
+# ----------------------------------------------------------------------
+# GetNUMAMask under a lease
+# ----------------------------------------------------------------------
+class TestLeasedNumaMask:
+    def test_mask_stays_inside_lease(self, small, small_distances):
+        # the globally fastest node (0) is outside the lease and must lose
+        ptt = ptt_with_perf(4, [9, 1, 2, 3])
+        mask = get_numa_mask(8, ptt, small, small_distances, allowed=lease([2, 3]))
+        assert set(mask.indices()) == {2, 3}
+
+    def test_fastest_leased_node_seeds_selection(self, small, small_distances):
+        ptt = ptt_with_perf(4, [9, 1, 2, 3])
+        mask = get_numa_mask(4, ptt, small, small_distances, allowed=lease([2, 3]))
+        assert mask.indices() == [3]  # fastest *allowed*, not node 0
+
+    def test_no_observations_falls_back_to_lowest_leased(self, small, small_distances):
+        ptt = TaskloopPTT(num_nodes=4)
+        mask = get_numa_mask(4, ptt, small, small_distances, allowed=lease([1, 3]))
+        assert mask.indices() == [1]
+
+    def test_full_lease_equals_unleased(self, small, small_distances):
+        ptt = ptt_with_perf(4, [1, 2, 9, 3])
+        full = lease([0, 1, 2, 3])
+        for threads in (1, 4, 8, 16):
+            unconstrained = get_numa_mask(threads, ptt, small, small_distances)
+            constrained = get_numa_mask(
+                threads, ptt, small, small_distances, allowed=full
+            )
+            assert constrained.bits == unconstrained.bits
+
+    def test_nodes_needed_caps_at_lease(self, small):
+        assert nodes_needed(16, small, allowed=lease([2, 3])) == 2
+        assert nodes_needed(4, small, allowed=lease([2, 3])) == 1
+
+    def test_wrong_width_lease_rejected(self, small, small_distances):
+        ptt = TaskloopPTT(num_nodes=4)
+        with pytest.raises(ConfigurationError, match="width"):
+            get_numa_mask(4, ptt, small, small_distances,
+                          allowed=NodeMask.from_indices([0], 2))
+
+    def test_empty_lease_rejected(self, small, small_distances):
+        ptt = TaskloopPTT(num_nodes=4)
+        with pytest.raises(ConfigurationError, match="at least one node"):
+            get_numa_mask(4, ptt, small, small_distances, allowed=NodeMask(0, 4))
+
+
+# ----------------------------------------------------------------------
+# MoldabilityController under a lease
+# ----------------------------------------------------------------------
+class TestLeasedController:
+    def test_m_max_is_the_leased_core_count(self, small, small_distances):
+        ctrl = MoldabilityController(
+            topology=small, distances=small_distances, granularity=4,
+            allowed_nodes=lease([2, 3]),
+        )
+        assert ctrl.m_max == 8  # 2 leased nodes x 4 cores
+
+    def test_granularity_validated_against_lease(self, small, small_distances):
+        with pytest.raises(ConfigurationError, match="granularity"):
+            MoldabilityController(
+                topology=small, distances=small_distances, granularity=16,
+                allowed_nodes=lease([2, 3]),
+            )
+
+    def test_lease_width_and_emptiness_validated(self, small, small_distances):
+        with pytest.raises(ConfigurationError, match="width"):
+            MoldabilityController(
+                topology=small, distances=small_distances, granularity=4,
+                allowed_nodes=NodeMask.from_indices([0], 2),
+            )
+        with pytest.raises(ConfigurationError, match="at least one node"):
+            MoldabilityController(
+                topology=small, distances=small_distances, granularity=4,
+                allowed_nodes=NodeMask(0, 4),
+            )
+
+
+# ----------------------------------------------------------------------
+# the full scheduler lifecycle inside a lease
+# ----------------------------------------------------------------------
+def run_encounters(ctx, sched, work, n):
+    ex = TaskloopExecutor(ctx)
+    plans = []
+    for _ in range(n):
+        plan = sched.plan(work, ctx)
+        result = ex.run(work, plan)
+        sched.record(work, plan, result)
+        plans.append(plan)
+    return plans
+
+
+class TestLeasedScheduler:
+    def test_every_plan_stays_inside_the_lease(self, small):
+        allowed = lease([2, 3])
+        leased_cores = {
+            c for n in allowed.indices() for c in small.cores_of_node(n)
+        }
+        ctx = RunContext.create(small, seed=0)
+        sched = IlanScheduler(allowed_nodes=allowed)
+        work = make_work(ctx, num_tasks=16, total_iters=64, mem_frac=0.2)
+        plans = run_encounters(ctx, sched, work, 14)
+        for plan in plans:
+            assert plan.node_mask_bits & ~allowed.bits == 0, (
+                f"mask 0b{plan.node_mask_bits:b} escapes lease 0b{allowed.bits:b}"
+            )
+            assert set(plan.worker_cores) <= leased_cores
+            assert 1 <= plan.num_threads <= 8
+        assert sched.controller(work.uid).phase is Phase.SETTLED
+
+    def test_first_encounter_uses_the_whole_lease(self, small):
+        allowed = lease([0, 1])
+        ctx = RunContext.create(small, seed=0)
+        sched = IlanScheduler(allowed_nodes=allowed)
+        work = make_work(ctx, num_tasks=16, total_iters=64)
+        plan = sched.plan(work, ctx)
+        assert plan.num_threads == 8  # m_max of the lease, not the machine
+        assert plan.node_mask_bits == allowed.bits
+
+    def test_single_node_lease_settles_trivially(self, small):
+        allowed = lease([1])
+        ctx = RunContext.create(small, seed=0)
+        sched = IlanScheduler(allowed_nodes=allowed)
+        work = make_work(ctx, num_tasks=16, total_iters=64, mem_frac=0.2)
+        plans = run_encounters(ctx, sched, work, 10)
+        assert all(p.node_mask_bits == allowed.bits for p in plans)
+        assert all(p.num_threads == 4 for p in plans)
+
+    def test_full_machine_lease_matches_unleased_run(self, small):
+        work_kwargs = dict(num_tasks=16, total_iters=64, mem_frac=0.2)
+
+        def settled(allowed):
+            ctx = RunContext.create(small, seed=0)
+            sched = IlanScheduler(allowed_nodes=allowed)
+            work = make_work(ctx, **work_kwargs)
+            run_encounters(ctx, sched, work, 14)
+            ctrl = sched.controller(work.uid)
+            assert ctrl.phase is Phase.SETTLED
+            cfg = ctrl.settled_config
+            return cfg.num_threads, cfg.node_mask.bits, cfg.steal_policy
+
+        assert settled(None) == settled(NodeMask.for_topology(small))
+
+    def test_scheduler_exposes_lease_on_creation(self, small):
+        from repro.runtime.schedulers.base import create_scheduler
+
+        allowed = lease([0, 1])
+        sched = create_scheduler("ilan", allowed_nodes=allowed)
+        assert sched.allowed_nodes is allowed

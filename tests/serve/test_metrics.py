@@ -1,0 +1,119 @@
+"""Unit tests for the metrics registry and percentile helper."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serve.metrics import ServiceMetrics, percentile
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# percentile
+# ----------------------------------------------------------------------
+def test_percentile_rejects_empty_and_out_of_range():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+    with pytest.raises(ValueError):
+        percentile([1.0], -1)
+
+
+def test_percentile_known_values():
+    vals = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(vals, 0) == 1.0
+    assert percentile(vals, 100) == 4.0
+    assert percentile(vals, 50) == pytest.approx(2.5)
+    assert percentile([7.0], 95) == 7.0
+
+
+@given(
+    values=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50),
+    q=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_percentile_matches_numpy(values, q):
+    assert percentile(values, q) == pytest.approx(
+        float(np.percentile(np.asarray(values), q)), rel=1e-9, abs=1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# ServiceMetrics
+# ----------------------------------------------------------------------
+def test_latency_summary_empty():
+    assert ServiceMetrics(clock=FakeClock()).latency_summary() == {"count": 0}
+
+
+def test_counters_and_latency_summary():
+    m = ServiceMetrics(clock=FakeClock())
+    for lat in (1.0, 2.0, 3.0):
+        m.record_submitted()
+        m.record_completed(lat)
+    m.record_submitted()
+    m.record_failed(10.0)
+    m.record_rejected("queue_full")
+    m.record_rejected("queue_full")
+    m.record_rejected("draining")
+
+    assert (m.submitted, m.completed, m.failed) == (4, 3, 1)
+    assert m.rejected == {"queue_full": 2, "draining": 1}
+    assert m.rejected_total == 3
+    summary = m.latency_summary()
+    assert summary["count"] == 4  # failed jobs count toward latency too
+    assert summary["max_s"] == 10.0
+    assert summary["mean_s"] == pytest.approx(4.0)
+
+
+def test_throughput_uses_first_submission_epoch():
+    clock = FakeClock(start=50.0)
+    m = ServiceMetrics(clock=clock)
+    assert m.throughput() == 0.0  # nothing submitted yet
+    clock.now = 60.0
+    m.record_submitted()
+    m.record_submitted()
+    clock.now = 70.0  # 10 s since first submit
+    m.record_completed(1.0)
+    m.record_completed(1.0)
+    assert m.throughput() == pytest.approx(0.2)
+
+
+def test_snapshot_shape_and_conservation():
+    clock = FakeClock()
+    m = ServiceMetrics(clock=clock)
+    for _ in range(5):
+        m.record_submitted()
+    m.record_completed(0.5)
+    m.record_failed(0.1)
+    m.record_rejected("queue_full")
+    clock.now += 2.0
+
+    snap = m.snapshot(
+        queue_depth=1,
+        queue_capacity=4,
+        draining=False,
+        active=2,
+        queued=1,
+        lease_map={0: "job-1", 1: "job-1", 2: None, 3: "job-2"},
+        waiting_for_lease=["job-5"],
+        jobs={"job-1": {"state": "running"}},
+    )
+    jobs = snap["jobs"]
+    # conservation: every submitted job is accounted for exactly once
+    assert jobs["submitted"] == jobs["completed"] + jobs["failed"] + jobs["active"] + jobs["queued"]
+    assert jobs["rejected_total"] == 1  # rejected counted separately
+    assert snap["service"]["uptime_s"] == pytest.approx(2.0)
+    assert snap["queue"] == {"depth": 1, "capacity": 4}
+    assert snap["nodes"]["leases"] == {"0": "job-1", "1": "job-1", "2": None, "3": "job-2"}
+    assert snap["nodes"]["free"] == [2]
+    assert snap["nodes"]["waiting_for_lease"] == ["job-5"]
+    assert snap["per_job"]["job-1"]["state"] == "running"

@@ -1,0 +1,141 @@
+"""Tests for the Chrome ``trace_event`` exporter."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.sim.chrome_trace import (
+    RUNTIME_TRACK_NAME,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+from repro.sim.trace import StealRecord, TaskloopRecord, TaskRecord, Trace
+from repro.topology.presets import dual_socket_small, tiny_two_node
+
+
+def _trace():
+    t = Trace(enabled=True)
+    t.add_taskloop(TaskloopRecord(
+        taskloop="app.loop", iteration=0, num_threads=4, node_mask_bits=0b11,
+        steal_policy="strict", start=0.0, end=2.0, overhead=0.01,
+    ))
+    t.add_task(TaskRecord(
+        taskloop="app.loop", chunk_index=0, core=1, node=0,
+        start=0.0, end=1.0, base_time=0.9, stolen=False,
+    ))
+    t.add_task(TaskRecord(
+        taskloop="app.loop", chunk_index=1, core=2, node=1,
+        start=0.5, end=1.5, base_time=0.8, stolen=True,
+    ))
+    t.add_steal(StealRecord(
+        taskloop="app.loop", chunk_index=1, thief_core=2, victim_core=0,
+        remote=True, time=0.5,
+    ))
+    return t
+
+
+def _by_phase(events, ph):
+    return [e for e in events if e["ph"] == ph]
+
+
+def test_metadata_names_every_node_and_core():
+    topo = dual_socket_small()
+    events = chrome_trace_events(Trace(enabled=True), topo)
+    names = {(e["pid"], e["args"]["name"]) for e in events
+             if e["name"] == "process_name"}
+    assert (topo.num_nodes, RUNTIME_TRACK_NAME) in names
+    assert (0, "node 0 (socket 0)") in names
+    assert (3, "node 3 (socket 1)") in names
+    threads = [e for e in events if e["name"] == "thread_name"]
+    assert len(threads) == topo.num_cores
+    # runtime track sorts first
+    sort = {e["pid"]: e["args"]["sort_index"] for e in events
+            if e["name"] == "process_sort_index"}
+    assert sort[topo.num_nodes] == -1
+
+
+def test_taskloop_slice_lands_on_the_runtime_track():
+    topo = tiny_two_node()
+    events = chrome_trace_events(_trace(), topo)
+    slices = [e for e in _by_phase(events, "X") if e["cat"] == "taskloop"]
+    assert len(slices) == 1
+    s = slices[0]
+    assert s["pid"] == topo.num_nodes
+    assert s["ts"] == 0.0
+    assert s["dur"] == pytest.approx(2.0e6)  # seconds -> microseconds
+    assert s["args"]["num_threads"] == 4
+    assert s["args"]["node_mask"] == "0x3"
+    assert s["args"]["steal_policy"] == "strict"
+
+
+def test_task_slices_map_to_node_process_and_core_thread():
+    events = chrome_trace_events(_trace(), tiny_two_node())
+    tasks = [e for e in _by_phase(events, "X") if e["cat"] in ("task", "task.stolen")]
+    assert len(tasks) == 2
+    local = next(e for e in tasks if e["cat"] == "task")
+    stolen = next(e for e in tasks if e["cat"] == "task.stolen")
+    assert (local["pid"], local["tid"]) == (0, 1)
+    assert (stolen["pid"], stolen["tid"]) == (1, 2)
+    assert stolen["args"]["stolen"] is True
+    assert stolen["ts"] == pytest.approx(0.5e6)
+    assert stolen["dur"] == pytest.approx(1.0e6)
+
+
+def test_steal_instant_sits_on_the_thiefs_track():
+    topo = tiny_two_node()
+    events = chrome_trace_events(_trace(), topo)
+    instants = _by_phase(events, "i")
+    assert len(instants) == 1
+    i = instants[0]
+    assert i["cat"] == "steal.remote"
+    assert i["s"] == "t"
+    assert i["pid"] == topo.node_of_core(2)
+    assert i["tid"] == 2
+    assert i["args"]["victim_core"] == 0
+
+
+def test_negative_durations_are_clamped():
+    t = Trace(enabled=True)
+    t.add_task(TaskRecord(
+        taskloop="a", chunk_index=0, core=0, node=0,
+        start=1.0, end=1.0, base_time=0.0, stolen=False,
+    ))
+    events = chrome_trace_events(t, tiny_two_node())
+    slice_ = next(e for e in events if e["ph"] == "X")
+    assert slice_["dur"] == 0.0
+
+
+def test_write_refuses_an_empty_trace(tmp_path):
+    with pytest.raises(ExperimentError, match="empty"):
+        write_chrome_trace(tmp_path / "t.json", Trace(enabled=True),
+                           tiny_two_node())
+    assert not (tmp_path / "t.json").exists()
+
+
+def test_write_produces_a_loadable_trace_object(tmp_path):
+    topo = tiny_two_node()
+    out = write_chrome_trace(tmp_path / "sub" / "t.json", _trace(), topo)
+    payload = json.loads(out.read_text())
+    assert set(payload) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert payload["displayTimeUnit"] == "ms"
+    assert payload["otherData"]["machine"] == topo.describe()
+    assert payload["traceEvents"] == chrome_trace_events(_trace(), topo)
+
+
+def test_exports_a_real_traced_run(tmp_path):
+    """End to end: a simulated run's trace round-trips through the exporter."""
+    from repro.runtime.runtime import OpenMPRuntime
+    from repro.workloads.registry import make_benchmark
+
+    topo = tiny_two_node()
+    rt = OpenMPRuntime(topo, scheduler="ilan", seed=0, trace=True)
+    rt.run_application(make_benchmark("matmul", timesteps=2))
+    out = write_chrome_trace(tmp_path / "run.json", rt.last_ctx.trace, topo)
+    payload = json.loads(out.read_text())
+    events = payload["traceEvents"]
+    cats = {e.get("cat") for e in events}
+    assert "taskloop" in cats and "task" in cats
+    # every slice sits on a known process: a node or the runtime track
+    pids = {e["pid"] for e in events}
+    assert pids <= set(topo.node_ids()) | {topo.num_nodes}
