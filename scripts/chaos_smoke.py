@@ -1,0 +1,185 @@
+"""Chaos smoke test: a seeded fault plan replayed twice over the wire.
+
+Runs the same chaos scenario — worker crashes, transient runner errors,
+deadline hangs and client disconnects, all drawn from one seeded
+:class:`~repro.serve.faults.FaultPlan` — against two fresh service
+instances and asserts that
+
+* every submitted job reaches a terminal state (the service converges),
+* conservation holds: ``submitted == completed + failed + active + queued``,
+* every crashed job's lease was reclaimed and all leases are free after
+  the drain (no leaks),
+* every injected fault is visible in the recovery counters, and
+* the two invocations produce byte-identical canonical reports (the
+  fault plan, the recovery, and the results are all deterministic).
+
+Exits non-zero on violation; CI runs this to keep the failure path
+exercised end-to-end.  Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py [--jobs 8] [--fault-seed 7]
+"""
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.exp.cliopts import add_machine_argument, resolve_machine
+from repro.exp.runner import ExperimentConfig
+from repro.serve.client import ServiceClient
+from repro.serve.faults import FaultKind, FaultPlan
+from repro.serve.protocol import JobRequest
+from repro.serve.server import SchedulingService
+
+TIMEOUT = 120
+
+
+def check(cond: bool, message: str, failures: list) -> None:
+    status = "ok" if cond else "FAIL"
+    print(f"[{status}] {message}")
+    if not cond:
+        failures.append(message)
+
+
+async def chaos_run(args: argparse.Namespace) -> dict:
+    """One full scenario; returns a canonical (wall-clock-free) report."""
+    plan = FaultPlan(
+        {
+            FaultKind.WORKER_CRASH: 0.3,
+            FaultKind.TRANSIENT_ERROR: 0.25,
+            FaultKind.DEADLINE_HANG: 0.15,
+            FaultKind.CLIENT_DISCONNECT: 0.15,
+        },
+        seed=args.fault_seed,
+        fault_attempts=1,
+    )
+    topology = resolve_machine(args.machine)
+    # workers=1 keeps the lease-grant order deterministic for the replay
+    service = SchedulingService(
+        topology,
+        config=ExperimentConfig(seeds=1, timesteps=args.timesteps,
+                                with_noise=False, jobs=1, cache_dir=None),
+        workers=1,
+        fault_plan=plan,
+        max_attempts=3,
+    )
+    host, port = await service.start("127.0.0.1", 0)
+
+    jobs, disconnects = [], 0
+    async with await ServiceClient.connect(host, port) as cli:
+        job_ids = [
+            await cli.submit(
+                JobRequest(benchmark=args.benchmark, timesteps=args.timesteps,
+                           nodes=1, tenant=f"tenant-{i % 2}", deadline_s=1.0)
+            )
+            for i in range(args.jobs)
+        ]
+        for job_id in job_ids:
+            if plan.should_inject(job_id, FaultKind.CLIENT_DISCONNECT, 0):
+                plan.record_injection(FaultKind.CLIENT_DISCONNECT)
+                await cli.reconnect()  # drop mid-wait, dial again, resume
+                disconnects += 1
+            jobs.append(await cli.wait(job_id, timeout=TIMEOUT))
+    async with await ServiceClient.connect(host, port) as cli:
+        snapshot = await asyncio.wait_for(cli.drain(), timeout=TIMEOUT)
+
+    return {
+        "decisions": plan.decisions(),
+        "injected": dict(sorted(plan.injected.items())),
+        "disconnects": disconnects,
+        "jobs": {
+            job["job_id"]: {
+                "state": job["state"],
+                "attempts": job["attempts"],
+                "errors": [a["error"] for a in job["attempt_history"]],
+                "error": job["error"],
+                "lease_nodes": job["lease_nodes"],
+            }
+            for job in jobs
+        },
+        "counters": {
+            k: snapshot["jobs"][k]
+            for k in ("submitted", "completed", "failed", "active", "queued",
+                      "rejected_total")
+        },
+        "recovery": snapshot["recovery"],
+        "leases": snapshot["nodes"]["leases"],
+        "waiting": snapshot["nodes"]["waiting_for_lease"],
+        "draining": snapshot["service"]["draining"],
+    }
+
+
+def verify(report: dict, label: str, args: argparse.Namespace,
+           failures: list) -> None:
+    jobs = report["counters"]
+    check(jobs["submitted"] == args.jobs,
+          f"{label}: all {args.jobs} jobs were admitted", failures)
+    check(
+        jobs["submitted"] == jobs["completed"] + jobs["failed"]
+        + jobs["active"] + jobs["queued"],
+        f"{label}: conservation holds "
+        f"({jobs['completed']} completed + {jobs['failed']} failed)",
+        failures,
+    )
+    check((jobs["active"], jobs["queued"]) == (0, 0),
+          f"{label}: the service converged (nothing in flight)", failures)
+    terminal = {j["state"] for j in report["jobs"].values()}
+    check(terminal <= {"completed", "failed"},
+          f"{label}: every job is terminal (states: {sorted(terminal)})",
+          failures)
+    check(all(owner is None for owner in report["leases"].values()),
+          f"{label}: zero leaked leases after drain", failures)
+    check(report["waiting"] == [],
+          f"{label}: nobody left waiting for a lease", failures)
+
+    rec = report["recovery"]
+    injected = report["injected"]
+    check(sum(injected.values()) > 0,
+          f"{label}: the seeded plan injected faults ({injected})", failures)
+    check(rec["faults_injected"].get("crash", 0)
+          == injected.get("crash", 0) > 0,
+          f"{label}: worker crashes visible in metrics "
+          f"({rec['faults_injected'].get('crash', 0)})", failures)
+    check(rec["leases_reclaimed"] == injected.get("crash", 0),
+          f"{label}: every crashed job's lease was reclaimed "
+          f"({rec['leases_reclaimed']})", failures)
+    check(rec["retried"] == injected.get("transient", 0),
+          f"{label}: every transient error was retried ({rec['retried']})",
+          failures)
+    check(rec["deadline_exceeded"] == injected.get("deadline", 0),
+          f"{label}: every deadline hang was cancelled "
+          f"({rec['deadline_exceeded']})", failures)
+    check(report["disconnects"] == injected.get("disconnect", 0),
+          f"{label}: client disconnects injected and survived "
+          f"({report['disconnects']})", failures)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=8)
+    parser.add_argument("--benchmark", default="matmul")
+    parser.add_argument("--timesteps", type=int, default=3)
+    parser.add_argument("--fault-seed", type=int, default=1)
+    add_machine_argument(parser, default="small")
+    args = parser.parse_args(argv)
+
+    failures: list = []
+    first = asyncio.run(chaos_run(args))
+    verify(first, "run 1", args, failures)
+    second = asyncio.run(chaos_run(args))
+    verify(second, "run 2", args, failures)
+
+    a = json.dumps(first, sort_keys=True).encode()
+    b = json.dumps(second, sort_keys=True).encode()
+    check(a == b, "the two seeded runs are byte-identical "
+          f"({len(a)} bytes of canonical report)", failures)
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print("\nchaos smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

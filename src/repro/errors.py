@@ -42,3 +42,31 @@ class ExperimentError(ReproError):
 
 class ServeError(ReproError):
     """Base class of the multi-tenant scheduling service's errors."""
+
+
+class TransientRunnerError(ServeError):
+    """A retryable execution failure (injected or real, e.g. a worker
+    pool hiccup): the job may be re-attempted within its attempt budget."""
+
+    code = "transient"
+
+
+class JobFailed(ServeError):
+    """A job exhausted its attempt budget; carries the attempt history.
+
+    ``attempts`` is a list of per-attempt dicts (``attempt``, ``error``,
+    ``started_at``, ``finished_at``) in chronological order, so callers
+    can see exactly how the job died.
+    """
+
+    code = "job_failed"
+
+    def __init__(self, job_id: str, attempts: list[dict]):
+        self.job_id = job_id
+        self.attempts = list(attempts)
+        history = "; ".join(
+            f"attempt {a.get('attempt')}: {a.get('error')}" for a in self.attempts
+        )
+        super().__init__(
+            f"job {job_id!r} failed after {len(self.attempts)} attempt(s) [{history}]"
+        )

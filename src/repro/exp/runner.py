@@ -33,7 +33,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from itertools import product
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -343,15 +343,28 @@ class Runner:
             for index in range(n)
         ]
 
-    def run_specs(self, specs: Sequence[RunSpec]) -> list[AppRunResult]:
+    def run_specs(
+        self,
+        specs: Sequence[RunSpec],
+        *,
+        fault_hook: Callable[[Sequence[RunSpec]], None] | None = None,
+    ) -> list[AppRunResult]:
         """Execute arbitrary specs through the cache, in the given order.
 
         Unlike :meth:`cells` this performs no cell memoisation, so it is
         safe to call concurrently from service worker threads: cache reads
         and the atomic per-run writes are the only shared state.
+
+        ``fault_hook`` is the scheduling service's fault-injection seam:
+        it is invoked (with the specs) before any cache lookup or
+        simulation, so a raised :class:`~repro.errors.TransientRunnerError`
+        surfaces exactly where a real execution failure would — inside the
+        runner call, on the worker thread.
         """
         if not specs:
             return []
+        if fault_hook is not None:
+            fault_hook(specs)
         fp = self.topology_fp
         for spec in specs:
             if spec.topology is not self.topology and (

@@ -7,14 +7,21 @@ node lease, ILAN molds each job inside its lease, a bounded admission
 queue applies typed backpressure, and a metrics endpoint exposes the live
 per-job and per-node state.
 
+The failure path is first-class: a seeded
+:class:`~repro.serve.faults.FaultPlan` deterministically injects worker
+crashes, transient runner errors, deadline hangs and client disconnects,
+and the recovery machinery (lease reclamation, bounded-budget requeue,
+watchdog cancellation, client backoff) is what the chaos tests replay.
+
 Start a server with ``python -m repro.serve``; drive it with
-``python -m repro.serve.loadgen``.
+``python -m repro.serve.loadgen`` (``--fault-spec`` for chaos).
 """
 
 from repro.serve.admission import AdmissionQueue
 from repro.serve.arbiter import Lease, LeaseLedger, NodeArbiter
 from repro.serve.client import ServiceClient
-from repro.serve.metrics import ServiceMetrics, percentile
+from repro.serve.faults import FaultKind, FaultPlan, WorkerCrashed
+from repro.serve.metrics import LatencyReservoir, ServiceMetrics, percentile
 from repro.serve.protocol import (
     AdmissionRejected,
     JobRecord,
@@ -28,9 +35,12 @@ from repro.serve.server import SchedulingService
 __all__ = [
     "AdmissionQueue",
     "AdmissionRejected",
+    "FaultKind",
+    "FaultPlan",
     "JobRecord",
     "JobRequest",
     "JobState",
+    "LatencyReservoir",
     "Lease",
     "LeaseError",
     "LeaseLedger",
@@ -39,5 +49,6 @@ __all__ = [
     "SchedulingService",
     "ServiceClient",
     "ServiceMetrics",
+    "WorkerCrashed",
     "percentile",
 ]

@@ -23,6 +23,7 @@ from repro.exp.cliopts import (
     config_from_args,
     resolve_machine,
 )
+from repro.serve.faults import FaultPlan
 from repro.serve.server import SchedulingService
 
 __all__ = ["main"]
@@ -49,6 +50,34 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="concurrent job slots (default: one per NUMA node)",
     )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempt budget per job: crashes/transient errors requeue the "
+        "job until the budget is exhausted (then a typed JobFailed)",
+    )
+    parser.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="running-time deadline applied to jobs that set none; the "
+        "watchdog cancels overruns (default: no deadline)",
+    )
+    parser.add_argument(
+        "--fault-spec",
+        default=None,
+        metavar="SPEC",
+        help='inject a seeded fault plan, e.g. "crash=0.1,transient=0.2" '
+        "(chaos testing against a live server)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="fault plan RNG seed (default 0)",
+    )
     add_machine_argument(parser)
     # campaign flags set the *defaults* jobs inherit (seeds, cache, noise)
     add_campaign_arguments(parser)
@@ -56,11 +85,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 async def _serve(args: argparse.Namespace) -> int:
+    plan = None
+    if args.fault_spec is not None:
+        plan = FaultPlan.from_spec(args.fault_spec, seed=args.fault_seed)
     service = SchedulingService(
         resolve_machine(args.machine),
         config=config_from_args(args, seeds_default=1),
         queue_capacity=args.queue_capacity,
         workers=args.workers,
+        fault_plan=plan,
+        max_attempts=args.max_attempts,
+        default_deadline_s=args.default_deadline,
     )
     host, port = await service.start(args.host, args.port)
     print(f"serving {service.topology.describe()}")

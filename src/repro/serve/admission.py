@@ -84,6 +84,22 @@ class AdmissionQueue(Generic[T]):
         self._all_done.clear()
         self._notify()
 
+    def requeue(self, item: T) -> None:
+        """Re-admit an item after a recoverable fault — never rejects.
+
+        The item was already admitted once, so the backpressure contract
+        does not apply: it bypasses the capacity bound (the service's
+        attempt budget bounds the extra work) and is accepted even while
+        draining, because graceful drain must still account for every
+        admitted job.  The caller invokes this *before* the matching
+        :meth:`task_done` of the faulted attempt so ``unfinished`` never
+        momentarily reads zero.
+        """
+        self._items.append(item)
+        self._unfinished += 1
+        self._all_done.clear()
+        self._notify()
+
     async def take(self) -> T | None:
         """Next admitted item in FIFO order; ``None`` once drained dry."""
         async with self._takers:

@@ -204,3 +204,18 @@ class NodeArbiter:
             mask = self.ledger.release(job_id)
             self._cond.notify_all()
             return mask
+
+    async def reclaim(self, job_id: str) -> NodeMask | None:
+        """Take back a lease whose owner died (crash, disconnect).
+
+        Unlike :meth:`release` this tolerates a job that never got (or
+        already returned) its lease — the recovery path cannot know how
+        far the owner got before dying.  Returns the reclaimed mask, or
+        ``None`` when there was nothing to reclaim.
+        """
+        async with self._cond:
+            if self.ledger.lease_of(job_id) is None:
+                return None
+            mask = self.ledger.release(job_id)
+            self._cond.notify_all()
+            return mask

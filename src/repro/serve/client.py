@@ -1,16 +1,29 @@
 """Asyncio client for the scheduling service's line protocol.
 
-Used by the load generator, the CI smoke script and the service tests;
+Used by the load generator, the CI smoke scripts and the service tests;
 applications embedding the service in-process can skip the socket and
 call :class:`~repro.serve.server.SchedulingService` directly.
+
+Resilience built in:
+
+* :meth:`ServiceClient.wait` polls with capped exponential backoff
+  instead of a fixed interval, and ``timeout=None`` means *no* timeout
+  machinery at all (the poll loop is not wrapped in ``wait_for``);
+* :meth:`ServiceClient.submit_with_retry` retries transient failures —
+  typed ``queue_full`` backpressure and dropped connections — with
+  exponential backoff plus *full jitter* (``uniform(0, min(cap, base·2ⁿ))``)
+  from an injectable RNG, so chaos tests replay identical schedules.
+  ``draining`` rejections are never retried: they cannot succeed.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Mapping
+import random
+from typing import Any, Callable, Mapping
 
 from repro.serve.protocol import (
+    AdmissionRejected,
     JobRequest,
     ProtocolError,
     raise_for_error,
@@ -20,19 +33,32 @@ from repro.serve.protocol import (
 
 __all__ = ["ServiceClient"]
 
+#: Connection-level failures worth a reconnect-and-retry (covers reset,
+#: refused, aborted and broken-pipe).
+_CONNECTION_ERRORS = (ConnectionError,)
+
 
 class ServiceClient:
     """One connection to a running service; not safe for concurrent use —
     open one client per submitting coroutine (they are cheap)."""
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+    ):
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
 
     @classmethod
     async def connect(cls, host: str, port: int) -> "ServiceClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(reader, writer, host=host, port=port)
 
     async def close(self) -> None:
         self._writer.close()
@@ -40,6 +66,19 @@ class ServiceClient:
             await self._writer.wait_closed()
         except (ConnectionResetError, BrokenPipeError):
             pass
+
+    async def reconnect(self) -> None:
+        """Drop the current connection and dial the service again.
+
+        Only available on clients built via :meth:`connect` (which know
+        their address); raises :class:`ProtocolError` otherwise.
+        """
+        if self._host is None or self._port is None:
+            raise ProtocolError("client has no remembered address to reconnect to")
+        await self.close()
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
 
     async def __aenter__(self) -> "ServiceClient":
         return self
@@ -66,21 +105,67 @@ class ServiceClient:
         response = await self.request({"op": "submit", "job": request.to_wire()})
         return response["job_id"]
 
+    async def submit_with_retry(
+        self,
+        request: JobRequest,
+        *,
+        max_retries: int = 5,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], Any] = asyncio.sleep,
+    ) -> str:
+        """Submit with exponential backoff + full jitter on transient failure.
+
+        Retries typed ``queue_full`` rejections and connection drops
+        (reconnecting first) up to ``max_retries`` times; the n-th retry
+        sleeps ``uniform(0, min(max_delay, base_delay * 2**n))``.
+        ``draining`` rejections and protocol errors are raised immediately.
+        """
+        if rng is None:
+            rng = random.Random()
+        attempt = 0
+        while True:
+            try:
+                return await self.submit(request)
+            except AdmissionRejected as exc:
+                if exc.code != "queue_full" or attempt >= max_retries:
+                    raise
+            except _CONNECTION_ERRORS:
+                if attempt >= max_retries:
+                    raise
+                await self.reconnect()
+            attempt += 1
+            bound = min(max_delay, base_delay * (2.0 ** attempt))
+            await sleep(rng.uniform(0.0, bound))
+
     async def status(self, job_id: str) -> dict[str, Any]:
         response = await self.request({"op": "status", "job_id": job_id})
         return response["job"]
 
     async def wait(
-        self, job_id: str, *, poll_interval: float = 0.02, timeout: float | None = None
+        self,
+        job_id: str,
+        *,
+        poll_interval: float = 0.02,
+        max_poll_interval: float = 0.5,
+        timeout: float | None = None,
     ) -> dict[str, Any]:
-        """Poll until the job reaches a terminal state; returns its record."""
+        """Poll until the job reaches a terminal state; returns its record.
+
+        The poll interval starts at ``poll_interval`` and doubles up to
+        ``max_poll_interval``, so long waits stop hammering the service.
+        ``timeout=None`` polls forever with no ``wait_for`` wrapper at all.
+        """
 
         async def _poll() -> dict[str, Any]:
+            interval = poll_interval
             while True:
                 job = await self.status(job_id)
                 if job["state"] in ("completed", "failed"):
                     return job
-                await asyncio.sleep(poll_interval)
+                await asyncio.sleep(interval)
+                interval = min(interval * 2.0, max_poll_interval)
 
         if timeout is None:
             return await _poll()

@@ -1,0 +1,208 @@
+"""Deterministic fault injection for the scheduling service.
+
+A :class:`FaultPlan` turns a seed plus per-kind probabilities into a
+*fixed* fault assignment: every job id is hashed into its own named RNG
+substream (:func:`repro.sim.rng.stream`), so whether — and how — a job is
+faulted depends only on ``(seed, job_id)``.  Two runs of the same plan
+against the same submission order inject byte-identical faults, which is
+what lets the chaos tests replay a scenario and assert its exact outcome.
+
+Fault kinds (one per job at most, drawn once):
+
+* ``crash`` — the worker coroutine running the job dies mid-job
+  (:class:`WorkerCrashed`); the service must reclaim the lease, requeue
+  the job within its attempt budget, and respawn the worker;
+* ``transient`` — the runner raises a retryable
+  :class:`~repro.errors.TransientRunnerError` from inside the execution
+  path; the service retries within the attempt budget;
+* ``deadline`` — the job hangs past its deadline; the watchdog must
+  cancel it (terminal failure, counted in ``deadline_exceeded``);
+* ``disconnect`` — a *client-side* fault: the submitting client drops its
+  connection mid-wait and reconnects.  The server ignores this kind; the
+  load generator drives it.
+
+``fault_attempts`` bounds how many initial attempts of a faulted job the
+fault affects — after that many injections the job runs clean, so a plan
+with ``fault_attempts`` below the service's attempt budget converges,
+while a larger one deterministically exhausts the budget into a typed
+:class:`~repro.errors.JobFailed`.
+
+Spec strings (the ``--fault-spec`` CLI surface) look like
+``"crash=0.2,transient=0.3,deadline=0.1,disconnect=0.2"``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from enum import Enum
+from typing import Mapping
+
+from repro.errors import ServeError
+from repro.sim.rng import stream
+
+__all__ = ["FaultKind", "FaultPlan", "WorkerCrashed", "parse_fault_spec"]
+
+
+class WorkerCrashed(ServeError):
+    """Injected worker death: the coroutine executing a job terminates.
+
+    Never reaches a client directly — the recovery path turns it into a
+    requeue (or, past the attempt budget, a :class:`~repro.errors.JobFailed`).
+    """
+
+    code = "worker_crashed"
+
+
+class FaultKind(str, Enum):
+    """One injectable failure mode; the value is its spec-string name."""
+
+    WORKER_CRASH = "crash"
+    TRANSIENT_ERROR = "transient"
+    DEADLINE_HANG = "deadline"
+    CLIENT_DISCONNECT = "disconnect"
+
+
+#: Draw order for the cumulative-probability walk — fixed so a plan's
+#: decisions never depend on dict iteration order.
+_DRAW_ORDER = (
+    FaultKind.WORKER_CRASH,
+    FaultKind.TRANSIENT_ERROR,
+    FaultKind.DEADLINE_HANG,
+    FaultKind.CLIENT_DISCONNECT,
+)
+
+
+def parse_fault_spec(spec: str) -> dict[FaultKind, float]:
+    """Parse ``"kind=prob,kind=prob,..."`` into a probability table.
+
+    Raises :class:`ServeError` on unknown kinds, unparsable or
+    out-of-range probabilities, duplicates, or a total above 1.
+    """
+    probabilities: dict[FaultKind, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, raw = part.partition("=")
+        if not sep:
+            raise ServeError(
+                f"fault spec entry {part!r} is not of the form kind=probability"
+            )
+        try:
+            kind = FaultKind(name.strip())
+        except ValueError:
+            known = ", ".join(k.value for k in FaultKind)
+            raise ServeError(
+                f"unknown fault kind {name.strip()!r}; known kinds: {known}"
+            ) from None
+        try:
+            prob = float(raw)
+        except ValueError:
+            raise ServeError(
+                f"fault probability {raw!r} for {kind.value!r} is not a number"
+            ) from None
+        if kind in probabilities:
+            raise ServeError(f"fault kind {kind.value!r} given twice")
+        probabilities[kind] = prob
+    if not probabilities:
+        raise ServeError(f"fault spec {spec!r} names no faults")
+    return probabilities
+
+
+class FaultPlan:
+    """Seeded, deterministic per-job fault assignment.
+
+    The plan is pure decision state plus an injection tally; *applying*
+    a fault (raising, hanging, disconnecting) is the caller's job, which
+    reports it back through :meth:`record_injection` so the tally lands
+    in the metrics snapshot.
+    """
+
+    def __init__(
+        self,
+        probabilities: Mapping[FaultKind | str, float],
+        *,
+        seed: int = 0,
+        fault_attempts: int = 1,
+    ):
+        table: dict[FaultKind, float] = {}
+        for kind, prob in probabilities.items():
+            kind = FaultKind(kind)
+            if not (0.0 <= float(prob) <= 1.0):
+                raise ServeError(
+                    f"fault probability for {kind.value!r} must be in [0, 1], "
+                    f"got {prob}"
+                )
+            table[kind] = float(prob)
+        if sum(table.values()) > 1.0 + 1e-9:
+            raise ServeError(
+                f"fault probabilities sum to {sum(table.values()):.3f} > 1 "
+                "(a job suffers at most one fault kind)"
+            )
+        if fault_attempts < 1:
+            raise ServeError(
+                f"fault_attempts must be >= 1, got {fault_attempts}"
+            )
+        self.probabilities = table
+        self.seed = int(seed)
+        self.fault_attempts = int(fault_attempts)
+        self.injected: Counter[str] = Counter()
+        self._injected_lock = threading.Lock()
+        self._decisions: dict[str, FaultKind | None] = {}
+
+    @classmethod
+    def from_spec(
+        cls, spec: str, *, seed: int = 0, fault_attempts: int = 1
+    ) -> "FaultPlan":
+        """Build a plan from a ``--fault-spec`` string."""
+        return cls(parse_fault_spec(spec), seed=seed, fault_attempts=fault_attempts)
+
+    # ------------------------------------------------------------------
+    def decide(self, job_id: str) -> FaultKind | None:
+        """The fault assigned to ``job_id`` (memoised, seed-deterministic)."""
+        if job_id not in self._decisions:
+            u = float(stream(self.seed, "serve.fault", job_id).random())
+            decision: FaultKind | None = None
+            cumulative = 0.0
+            for kind in _DRAW_ORDER:
+                cumulative += self.probabilities.get(kind, 0.0)
+                if u < cumulative:
+                    decision = kind
+                    break
+            self._decisions[job_id] = decision
+        return self._decisions[job_id]
+
+    def should_inject(self, job_id: str, kind: FaultKind, attempt: int) -> bool:
+        """Whether ``kind`` hits attempt ``attempt`` (0-based) of this job."""
+        return self.decide(job_id) is kind and attempt < self.fault_attempts
+
+    def record_injection(self, kind: FaultKind) -> None:
+        """Tally one applied fault (surfaces in the metrics snapshot).
+
+        Thread-safe: transient faults report from runner worker threads.
+        """
+        with self._injected_lock:
+            self.injected[kind.value] += 1
+
+    # ------------------------------------------------------------------
+    def decisions(self) -> dict[str, str | None]:
+        """Every decision made so far: job id → fault kind value (or None)."""
+        return {
+            job_id: (kind.value if kind is not None else None)
+            for job_id, kind in sorted(self._decisions.items())
+        }
+
+    def to_spec(self) -> str:
+        """Canonical spec string (round-trips through :meth:`from_spec`)."""
+        return ",".join(
+            f"{kind.value}={self.probabilities[kind]:g}"
+            for kind in _DRAW_ORDER
+            if kind in self.probabilities
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan({self.to_spec()!r}, seed={self.seed}, "
+            f"fault_attempts={self.fault_attempts})"
+        )

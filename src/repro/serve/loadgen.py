@@ -17,6 +17,20 @@ so a one-line demo needs no separate server::
 
     python -m repro.serve.loadgen --self-host --machine small \
         --clients 3 --jobs-per-client 4 --nodes 2 --seeds 1 --timesteps 5
+
+Chaos mode: ``--fault-spec`` injects a seeded, deterministic
+:class:`~repro.serve.faults.FaultPlan` — worker crashes, transient runner
+errors and deadline hangs inside the (necessarily ``--self-host``)
+service, client disconnects driven from this side of the wire::
+
+    python -m repro.serve.loadgen --self-host --machine small \
+        --clients 3 --jobs-per-client 4 --timesteps 3 \
+        --fault-spec "crash=0.2,transient=0.2,deadline=0.1,disconnect=0.2" \
+        --fault-seed 7 --deadline-s 30 --retry-submit 4
+
+Under a fault plan, failed jobs are an expected outcome; the exit code
+instead asserts the recovery invariants — conservation of every submitted
+job and zero leaked leases after drain.
 """
 
 from __future__ import annotations
@@ -24,12 +38,14 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import random
 import sys
 import time
 
 import numpy as np
 
 from repro.serve.client import ServiceClient
+from repro.serve.faults import FaultKind, FaultPlan
 from repro.serve.metrics import percentile
 from repro.serve.protocol import AdmissionRejected, JobRequest
 from repro.workloads.registry import PAPER_ORDER
@@ -67,6 +83,25 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="arrival-process RNG seed")
     parser.add_argument("--json", action="store_true",
                         help="emit the summary as JSON instead of text")
+    chaos = parser.add_argument_group("chaos (fault injection & recovery)")
+    chaos.add_argument(
+        "--fault-spec", default=None, metavar="SPEC",
+        help='seeded fault plan, e.g. "crash=0.2,transient=0.3,deadline=0.1,'
+             'disconnect=0.2"; server-side kinds need --self-host',
+    )
+    chaos.add_argument("--fault-seed", type=int, default=0,
+                       help="fault plan RNG seed (default 0)")
+    chaos.add_argument("--fault-attempts", type=int, default=1,
+                       help="how many initial attempts of a faulted job the "
+                            "fault hits (default 1)")
+    chaos.add_argument("--deadline-s", type=float, default=None,
+                       help="per-job running-time deadline; required for "
+                            "deadline faults to fire")
+    chaos.add_argument("--max-attempts", type=int, default=3,
+                       help="service attempt budget per job for --self-host")
+    chaos.add_argument("--retry-submit", type=int, default=0, metavar="N",
+                       help="client-side submit retries (exponential backoff "
+                            "+ full jitter) on queue_full/connection errors")
     return parser
 
 
@@ -78,35 +113,64 @@ def _request(args: argparse.Namespace, tenant: str) -> JobRequest:
         timesteps=args.timesteps,
         nodes=args.nodes,
         tenant=tenant,
+        deadline_s=args.deadline_s,
     )
 
 
+async def _submit(
+    client: ServiceClient, args: argparse.Namespace, tenant: str, rng: random.Random
+) -> str:
+    if args.retry_submit > 0:
+        return await client.submit_with_retry(
+            _request(args, tenant), max_retries=args.retry_submit, rng=rng
+        )
+    return await client.submit(_request(args, tenant))
+
+
+async def _await_job(
+    client: ServiceClient, job_id: str, plan: FaultPlan | None, out: dict
+) -> dict:
+    """Wait for the job, injecting a mid-wait client disconnect if planned."""
+    if plan is not None and plan.should_inject(job_id, FaultKind.CLIENT_DISCONNECT, 0):
+        plan.record_injection(FaultKind.CLIENT_DISCONNECT)
+        await asyncio.sleep(0.01)  # be genuinely mid-wait when we drop
+        await client.reconnect()
+        out["disconnects"] += 1
+    return await client.wait(job_id)
+
+
 async def _closed_client(
-    args: argparse.Namespace, host: str, port: int, tenant: str, out: dict
+    args: argparse.Namespace, host: str, port: int, tenant: str, out: dict,
+    plan: FaultPlan | None,
 ) -> None:
     """One tenant: submit, wait for completion, repeat."""
+    rng = random.Random(f"retry:{args.seed}:{tenant}")
     async with await ServiceClient.connect(host, port) as client:
         for _ in range(args.jobs_per_client):
             t0 = time.monotonic()
             try:
-                job_id = await client.submit(_request(args, tenant))
+                job_id = await _submit(client, args, tenant, rng)
             except AdmissionRejected as exc:
                 out["rejected"].append(exc.code)
                 continue
-            job = await client.wait(job_id)
+            job = await _await_job(client, job_id, plan, out)
             out["latencies"].append(time.monotonic() - t0)
             out["states"].append(job["state"])
 
 
-async def _open_loop(args: argparse.Namespace, host: str, port: int, out: dict) -> None:
+async def _open_loop(
+    args: argparse.Namespace, host: str, port: int, out: dict,
+    plan: FaultPlan | None,
+) -> None:
     """Poisson arrivals at --rate; completions tracked in the background."""
     rng = np.random.default_rng(args.seed)
+    retry_rng = random.Random(f"retry:{args.seed}:open")
     total = args.clients * args.jobs_per_client
     waiters: list[asyncio.Task] = []
 
     async def _track(job_id: str, t0: float) -> None:
         async with await ServiceClient.connect(host, port) as poller:
-            job = await poller.wait(job_id)
+            job = await _await_job(poller, job_id, plan, out)
             out["latencies"].append(time.monotonic() - t0)
             out["states"].append(job["state"])
 
@@ -115,7 +179,7 @@ async def _open_loop(args: argparse.Namespace, host: str, port: int, out: dict) 
             tenant = f"tenant-{i % args.clients}"
             try:
                 t0 = time.monotonic()
-                job_id = await submitter.submit(_request(args, tenant))
+                job_id = await _submit(submitter, args, tenant, retry_rng)
                 waiters.append(asyncio.create_task(_track(job_id, t0)))
             except AdmissionRejected as exc:
                 out["rejected"].append(exc.code)
@@ -124,11 +188,28 @@ async def _open_loop(args: argparse.Namespace, host: str, port: int, out: dict) 
         await asyncio.gather(*waiters)
 
 
+def _build_plan(args: argparse.Namespace) -> FaultPlan | None:
+    if args.fault_spec is None:
+        return None
+    plan = FaultPlan.from_spec(
+        args.fault_spec, seed=args.fault_seed, fault_attempts=args.fault_attempts
+    )
+    server_kinds = set(plan.probabilities) - {FaultKind.CLIENT_DISCONNECT}
+    if server_kinds and not args.self_host:
+        raise SystemExit(
+            "--fault-spec with server-side kinds "
+            f"({', '.join(sorted(k.value for k in server_kinds))}) requires "
+            "--self-host: faults inject into the in-process service"
+        )
+    return plan
+
+
 async def _run(args: argparse.Namespace) -> dict:
+    plan = _build_plan(args)
     service = None
     host, port = args.host, args.port
     if args.self_host:
-        from repro.exp.cliopts import config_from_args, resolve_machine
+        from repro.exp.cliopts import resolve_machine
         from repro.exp.runner import ExperimentConfig
         from repro.serve.server import SchedulingService
 
@@ -136,26 +217,29 @@ async def _run(args: argparse.Namespace) -> dict:
             resolve_machine(args.machine),
             config=ExperimentConfig.from_env(),
             queue_capacity=args.queue_capacity,
+            fault_plan=plan,
+            max_attempts=args.max_attempts,
+            default_deadline_s=args.deadline_s,
         )
         host, port = await service.start(args.host, 0)
 
-    out: dict = {"latencies": [], "states": [], "rejected": []}
+    out: dict = {"latencies": [], "states": [], "rejected": [], "disconnects": 0}
     t0 = time.monotonic()
     if args.mode == "closed":
         await asyncio.gather(
             *(
-                _closed_client(args, host, port, f"tenant-{i}", out)
+                _closed_client(args, host, port, f"tenant-{i}", out, plan)
                 for i in range(args.clients)
             )
         )
     else:
-        await _open_loop(args, host, port, out)
+        await _open_loop(args, host, port, out, plan)
     wall = time.monotonic() - t0
 
     async with await ServiceClient.connect(host, port) as client:
         server_metrics = await client.metrics()
     if service is not None:
-        await service.drain()
+        server_metrics = await service.drain()
 
     lat = out["latencies"]
     summary = {
@@ -173,6 +257,13 @@ async def _run(args: argparse.Namespace) -> dict:
         },
         "server": server_metrics,
     }
+    if plan is not None:
+        summary["faults"] = {
+            "spec": plan.to_spec(),
+            "seed": plan.seed,
+            "injected": dict(plan.injected),
+            "client_disconnects": out["disconnects"],
+        }
     return summary
 
 
@@ -186,6 +277,20 @@ def _print_text(summary: dict) -> None:
     )
     if lat["p50"] is not None:
         print(f"client latency: p50 {lat['p50']*1e3:.1f} ms, p95 {lat['p95']*1e3:.1f} ms")
+    if "faults" in summary:
+        faults = summary["faults"]
+        recovery = summary["server"].get("recovery", {})
+        print(
+            f"chaos [{faults['spec']} seed={faults['seed']}]: "
+            f"injected {faults['injected']}, "
+            f"{faults['client_disconnects']} client disconnect(s)"
+        )
+        print(
+            f"recovery: {recovery.get('requeued', 0)} requeued, "
+            f"{recovery.get('retried', 0)} retried, "
+            f"{recovery.get('deadline_exceeded', 0)} deadline-exceeded, "
+            f"{recovery.get('leases_reclaimed', 0)} lease(s) reclaimed"
+        )
     nodes = summary["server"]["nodes"]
     print(f"server lease map at end: {nodes['leases']}")
     jobs = summary["server"]["jobs"]
@@ -196,6 +301,21 @@ def _print_text(summary: dict) -> None:
     )
 
 
+def _exit_code(summary: dict) -> int:
+    jobs = summary["server"]["jobs"]
+    conserved = jobs["submitted"] == (
+        jobs["completed"] + jobs["failed"] + jobs["active"] + jobs["queued"]
+    )
+    if "faults" in summary:
+        # under chaos, failures are expected; the recovery invariants are not
+        leaked = False
+        if summary["server"]["service"]["draining"]:  # snapshot is post-drain
+            leases = summary["server"]["nodes"]["leases"]
+            leaked = any(owner is not None for owner in leases.values())
+        return 0 if conserved and not leaked else 1
+    return 0 if summary["failed"] == 0 and conserved else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     summary = asyncio.run(_run(args))
@@ -203,7 +323,7 @@ def main(argv: list[str] | None = None) -> int:
         print(json.dumps(summary, indent=2))
     else:
         _print_text(summary)
-    return 0 if summary["failed"] == 0 else 1
+    return _exit_code(summary)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -2,10 +2,15 @@
 
 The :class:`ServiceMetrics` registry aggregates everything the metrics
 snapshot endpoint exposes: monotonically increasing job counters
-(submitted / completed / failed / rejected-by-reason), completed-job
+(submitted / completed / failed / rejected-by-reason), recovery counters
+(retried / requeued / deadline_exceeded / leases_reclaimed), completed-job
 latency percentiles (p50/p95 via linear interpolation), throughput since
 the first submission, and — joined in by the server at snapshot time —
 queue depth, per-node lease ownership, and the per-job records.
+
+Latencies live in a bounded :class:`LatencyReservoir` (seeded reservoir
+sampling), so a week-long server run holds a fixed-size sample instead of
+one float per job ever finished; count, mean and max stay exact.
 
 The registry takes an injectable monotonic ``clock`` so tests can drive
 time deterministically.
@@ -13,11 +18,12 @@ time deterministically.
 
 from __future__ import annotations
 
+import random
 import time
 from collections import Counter
 from typing import Any, Callable, Mapping, Sequence
 
-__all__ = ["percentile", "ServiceMetrics"]
+__all__ = ["percentile", "LatencyReservoir", "ServiceMetrics"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -41,10 +47,71 @@ def percentile(values: Sequence[float], q: float) -> float:
     return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
 
 
+class LatencyReservoir:
+    """Bounded uniform sample of a latency stream (Vitter's Algorithm R).
+
+    Holds at most ``capacity`` values; once full, the *i*-th observation
+    replaces a random slot with probability ``capacity / i``, so the
+    retained sample stays uniform over everything seen.  Count, sum and
+    max are tracked exactly alongside, and the replacement draws come
+    from a seeded :class:`random.Random` so a replayed run samples
+    identically.
+    """
+
+    def __init__(self, capacity: int = 1024, *, seed: int = 0):
+        if capacity < 1:
+            raise ValueError(f"reservoir capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._sample: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def add(self, value: float) -> None:
+        self._count += 1
+        self._sum += value
+        if self._count == 1 or value > self._max:
+            self._max = value
+        if len(self._sample) < self.capacity:
+            self._sample.append(value)
+            return
+        slot = self._rng.randrange(self._count)
+        if slot < self.capacity:
+            self._sample[slot] = value
+
+    def __len__(self) -> int:
+        """Observations *seen* (not the bounded sample size)."""
+        return self._count
+
+    @property
+    def sample(self) -> list[float]:
+        """The current bounded sample (a copy)."""
+        return list(self._sample)
+
+    def summary(self) -> dict[str, float | int]:
+        """Exact count/mean/max; p50/p95 over the (possibly sampled) data."""
+        if self._count == 0:
+            return {"count": 0}
+        return {
+            "count": self._count,
+            "mean_s": self._sum / self._count,
+            "p50_s": percentile(self._sample, 50.0),
+            "p95_s": percentile(self._sample, 95.0),
+            "max_s": self._max,
+        }
+
+
 class ServiceMetrics:
     """Counter and latency registry of one service instance."""
 
-    def __init__(self, clock: Callable[[], float] = time.monotonic):
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        *,
+        reservoir_size: int = 1024,
+        reservoir_seed: int = 0,
+    ):
         self._clock = clock
         self._started_at = clock()
         self._first_submit_at: float | None = None
@@ -52,7 +119,12 @@ class ServiceMetrics:
         self.completed = 0
         self.failed = 0
         self.rejected: Counter[str] = Counter()
-        self._latencies: list[float] = []
+        # recovery counters: every fault the service absorbed
+        self.retried = 0
+        self.requeued = 0
+        self.deadline_exceeded = 0
+        self.leases_reclaimed = 0
+        self._latencies = LatencyReservoir(reservoir_size, seed=reservoir_seed)
 
     # ------------------------------------------------------------------
     def record_submitted(self) -> None:
@@ -65,11 +137,27 @@ class ServiceMetrics:
 
     def record_completed(self, latency: float) -> None:
         self.completed += 1
-        self._latencies.append(latency)
+        self._latencies.add(latency)
 
     def record_failed(self, latency: float) -> None:
         self.failed += 1
-        self._latencies.append(latency)
+        self._latencies.add(latency)
+
+    def record_retried(self) -> None:
+        """A job was re-admitted after a transient execution error."""
+        self.retried += 1
+
+    def record_requeued(self) -> None:
+        """A job was re-admitted after its worker crashed mid-job."""
+        self.requeued += 1
+
+    def record_deadline_exceeded(self) -> None:
+        """The watchdog cancelled a job past its deadline."""
+        self.deadline_exceeded += 1
+
+    def record_lease_reclaimed(self) -> None:
+        """A lease was reclaimed from a dead owner."""
+        self.leases_reclaimed += 1
 
     # ------------------------------------------------------------------
     @property
@@ -78,16 +166,7 @@ class ServiceMetrics:
 
     def latency_summary(self) -> dict[str, float | int]:
         """p50/p95/mean/max over every finished (completed or failed) job."""
-        lat = self._latencies
-        if not lat:
-            return {"count": 0}
-        return {
-            "count": len(lat),
-            "mean_s": sum(lat) / len(lat),
-            "p50_s": percentile(lat, 50.0),
-            "p95_s": percentile(lat, 95.0),
-            "max_s": max(lat),
-        }
+        return self._latencies.summary()
 
     def throughput(self) -> float:
         """Completed jobs per second since the first submission."""
@@ -110,13 +189,16 @@ class ServiceMetrics:
         lease_map: Mapping[int, str | None],
         waiting_for_lease: Sequence[str] = (),
         jobs: Mapping[str, Any] | None = None,
+        faults_injected: Mapping[str, int] | None = None,
     ) -> dict[str, Any]:
         """The full JSON-able metrics snapshot.
 
-        Conservation invariant (checked by the service tests): every
-        submitted job is accounted for —
+        Conservation invariant (checked by the service and chaos tests):
+        every submitted job is accounted for —
         ``submitted == completed + failed + active + queued``, with
         rejected submissions counted separately (they were never admitted).
+        Retries and requeues re-admit an *already submitted* job, so they
+        never perturb the invariant; they are tallied under ``recovery``.
         """
         return {
             "service": {
@@ -137,6 +219,13 @@ class ServiceMetrics:
                 "queued": queued,
                 "throughput_jps": self.throughput(),
                 "latency": self.latency_summary(),
+            },
+            "recovery": {
+                "retried": self.retried,
+                "requeued": self.requeued,
+                "deadline_exceeded": self.deadline_exceeded,
+                "leases_reclaimed": self.leases_reclaimed,
+                "faults_injected": dict(faults_injected or {}),
             },
             "nodes": {
                 "leases": {str(node): owner for node, owner in sorted(lease_map.items())},

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Mapping
 
@@ -107,6 +107,10 @@ class JobRequest:
     timesteps: int | None = None
     nodes: int = 1
     tenant: str = "anon"
+    #: Running-time budget in seconds; past it the watchdog cancels the
+    #: job (terminal ``deadline_exceeded`` failure).  ``None`` defers to
+    #: the service's default deadline (which may also be none).
+    deadline_s: float | None = None
 
     def validate(self) -> None:
         if not self.benchmark or not isinstance(self.benchmark, str):
@@ -125,6 +129,19 @@ class JobRequest:
             raise ProtocolError(f"'nodes' must be a positive int, got {self.nodes!r}")
         if not self.tenant or not isinstance(self.tenant, str):
             raise ProtocolError("'tenant' must be a non-empty string")
+        if self.deadline_s is not None:
+            if not isinstance(self.deadline_s, (int, float)) or isinstance(
+                self.deadline_s, bool
+            ):
+                raise ProtocolError(
+                    f"'deadline_s' must be a positive number or null, "
+                    f"got {self.deadline_s!r}"
+                )
+            if not self.deadline_s > 0:
+                raise ProtocolError(
+                    f"'deadline_s' must be a positive number or null, "
+                    f"got {self.deadline_s!r}"
+                )
 
     def to_wire(self) -> dict[str, Any]:
         return {
@@ -134,18 +151,21 @@ class JobRequest:
             "timesteps": self.timesteps,
             "nodes": self.nodes,
             "tenant": self.tenant,
+            "deadline_s": self.deadline_s,
         }
 
     @classmethod
     def from_wire(cls, data: Mapping[str, Any]) -> "JobRequest":
         if not isinstance(data, Mapping):
             raise ProtocolError(f"job request must be an object, got {type(data).__name__}")
-        known = {"benchmark", "scheduler", "seeds", "timesteps", "nodes", "tenant"}
+        known = {"benchmark", "scheduler", "seeds", "timesteps", "nodes",
+                 "tenant", "deadline_s"}
         unknown = set(data) - known
         if unknown:
             raise ProtocolError(f"unknown job request field(s): {sorted(unknown)}")
         if "benchmark" not in data:
             raise ProtocolError("job request needs a non-empty 'benchmark'")
+        deadline = data.get("deadline_s")
         req = cls(
             benchmark=data["benchmark"],
             scheduler=data.get("scheduler", "ilan"),
@@ -153,6 +173,8 @@ class JobRequest:
             timesteps=data.get("timesteps"),
             nodes=data.get("nodes", 1),
             tenant=data.get("tenant", "anon"),
+            deadline_s=float(deadline) if isinstance(deadline, (int, float))
+            and not isinstance(deadline, bool) else deadline,
         )
         req.validate()
         return req
@@ -171,6 +193,21 @@ class JobRecord:
     lease_nodes: list[int] | None = None
     error: str | None = None
     result: dict[str, Any] | None = None
+    #: Completed execution attempts (a clean first run finishes with 0
+    #: recorded failures here; every crash/transient adds one entry).
+    attempts: int = 0
+    attempt_history: list[dict[str, Any]] = field(default_factory=list)
+
+    def record_attempt_failure(self, error: str, *, started_at: float | None,
+                               failed_at: float) -> None:
+        """Append one failed attempt to the history and bump the count."""
+        self.attempts += 1
+        self.attempt_history.append({
+            "attempt": self.attempts,
+            "error": error,
+            "started_at": started_at,
+            "finished_at": failed_at,
+        })
 
     @property
     def latency(self) -> float | None:
@@ -190,6 +227,8 @@ class JobRecord:
             "lease_nodes": self.lease_nodes,
             "error": self.error,
             "result": self.result,
+            "attempts": self.attempts,
+            "attempt_history": list(self.attempt_history),
         }
 
 

@@ -13,30 +13,58 @@ completes without simulating anything.
 Job lifecycle::
 
     submit ──ok──▶ QUEUED ──lease granted──▶ RUNNING ──▶ COMPLETED
+       │              ▲                         │
+       │              └──crash / transient──────┤ (within attempt budget)
        │                                        │
        └──▶ AdmissionRejected                   └──────▶ FAILED
-            (queue_full | draining)
+            (queue_full | draining)                      (error | JobFailed |
+                                                          deadline_exceeded)
 
 Simulations are CPU-bound pure Python, so each job runs on a worker
 thread (``run_in_executor``) while the event loop keeps serving
 submissions, status polls and metrics snapshots.  Graceful drain stops
 admission (typed ``draining`` rejections), lets every admitted job finish,
 then stops the listener — zero jobs are ever dropped.
+
+Failure model & recovery:
+
+* a worker that dies mid-job (:class:`~repro.serve.faults.WorkerCrashed`)
+  has its lease *reclaimed*, its job requeued within the attempt budget,
+  and is itself respawned by the supervisor, so worker capacity survives
+  any number of crashes;
+* a retryable :class:`~repro.errors.TransientRunnerError` from the
+  execution path requeues the job the same way (``retried`` counter);
+* each job may carry a running-time deadline (``deadline_s``, or the
+  service-wide ``default_deadline_s``); a watchdog cancels overruns into
+  a terminal ``deadline_exceeded`` failure;
+* a job that exhausts its attempt budget fails with a typed
+  :class:`~repro.errors.JobFailed` carrying the full attempt history.
+
+All of this is deterministic under an injected
+:class:`~repro.serve.faults.FaultPlan` — the chaos tests replay seeded
+plans and assert the exact end state.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
 import time
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ReproError
-from repro.exp.runner import LEASE_SCHEDULERS, ExperimentConfig, Runner
+from repro.errors import (
+    ConfigurationError,
+    JobFailed,
+    ReproError,
+    TransientRunnerError,
+)
+from repro.exp.runner import LEASE_SCHEDULERS, ExperimentConfig, Runner, RunSpec
 from repro.runtime.results import AppRunResult
 from repro.serve.admission import AdmissionQueue
 from repro.serve.arbiter import LeaseLedger, NodeArbiter
+from repro.serve.faults import FaultKind, FaultPlan, WorkerCrashed
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.protocol import (
     AdmissionRejected,
@@ -67,6 +95,10 @@ class SchedulingService:
         queue_capacity: int = 16,
         workers: int | None = None,
         clock: Callable[[], float] = time.monotonic,
+        fault_plan: FaultPlan | None = None,
+        max_attempts: int = 3,
+        default_deadline_s: float | None = None,
+        latency_reservoir: int = 1024,
     ):
         self.topology = topology or zen4_9354()
         self.config = config or ExperimentConfig.from_env()
@@ -75,7 +107,18 @@ class SchedulingService:
         ledger = LeaseLedger(self.topology, default_distances(self.topology))
         self.arbiter = NodeArbiter(ledger)
         self.admission: AdmissionQueue[JobRecord] = AdmissionQueue(queue_capacity)
-        self.metrics = ServiceMetrics(clock=clock)
+        self.metrics = ServiceMetrics(clock=clock, reservoir_size=latency_reservoir)
+        self.fault_plan = fault_plan
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"a job needs at least one attempt, got max_attempts={max_attempts}"
+            )
+        self.max_attempts = max_attempts
+        if default_deadline_s is not None and not default_deadline_s > 0:
+            raise ConfigurationError(
+                f"default_deadline_s must be positive or None, got {default_deadline_s}"
+            )
+        self.default_deadline_s = default_deadline_s
         self.records: dict[str, JobRecord] = {}
         # per-(tenant, benchmark) PTT history: the fastest node observed in
         # the tenant's previous job seeds the next lease's growth
@@ -84,6 +127,8 @@ class SchedulingService:
         if self._workers < 1:
             raise ConfigurationError(f"need at least one worker, got {self._workers}")
         self._worker_tasks: list[asyncio.Task] = []
+        self._worker_seq = 0
+        self.workers_crashed = 0
         self._server: asyncio.base_events.Server | None = None
         self._job_counter = 0
         self._drained = asyncio.Event()
@@ -94,12 +139,7 @@ class SchedulingService:
     # ------------------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
         """Start the worker pool and the TCP listener; returns (host, port)."""
-        if self._worker_tasks:
-            raise RuntimeError("service already started")
-        self._worker_tasks = [
-            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
-            for i in range(self._workers)
-        ]
+        self.start_workers()
         self._server = await asyncio.start_server(self._handle_connection, host, port)
         sock = self._server.sockets[0]
         addr = sock.getsockname()
@@ -109,10 +149,25 @@ class SchedulingService:
         """In-process mode: start only the worker pool (no TCP listener)."""
         if self._worker_tasks:
             raise RuntimeError("service already started")
-        self._worker_tasks = [
-            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
-            for i in range(self._workers)
-        ]
+        for _ in range(self._workers):
+            self._spawn_worker()
+
+    def _spawn_worker(self) -> None:
+        task = asyncio.create_task(
+            self._worker(), name=f"serve-worker-{self._worker_seq}"
+        )
+        self._worker_seq += 1
+        task.add_done_callback(self._worker_exited)
+        self._worker_tasks.append(task)
+
+    def _worker_exited(self, task: asyncio.Task) -> None:
+        """Supervisor: replace a crashed worker so capacity never shrinks."""
+        if task.cancelled():
+            return
+        if isinstance(task.exception(), WorkerCrashed):
+            self.workers_crashed += 1
+            self._worker_tasks.remove(task)
+            self._spawn_worker()
 
     @property
     def port(self) -> int:
@@ -124,13 +179,22 @@ class SchedulingService:
         """Graceful shutdown: reject new work, finish admitted work, stop.
 
         Idempotent — concurrent callers all await the same completion and
-        receive a final metrics snapshot with zero pending jobs.
+        receive a final metrics snapshot with zero pending jobs.  Safe to
+        call mid-fault: a crash during drain still requeues its job
+        (recovery re-admission bypasses the draining rejection), so every
+        admitted job reaches a terminal state before the drain resolves.
         """
         if not self._drain_started:
             self._drain_started = True
             self.admission.start_drain()
             await self.admission.join()
-            await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+            # crashed workers are respawned by the supervisor (a done
+            # callback), so gather until the roster is quiescent
+            while True:
+                await asyncio.gather(*list(self._worker_tasks), return_exceptions=True)
+                await asyncio.sleep(0)  # let pending respawn callbacks run
+                if all(t.done() for t in self._worker_tasks):
+                    break
             if self._server is not None:
                 self._server.close()
                 await self._server.wait_closed()
@@ -208,11 +272,18 @@ class SchedulingService:
                 return  # drained dry
             try:
                 await self._run_job(record)
+            except WorkerCrashed as exc:
+                # recovery must land before this attempt's task_done so
+                # the queue's unfinished count never momentarily hits 0
+                await self._recover_crashed(record, exc)
+                raise  # the worker dies; the supervisor respawns it
             finally:
                 self.admission.task_done()
 
     async def _run_job(self, record: JobRecord) -> None:
         req = record.request
+        attempt = record.attempts  # 0-based index of this attempt
+        plan = self.fault_plan
         hint = self._ptt_hints.get((req.tenant, req.benchmark))
         try:
             mask = await self.arbiter.acquire(record.job_id, req.nodes, preferred=hint)
@@ -222,24 +293,146 @@ class SchedulingService:
         record.lease_nodes = mask.indices()
         record.state = JobState.RUNNING
         record.started_at = self.clock()
-        try:
-            lease_bits = mask.bits if req.scheduler in LEASE_SCHEDULERS else None
-            specs = self.runner.job_specs(
-                req.benchmark,
-                req.scheduler,
-                seeds=req.seeds,
-                timesteps=req.timesteps,
-                lease_bits=lease_bits,
+        deadline = (
+            req.deadline_s if req.deadline_s is not None else self.default_deadline_s
+        )
+
+        if plan is not None and plan.should_inject(
+            record.job_id, FaultKind.WORKER_CRASH, attempt
+        ):
+            plan.record_injection(FaultKind.WORKER_CRASH)
+            raise WorkerCrashed(
+                f"injected crash of the worker running {record.job_id} "
+                f"(attempt {attempt + 1})"
             )
-            loop = asyncio.get_running_loop()
-            runs = await loop.run_in_executor(None, self.runner.run_specs, specs)
+
+        error: str | None = None
+        retryable = False
+        try:
+            runs = await self._execute(record, attempt, deadline)
             record.result = self._summarize(runs)
             self._remember_fastest_node(req, runs)
-            error = None
+        except asyncio.TimeoutError:
+            self.metrics.record_deadline_exceeded()
+            error = (
+                f"DeadlineExceeded: job ran past its {deadline:g}s deadline "
+                "and was cancelled by the watchdog"
+            )
+        except TransientRunnerError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            retryable = True
         except Exception as exc:  # a failed job must never kill its worker
             error = f"{type(exc).__name__}: {exc}"
         finally:
             await self.arbiter.release(record.job_id)
+
+        if error is None:
+            self._finish(record, error=None)
+            return
+        record.record_attempt_failure(
+            error, started_at=record.started_at, failed_at=self.clock()
+        )
+        if retryable and record.attempts < self.max_attempts:
+            self.metrics.record_retried()
+            self._requeue(record)
+        else:
+            self._fail_terminal(record, error)
+
+    async def _execute(
+        self, record: JobRecord, attempt: int, deadline: float | None
+    ) -> list[AppRunResult]:
+        """Run the job's campaign on an executor thread, under the watchdog.
+
+        Fault seams: a ``deadline`` fault substitutes a hang the watchdog
+        must cancel; a ``transient`` fault raises from inside the runner
+        call via its ``fault_hook``.
+        """
+        req = record.request
+        plan = self.fault_plan
+
+        if (
+            plan is not None
+            and deadline is not None
+            and plan.should_inject(record.job_id, FaultKind.DEADLINE_HANG, attempt)
+        ):
+            plan.record_injection(FaultKind.DEADLINE_HANG)
+            # a hang that outlives any deadline; wait_for cancels it cleanly
+            await asyncio.wait_for(asyncio.Event().wait(), timeout=deadline)
+            raise AssertionError("unreachable: the hang never resolves")
+
+        fault_hook: Callable[[Sequence[RunSpec]], None] | None = None
+        if plan is not None and plan.should_inject(
+            record.job_id, FaultKind.TRANSIENT_ERROR, attempt
+        ):
+            job_id = record.job_id
+
+            def fault_hook(specs: Sequence[RunSpec]) -> None:
+                plan.record_injection(FaultKind.TRANSIENT_ERROR)
+                raise TransientRunnerError(
+                    f"injected transient runner error in {job_id} "
+                    f"(attempt {attempt + 1})"
+                )
+
+        lease_bits = None
+        if req.scheduler in LEASE_SCHEDULERS and record.lease_nodes is not None:
+            from repro.topology.affinity import NodeMask
+
+            lease_bits = NodeMask.from_indices(
+                record.lease_nodes, self.topology.num_nodes
+            ).bits
+        specs = self.runner.job_specs(
+            req.benchmark,
+            req.scheduler,
+            seeds=req.seeds,
+            timesteps=req.timesteps,
+            lease_bits=lease_bits,
+        )
+        loop = asyncio.get_running_loop()
+        # only pass fault_hook when injecting, so tests substituting a plain
+        # run_specs(specs) callable keep working
+        call = (
+            functools.partial(self.runner.run_specs, specs)
+            if fault_hook is None
+            else functools.partial(self.runner.run_specs, specs, fault_hook=fault_hook)
+        )
+        fut = loop.run_in_executor(None, call)
+        if deadline is None:
+            return await fut
+        # NOTE: a real (non-injected) overrun abandons its executor thread
+        # (threads are not cancellable); the lease is still released and
+        # the job fails deterministically — the thread's result is dropped.
+        return await asyncio.wait_for(fut, timeout=deadline)
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    async def _recover_crashed(self, record: JobRecord, exc: WorkerCrashed) -> None:
+        """A worker died mid-job: reclaim its lease, requeue or fail the job."""
+        mask = await self.arbiter.reclaim(record.job_id)
+        if mask is not None:
+            self.metrics.record_lease_reclaimed()
+        error = f"{type(exc).__name__}: {exc}"
+        record.record_attempt_failure(
+            error, started_at=record.started_at, failed_at=self.clock()
+        )
+        if record.attempts < self.max_attempts:
+            self.metrics.record_requeued()
+            self._requeue(record)
+        else:
+            self._fail_terminal(record, error)
+
+    def _requeue(self, record: JobRecord) -> None:
+        """Send a faulted job around again (recovery re-admission)."""
+        record.state = JobState.QUEUED
+        record.started_at = None
+        record.lease_nodes = None
+        record.result = None
+        self.admission.requeue(record)
+
+    def _fail_terminal(self, record: JobRecord, error: str) -> None:
+        """Fail for good; with a history, the error is a typed JobFailed."""
+        if record.attempt_history:
+            error = str(JobFailed(record.job_id, record.attempt_history))
         self._finish(record, error=error)
 
     def _finish(self, record: JobRecord, *, error: str | None) -> None:
@@ -300,6 +493,9 @@ class SchedulingService:
             lease_map=self.arbiter.ledger.lease_map(),
             waiting_for_lease=self.arbiter.waiting,
             jobs={jid: r.to_wire() for jid, r in self.records.items()},
+            faults_injected=(
+                dict(self.fault_plan.injected) if self.fault_plan is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------

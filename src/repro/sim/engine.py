@@ -57,9 +57,21 @@ class Event:
     action: Callable[[], None] = field(compare=False)
     tag: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    _queue: "EventQueue | None" = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
+
+
+#: Relative tolerance for "due at now": two float timestamps produced by
+#: different accumulation orders agree only to a few ulps, so an absolute
+#: epsilon stops resolving same-time events once ``now`` grows past ~0.01 s.
+DUE_REL_TOL = 1e-12
+DUE_ABS_TOL = 1e-15
 
 
 class EventQueue:
@@ -68,17 +80,31 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        # live (non-cancelled) event count, maintained incrementally so
+        # __len__/is_empty are O(1) in the executor's hot loop
+        self._live = 0
 
     def schedule(self, time: float, action: Callable[[], None], tag: str = "") -> Event:
         if not math.isfinite(time) or time < 0.0:
             raise SimulationError(f"cannot schedule event at time {time}")
-        ev = Event(time=time, seq=next(self._counter), action=action, tag=tag)
+        ev = Event(time=time, seq=next(self._counter), action=action, tag=tag,
+                   _queue=self)
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
 
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+
+    @staticmethod
+    def _due(time: float, now: float) -> bool:
+        return time <= now or math.isclose(
+            time, now, rel_tol=DUE_REL_TOL, abs_tol=DUE_ABS_TOL
+        )
 
     def next_time(self) -> float:
         """Time of the earliest pending event, ``inf`` when empty."""
@@ -86,20 +112,28 @@ class EventQueue:
         return self._heap[0].time if self._heap else math.inf
 
     def pop_due(self, now: float) -> list[Event]:
-        """Pop every non-cancelled event with ``time <= now`` in order."""
+        """Pop every non-cancelled event with ``time <= now`` in order.
+
+        "Due" uses a relative tolerance: timestamps within a few ulps of
+        ``now`` (accumulated-float noise) count as simultaneous at any
+        magnitude of simulated time.
+        """
         due: list[Event] = []
         while True:
             self._drop_cancelled()
-            if not self._heap or self._heap[0].time > now + 1e-15:
+            if not self._heap or not self._due(self._heap[0].time, now):
                 break
-            due.append(heapq.heappop(self._heap))
+            ev = heapq.heappop(self._heap)
+            ev._queue = None  # popped: a late cancel() must not touch _live
+            self._live -= 1
+            due.append(ev)
         return due
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def is_empty(self) -> bool:
-        return len(self) == 0
+        return self._live == 0
 
 
 class Simulator:

@@ -121,3 +121,41 @@ def test_saturate_then_consume_reopens_admission():
         return await q.take()
 
     assert asyncio.run(run()) == 3
+
+
+def test_requeue_bypasses_capacity_and_draining():
+    async def run():
+        q: AdmissionQueue[int] = AdmissionQueue(1)
+        q.offer(1)
+        # recovery re-admission is exempt from the capacity bound ...
+        q.requeue(2)
+        assert q.depth == 2
+        q.start_drain()
+        # ... and from the draining gate (the job was already admitted)
+        q.requeue(3)
+        got = [await q.take(), await q.take(), await q.take()]
+        for _ in got:
+            q.task_done()
+        await asyncio.wait_for(q.join(), timeout=2)
+        return got
+
+    assert asyncio.run(run()) == [1, 2, 3]
+
+
+def test_requeue_keeps_join_blocked_until_retry_finishes():
+    async def run():
+        q: AdmissionQueue[int] = AdmissionQueue(2)
+        q.offer(1)
+        item = await q.take()
+        # crash recovery: requeue BEFORE task_done so unfinished never
+        # momentarily hits zero (else join() would resolve with the job lost)
+        q.requeue(item)
+        q.task_done()
+        joiner = asyncio.create_task(q.join())
+        await asyncio.sleep(0)
+        assert not joiner.done()  # the retry is still outstanding
+        await q.take()
+        q.task_done()
+        await asyncio.wait_for(joiner, timeout=2)
+
+    asyncio.run(run())

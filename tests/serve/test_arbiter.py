@@ -237,3 +237,33 @@ def test_cancelled_waiter_leaves_the_line():
         assert mask.count() == 1
 
     asyncio.run(run())
+
+
+def test_reclaim_releases_a_dead_owners_lease_and_wakes_waiters():
+    async def run():
+        topo = tiny_two_node()
+        arbiter = NodeArbiter(LeaseLedger(topo, default_distances(topo)))
+        held = await arbiter.acquire("crashed-job", 2)
+        waiter = asyncio.create_task(arbiter.acquire("blocked-job", 1))
+        while "blocked-job" not in arbiter.waiting:
+            await asyncio.sleep(0)
+        reclaimed = await arbiter.reclaim("crashed-job")
+        assert reclaimed is not None and reclaimed.bits == held.bits
+        # the reclaim frees the nodes and wakes the FIFO line
+        mask = await asyncio.wait_for(waiter, timeout=10)
+        assert mask.count() == 1
+
+    asyncio.run(run())
+
+
+def test_reclaim_of_unknown_owner_is_a_noop():
+    async def run():
+        topo = tiny_two_node()
+        arbiter = NodeArbiter(LeaseLedger(topo, default_distances(topo)))
+        assert await arbiter.reclaim("never-leased") is None
+        # double reclaim: second call finds nothing
+        await arbiter.acquire("job", 1)
+        assert await arbiter.reclaim("job") is not None
+        assert await arbiter.reclaim("job") is None
+
+    asyncio.run(run())

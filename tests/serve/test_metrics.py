@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.serve.metrics import ServiceMetrics, percentile
+from repro.serve.metrics import LatencyReservoir, ServiceMetrics, percentile
 
 
 class FakeClock:
@@ -117,3 +117,92 @@ def test_snapshot_shape_and_conservation():
     assert snap["nodes"]["free"] == [2]
     assert snap["nodes"]["waiting_for_lease"] == ["job-5"]
     assert snap["per_job"]["job-1"]["state"] == "running"
+
+
+# ----------------------------------------------------------------------
+# LatencyReservoir: bounded, exact aggregates, seeded sampling
+# ----------------------------------------------------------------------
+def test_reservoir_is_exact_below_capacity():
+    r = LatencyReservoir(capacity=8, seed=0)
+    for v in [3.0, 1.0, 2.0]:
+        r.add(v)
+    assert len(r) == 3
+    assert sorted(r.sample) == [1.0, 2.0, 3.0]
+    s = r.summary()
+    assert s["count"] == 3
+    assert s["mean_s"] == pytest.approx(2.0)
+    assert s["max_s"] == 3.0
+    # below capacity the percentiles are over the full data, unchanged
+    assert s["p50_s"] == percentile([1.0, 2.0, 3.0], 50)
+    assert s["p95_s"] == percentile([1.0, 2.0, 3.0], 95)
+
+
+def test_reservoir_memory_stays_bounded():
+    r = LatencyReservoir(capacity=16, seed=0)
+    for i in range(10_000):
+        r.add(float(i))
+    assert len(r) == 10_000          # observations seen
+    assert len(r.sample) == 16       # retained sample is bounded
+    s = r.summary()
+    # count/sum/max stay exact even though the sample is bounded
+    assert s["count"] == 10_000
+    assert s["mean_s"] == pytest.approx(4999.5)
+    assert s["max_s"] == 9999.0
+
+
+def test_reservoir_sampling_is_seed_deterministic():
+    def fill(seed):
+        r = LatencyReservoir(capacity=8, seed=seed)
+        for i in range(500):
+            r.add(float(i))
+        return r.sample
+
+    assert fill(7) == fill(7)
+    assert fill(7) != fill(8)
+
+
+def test_reservoir_sample_is_roughly_uniform():
+    # every retained value should be drawn from the whole stream, not
+    # just a prefix/suffix window
+    r = LatencyReservoir(capacity=64, seed=3)
+    for i in range(6400):
+        r.add(float(i))
+    sample = r.sample
+    assert len(sample) == 64
+    assert min(sample) < 3200 < max(sample)
+
+
+def test_reservoir_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        LatencyReservoir(capacity=0)
+
+
+def test_reservoir_empty_summary():
+    assert LatencyReservoir().summary() == {"count": 0}
+
+
+def test_metrics_latencies_are_bounded_and_recovery_counters_count():
+    clock = FakeClock()
+    m = ServiceMetrics(clock=clock, reservoir_size=4)
+    for i in range(100):
+        m.record_completed(float(i))
+    assert len(m._latencies.sample) == 4
+    assert m.latency_summary()["count"] == 100
+
+    m.record_retried()
+    m.record_retried()
+    m.record_requeued()
+    m.record_deadline_exceeded()
+    m.record_lease_reclaimed()
+    snap = m.snapshot(
+        queue_depth=0, queue_capacity=4, draining=False, active=0, queued=0,
+        lease_map={}, waiting_for_lease=[], jobs={},
+        faults_injected={"crash": 2},
+    )
+    assert snap["recovery"] == {
+        "retried": 2,
+        "requeued": 1,
+        "deadline_exceeded": 1,
+        "leases_reclaimed": 1,
+        "faults_injected": {"crash": 2},
+    }

@@ -187,3 +187,39 @@ def test_unknown_code_becomes_protocol_error():
 def test_malformed_error_object():
     with pytest.raises(ProtocolError, match="malformed"):
         raise_for_error({"ok": False, "error": "just a string"})
+
+
+# ----------------------------------------------------------------------
+# deadlines and attempt history on the wire
+# ----------------------------------------------------------------------
+def test_request_deadline_round_trip():
+    req = JobRequest(benchmark="matmul", deadline_s=2.5)
+    wire = req.to_wire()
+    assert wire["deadline_s"] == 2.5
+    assert JobRequest.from_wire(wire) == req
+    # absent and null both mean "no deadline"
+    assert JobRequest.from_wire({"benchmark": "ft"}).deadline_s is None
+    assert JobRequest.from_wire({"benchmark": "ft", "deadline_s": None}).deadline_s is None
+    # integers coerce to float
+    assert JobRequest.from_wire({"benchmark": "ft", "deadline_s": 3}).deadline_s == 3.0
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0, "soon", True, float("nan")])
+def test_request_rejects_bad_deadline(bad):
+    with pytest.raises(ProtocolError):
+        JobRequest.from_wire({"benchmark": "ft", "deadline_s": bad})
+
+
+def test_record_attempt_history_on_the_wire():
+    rec = JobRecord(job_id="j1", request=JobRequest(benchmark="ft"),
+                    submitted_at=1.0)
+    rec.record_attempt_failure("WorkerCrashed: boom", started_at=1.5, failed_at=2.0)
+    rec.record_attempt_failure("TransientRunnerError: blip",
+                               started_at=2.5, failed_at=3.0)
+    assert rec.attempts == 2
+    wire = rec.to_wire()
+    assert wire["attempts"] == 2
+    assert [a["attempt"] for a in wire["attempt_history"]] == [1, 2]
+    assert "WorkerCrashed" in wire["attempt_history"][0]["error"]
+    import json
+    json.dumps(wire)  # stays JSON-plain

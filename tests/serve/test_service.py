@@ -312,3 +312,39 @@ def test_wire_ping_status_and_errors():
             await asyncio.wait_for(cli.drain(), timeout=TIMEOUT)
 
     asyncio.run(run())
+
+
+def test_drain_during_faults_accounts_for_every_admitted_job():
+    """Drain issued while a crash plan is biting mid-flight: every admitted
+    job must still reach a terminal state, with nothing lost to the crash
+    window between lease reclamation and requeue."""
+    from repro.serve.faults import FaultKind, FaultPlan
+
+    async def run():
+        plan = FaultPlan({FaultKind.WORKER_CRASH: 1.0}, seed=0, fault_attempts=1)
+        service = _service(workers=2, fault_plan=plan, max_attempts=3)
+        service.start_workers()
+        records = [
+            service.submit(JobRequest(benchmark="matmul", timesteps=3, nodes=1))
+            for _ in range(4)
+        ]
+        # drain immediately: the crashes (and their requeues) happen while
+        # the service is already refusing new work
+        snapshot = await asyncio.wait_for(service.drain(), timeout=60)
+
+        assert all(r.state is JobState.COMPLETED for r in records)
+        jobs = snapshot["jobs"]
+        assert jobs["submitted"] == 4
+        assert jobs["completed"] == 4
+        assert jobs["active"] == 0 and jobs["queued"] == 0
+        assert jobs["submitted"] == (
+            jobs["completed"] + jobs["failed"] + jobs["active"] + jobs["queued"]
+        )
+        assert snapshot["recovery"]["requeued"] == 4
+        assert snapshot["recovery"]["leases_reclaimed"] == 4
+        assert all(o is None for o in snapshot["nodes"]["leases"].values())
+        # drained for real: new submissions still get the typed rejection
+        with pytest.raises(AdmissionRejected, match="drain"):
+            service.submit(JobRequest(benchmark="matmul"))
+
+    asyncio.run(run())

@@ -110,3 +110,94 @@ class TestSimulator:
         sim.bump("steals")
         sim.bump("steals", 2)
         assert sim.stats["steals"] == 3
+
+
+class TestDueTolerance:
+    def test_same_time_event_fires_at_large_now(self):
+        # regression: an absolute epsilon (now + 1e-15) is swallowed by
+        # float spacing once `now` is large; the relative tolerance must
+        # still treat an accumulated-equal timestamp as due
+        q = EventQueue()
+        now = 1e6
+        t = 0.0
+        for _ in range(10):  # accumulate to ~1e6 with rounding error
+            t += now / 10
+        q.schedule(t, lambda: None)
+        assert len(q.pop_due(now)) == 1
+
+    def test_tolerance_is_relative_not_absolute(self):
+        from repro.sim.engine import DUE_REL_TOL
+
+        q = EventQueue()
+        now = 1e9
+        q.schedule(now * (1.0 + DUE_REL_TOL / 2), lambda: None)  # within tol
+        assert len(q.pop_due(now)) == 1
+        q.schedule(now * (1.0 + DUE_REL_TOL * 10), lambda: None)  # beyond tol
+        assert q.pop_due(now) == []
+        assert len(q) == 1
+
+    def test_tiny_times_still_compare_exactly(self):
+        q = EventQueue()
+        q.schedule(1e-16, lambda: None)  # abs_tol floor keeps ~0 times due
+        assert len(q.pop_due(0.0)) == 1
+
+    def test_future_events_still_held_back(self):
+        q = EventQueue()
+        q.schedule(2.0, lambda: None)
+        assert q.pop_due(1.0) == []
+        assert len(q.pop_due(2.0)) == 1
+
+
+class TestLiveCounter:
+    def test_len_tracks_schedule_and_pop(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(float(i), lambda: None)
+        assert len(q) == 5
+        q.pop_due(2.0)  # pops 0, 1, 2
+        assert len(q) == 2
+        q.pop_due(10.0)
+        assert len(q) == 0
+        assert q.is_empty()
+
+    def test_cancel_decrements_once(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        assert len(q) == 2
+        ev.cancel()
+        assert len(q) == 1
+        ev.cancel()  # double-cancel must not decrement again
+        assert len(q) == 1
+
+    def test_cancelled_events_are_skipped_by_pop(self):
+        q = EventQueue()
+        fired = []
+        ev = q.schedule(1.0, lambda: fired.append("dead"))
+        q.schedule(1.0, lambda: fired.append("live"))
+        ev.cancel()
+        popped = q.pop_due(1.0)
+        assert len(popped) == 1
+        for e in popped:
+            e.action()
+        assert fired == ["live"]
+        assert len(q) == 0
+
+    def test_cancel_after_pop_is_harmless(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        (ev,) = q.pop_due(1.0)
+        ev.cancel()  # already popped: must not corrupt the live count
+        assert len(q) == 0
+        q.schedule(2.0, lambda: None)
+        assert len(q) == 1
+
+    def test_len_is_constant_time_bookkeeping(self):
+        # heap may still physically hold cancelled entries; __len__ must
+        # report only live ones without scanning
+        q = EventQueue()
+        events = [q.schedule(float(i), lambda: None) for i in range(100)]
+        for ev in events[::2]:
+            ev.cancel()
+        assert len(q) == 50
+        assert len(q._heap) == 100  # lazily-deleted entries remain
