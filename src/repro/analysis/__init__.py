@@ -1,0 +1,43 @@
+"""Static determinism & concurrency sanitizer (``python -m repro.analysis``).
+
+An AST-walking lint engine that enforces the repo's replay invariants —
+the properties the golden-fixture and chaos tests check dynamically —
+as static checks that run in CI and pre-commit:
+
+========  =============================================================
+DET001    no wall-clock reads in sim/, core/, runtime/, exp/
+DET002    no ambient/unseeded RNG in deterministic + serving packages
+DET003    no float ``==``/``!=`` on simulated clocks and deadlines
+ASY001    no blocking calls inside ``async def`` in serve/
+LOCK001   lock-guarded attributes are never written without the lock
+WIRE001   serve/protocol.py dataclass fields stay JSON-wire-safe
+EXC001    no bare ``except:``, no swallowed ``CancelledError``
+SEED001   public entry points that draw randomness accept a seed/rng
+========  =============================================================
+
+See DESIGN.md §6 for the full catalog, rationale and suppression policy
+(per-line ``# repro: noqa RULE -- justification``; grandfathered findings
+live in ``analysis-baseline.json``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    Finding,
+    Module,
+    Rule,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.rules import ALL_RULES, rules_by_id, select_rules
+
+__all__ = [
+    "Finding",
+    "Module",
+    "Rule",
+    "ALL_RULES",
+    "analyze_paths",
+    "analyze_source",
+    "rules_by_id",
+    "select_rules",
+]

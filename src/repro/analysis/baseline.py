@@ -1,0 +1,84 @@
+"""Grandfathering baseline: known findings the build tolerates.
+
+The baseline is a checked-in JSON file of finding identities
+(rule + path + message, *no line numbers*, so edits elsewhere in a file
+never churn it).  ``--write-baseline`` regenerates it from the current
+tree; a normal run subtracts baselined findings and only *new* ones fail
+``--strict``.
+
+Policy (see DESIGN.md §6): the baseline is a ratchet, not a dumping
+ground — entries may only shrink, and the deterministic core packages
+(``sim/``, ``core/``, ``serve/``) must stay at zero entries; violations
+there are fixed, not grandfathered.  Stale entries (no longer matched by
+any finding) are reported so they get deleted.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.analysis.engine import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "load_baseline",
+    "write_baseline",
+    "partition_findings",
+]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> Counter[str]:
+    """Baseline keys → allowed count.  A missing file is an empty baseline."""
+    if not path.exists():
+        return Counter()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: not a v{BASELINE_VERSION} analysis baseline file"
+        )
+    entries = data.get("findings", [])
+    counts: Counter[str] = Counter()
+    for entry in entries:
+        key = f"{entry['rule']}::{entry['path']}::{entry['message']}"
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Serialize the given findings as the new baseline (sorted, counted)."""
+    counts: Counter[tuple[str, str, str]] = Counter(
+        (f.rule, f.path, f.message) for f in findings
+    )
+    entries: list[dict[str, Any]] = [
+        {"rule": rule, "path": file, "message": message, "count": count}
+        for (rule, file, message), count in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def partition_findings(
+    findings: Sequence[Finding], baseline: Counter[str]
+) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Split findings into (new, baselined) and list stale baseline keys.
+
+    Matching is counted: a baseline entry with ``count: 2`` absorbs at
+    most two identical findings; a third is new.
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(key for key, count in remaining.items() if count > 0)
+    return new, grandfathered, stale

@@ -1,0 +1,162 @@
+"""Command line: ``python -m repro.analysis [paths] [options]``.
+
+Exit-code contract (relied on by CI and pre-commit):
+
+* ``0`` — no unbaselined findings (or report-only mode without
+  ``--strict``);
+* ``1`` — unbaselined findings and ``--strict``;
+* ``2`` — usage or I/O error (unknown rule id, missing path, corrupt
+  baseline file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.analysis.baseline import (
+    load_baseline,
+    partition_findings,
+    write_baseline,
+)
+from repro.analysis.engine import analyze_paths
+from repro.analysis.rules import ALL_RULES, select_rules
+
+__all__ = ["main", "build_parser"]
+
+OUTPUT_SCHEMA_VERSION = 1
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Static determinism & concurrency sanitizer: enforces the "
+            "repo's replay invariants (seeded RNG flow, no wall-clock in "
+            "the simulator, no float == on sim time, async/lock/wire "
+            "hygiene) as AST checks."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on unbaselined findings (CI mode); without it the "
+             "run only reports",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, metavar="PATH",
+        help=f"grandfathered-findings file (default: {DEFAULT_BASELINE}; "
+             "a missing file is an empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file: report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules(out: TextIO) -> None:
+    for rule in ALL_RULES:
+        scope = (
+            "repro." + "|".join(rule.packages)
+            if rule.packages
+            else ("repro.*" if rule.repro_only else "all files")
+        )
+        out.write(f"{rule.id}  [{scope}]  {rule.title}\n")
+        out.write(f"        {rule.rationale}\n")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    out = sys.stdout
+
+    if args.list_rules:
+        _list_rules(out)
+        return 0
+
+    try:
+        rules = select_rules(args.select, args.ignore)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        findings, scanned = analyze_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(
+            f"wrote {len(findings)} finding(s) to baseline {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    try:
+        baseline = (
+            load_baseline(baseline_path) if not args.no_baseline else None
+        )
+    except (ValueError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"error: corrupt baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 2
+    new, grandfathered, stale = partition_findings(
+        findings, baseline if baseline is not None else Counter()
+    )
+
+    if args.format == "json":
+        payload = {
+            "version": OUTPUT_SCHEMA_VERSION,
+            "files_scanned": scanned,
+            "findings": [f.to_json() for f in new],
+            "baselined": len(grandfathered),
+            "stale_baseline_entries": stale,
+            "strict": bool(args.strict),
+        }
+        out.write(json.dumps(payload, indent=2) + "\n")
+    else:
+        for finding in new:
+            out.write(finding.render() + "\n")
+        for key in stale:
+            out.write(f"stale baseline entry (delete it): {key}\n")
+        status = "ok" if not new else f"{len(new)} finding(s)"
+        out.write(
+            f"{status}: {scanned} file(s) scanned, {len(new)} new, "
+            f"{len(grandfathered)} baselined, {len(stale)} stale baseline "
+            "entrie(s)\n"
+        )
+
+    if new and args.strict:
+        return 1
+    return 0

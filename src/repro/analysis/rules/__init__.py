@@ -1,0 +1,62 @@
+"""Rule registry: every shipped invariant check, in catalog order."""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.concurrency import (
+    Asy001BlockingInAsync,
+    Lock001InconsistentLocking,
+)
+from repro.analysis.rules.determinism import (
+    Det001WallClock,
+    Det002AmbientRng,
+    Det003TimeEquality,
+    Seed001SeedlessEntryPoint,
+)
+from repro.analysis.rules.exceptions import Exc001ExceptionHygiene
+from repro.analysis.rules.wire import Wire001JsonSafeFields
+
+__all__ = ["ALL_RULES", "rules_by_id", "select_rules"]
+
+#: Catalog order (also the order findings are documented in DESIGN.md §6).
+ALL_RULES: tuple[Rule, ...] = (
+    Det001WallClock(),
+    Det002AmbientRng(),
+    Det003TimeEquality(),
+    Asy001BlockingInAsync(),
+    Lock001InconsistentLocking(),
+    Wire001JsonSafeFields(),
+    Exc001ExceptionHygiene(),
+    Seed001SeedlessEntryPoint(),
+)
+
+
+def rules_by_id() -> dict[str, Rule]:
+    return {rule.id: rule for rule in ALL_RULES}
+
+
+def select_rules(
+    select: str | None = None, ignore: str | None = None
+) -> tuple[Rule, ...]:
+    """The rule set after ``--select`` / ``--ignore`` filtering.
+
+    Both take comma-separated rule ids; unknown ids raise ``ValueError``
+    so typos fail loudly instead of silently checking nothing.
+    """
+    table = rules_by_id()
+
+    def parse(spec: str | None) -> set[str]:
+        if not spec:
+            return set()
+        ids = {part.strip() for part in spec.split(",") if part.strip()}
+        unknown = ids - table.keys()
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {sorted(unknown)}; "
+                f"known: {sorted(table)}"
+            )
+        return ids
+
+    selected = parse(select) or set(table)
+    selected -= parse(ignore)
+    return tuple(rule for rule in ALL_RULES if rule.id in selected)

@@ -1,0 +1,212 @@
+"""Concurrency rules: event-loop liveness and lock discipline.
+
+ASY001 keeps the serving layer's event loop responsive (a blocking call
+in a coroutine stalls *every* connected client); LOCK001 is a
+lockdep-style consistency check on classes that own a ``threading`` lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.engine import Finding, Module, Rule
+
+__all__ = ["Asy001BlockingInAsync", "Lock001InconsistentLocking"]
+
+
+# ----------------------------------------------------------------------
+# ASY001 — blocking calls inside `async def` in serve/
+# ----------------------------------------------------------------------
+_BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "os.system", "os.popen", "os.waitpid",
+    "socket.create_connection", "socket.getaddrinfo",
+    "urllib.request.urlopen",
+    "requests.get", "requests.post", "requests.put", "requests.delete",
+    "requests.request",
+    # bare builtins (resolved names): synchronous file I/O
+    "open", "io.open",
+})
+
+
+class Asy001BlockingInAsync(Rule):
+    id: ClassVar[str] = "ASY001"
+    title: ClassVar[str] = "blocking call inside async def"
+    rationale: ClassVar[str] = (
+        "the service runs every connection on one event loop; a blocking "
+        "call in a coroutine freezes all clients at once — use "
+        "asyncio.sleep / run_in_executor / asyncio streams."
+    )
+    packages: ClassVar[tuple[str, ...] | None] = ("serve",)
+
+    def check(self, mod: Module) -> Iterator[Finding]:
+        for fn in ast.walk(mod.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            for node in self._walk_coroutine_body(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                qualified = mod.qualified_name(node.func)
+                if qualified in _BLOCKING_CALLS:
+                    yield self.finding(
+                        mod, node,
+                        f"blocking call `{qualified}` inside `async def "
+                        f"{fn.name}` stalls the event loop — use the asyncio "
+                        "equivalent or loop.run_in_executor",
+                    )
+
+    @staticmethod
+    def _walk_coroutine_body(fn: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """Walk ``fn`` without entering nested defs: nested sync functions
+        are executor/callback material (allowed to block off-loop), and
+        nested coroutines get their own visit."""
+        stack: list[ast.AST] = list(fn.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+
+# ----------------------------------------------------------------------
+# LOCK001 — inconsistently locked attribute writes
+# ----------------------------------------------------------------------
+_LOCK_CONSTRUCTORS = frozenset({"threading.Lock", "threading.RLock"})
+
+
+def _self_attr_target(node: ast.expr) -> str | None:
+    """Attribute name written by a store target rooted at ``self``.
+
+    ``self._x = ...`` → ``_x``; ``self._tally[k] += 1`` → ``_tally``
+    (mutating a container through ``self`` is still a write to shared
+    state); anything else → ``None``.
+    """
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _MethodWriteCollector(ast.NodeVisitor):
+    """Record every ``self.<attr>`` store in one method, tagged with
+    whether it happened under a ``with self.<lock>:`` scope."""
+
+    def __init__(self, lock_attrs: frozenset[str]):
+        self.lock_attrs = lock_attrs
+        self.depth = 0
+        #: (attr, node, locked)
+        self.writes: list[tuple[str, ast.AST, bool]] = []
+
+    # -- lock scopes ---------------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        holds = sum(
+            1
+            for item in node.items
+            if (attr := _self_attr_target(item.context_expr)) is not None
+            and attr in self.lock_attrs
+        )
+        self.depth += holds
+        for stmt in node.body:
+            self.visit(stmt)
+        self.depth -= holds
+
+    # -- stores --------------------------------------------------------
+    def _record(self, target: ast.expr, node: ast.AST) -> None:
+        attr = _self_attr_target(target)
+        if attr is not None and attr not in self.lock_attrs:
+            self.writes.append((attr, node, self.depth > 0))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record(node.target, node)
+        self.generic_visit(node)
+
+    # nested defs are separate execution contexts; skip them
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+
+class Lock001InconsistentLocking(Rule):
+    id: ClassVar[str] = "LOCK001"
+    title: ClassVar[str] = "lock-protected attribute written without the lock"
+    rationale: ClassVar[str] = (
+        "a class that guards an attribute with `with self._lock:` in one "
+        "method and writes it bare in another has a data race the tests "
+        "only hit under contention — every write to a guarded attribute "
+        "must hold the lock (lockdep-style consistency, computed per "
+        "class; __init__ runs before the object is shared and is exempt)."
+    )
+    packages: ClassVar[tuple[str, ...] | None] = None
+    repro_only: ClassVar[bool] = True
+
+    def check(self, mod: Module) -> Iterator[Finding]:
+        for cls in ast.walk(mod.tree):
+            if isinstance(cls, ast.ClassDef):
+                yield from self._check_class(mod, cls)
+
+    def _check_class(self, mod: Module, cls: ast.ClassDef) -> Iterator[Finding]:
+        methods = [
+            n for n in cls.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        lock_attrs = frozenset(
+            attr
+            for method in methods
+            for node in ast.walk(method)
+            if isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+            and mod.qualified_name(node.value.func) in _LOCK_CONSTRUCTORS
+            for target in node.targets
+            if (attr := _self_attr_target(target)) is not None
+        )
+        if not lock_attrs:
+            return
+
+        per_method: dict[str, list[tuple[str, ast.AST, bool]]] = {}
+        for method in methods:
+            collector = _MethodWriteCollector(lock_attrs)
+            for stmt in method.body:
+                collector.visit(stmt)
+            per_method[method.name] = collector.writes
+
+        guarded = {
+            attr
+            for name, writes in per_method.items()
+            for attr, _node, locked in writes
+            if locked
+        }
+        if not guarded:
+            return
+        for name, writes in per_method.items():
+            if name == "__init__":
+                continue
+            for attr, node, locked in writes:
+                if attr in guarded and not locked:
+                    yield self.finding(
+                        mod, node,
+                        f"`self.{attr}` is written under `with self.<lock>:` "
+                        f"elsewhere in `{cls.name}` but written bare in "
+                        f"`{name}` — hold the lock (or make the attribute "
+                        "consistently lock-free)",
+                    )

@@ -1,0 +1,69 @@
+"""EXC001 — no bare ``except:``, no swallowed ``CancelledError``.
+
+A bare ``except:`` catches ``SystemExit``/``KeyboardInterrupt`` and (on
+the event loop) ``asyncio.CancelledError``, so a "harmless" error guard
+silently absorbs cancellation — the drain path then hangs waiting for a
+coroutine that will never acknowledge it.  Catching ``CancelledError``
+explicitly is allowed only when the handler re-raises after cleanup.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.engine import Finding, Module, Rule
+
+__all__ = ["Exc001ExceptionHygiene"]
+
+
+def _mentions_cancelled(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "CancelledError":
+            return True
+        if isinstance(sub, ast.Name) and sub.id == "CancelledError":
+            return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for stmt in handler.body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(sub, ast.Raise):
+                return True
+    return False
+
+
+class Exc001ExceptionHygiene(Rule):
+    id: ClassVar[str] = "EXC001"
+    title: ClassVar[str] = "bare except / swallowed CancelledError"
+    rationale: ClassVar[str] = (
+        "bare `except:` absorbs KeyboardInterrupt and task cancellation; "
+        "a handler that catches CancelledError without re-raising makes "
+        "graceful drain hang — cancellation must always propagate."
+    )
+    packages: ClassVar[tuple[str, ...] | None] = None
+    repro_only: ClassVar[bool] = False
+
+    def check(self, mod: Module) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    mod, node,
+                    "bare `except:` catches SystemExit, KeyboardInterrupt "
+                    "and CancelledError — name the exceptions you mean "
+                    "(at most `except Exception`)",
+                )
+            elif _mentions_cancelled(node.type) and not _reraises(node):
+                yield self.finding(
+                    mod, node,
+                    "handler catches asyncio.CancelledError without "
+                    "re-raising — cancellation must propagate or graceful "
+                    "drain hangs; re-raise after cleanup",
+                )

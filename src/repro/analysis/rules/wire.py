@@ -1,0 +1,137 @@
+"""WIRE001 — the protocol module's dataclasses must stay JSON-wire-safe.
+
+Every field of the dataclasses in ``repro/serve/protocol.py`` crosses the
+newline-JSON wire via ``to_wire``/``from_wire``; a field whose type JSON
+cannot represent (sets, ndarray, callables, bytes, arbitrary objects)
+serializes wrong *or only sometimes*, which is how wire drift sneaks past
+the unit tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.engine import Finding, Module, Rule
+
+__all__ = ["Wire001JsonSafeFields"]
+
+_SAFE_ATOMS = frozenset({"str", "int", "float", "bool", "None", "Any", "object"})
+_SAFE_QUALIFIED = frozenset({"typing.Any"})
+_SAFE_CONTAINERS = frozenset({
+    "dict", "list", "tuple",
+    "typing.Dict", "typing.List", "typing.Tuple", "typing.Optional",
+    "typing.Mapping", "typing.Sequence", "typing.MutableMapping",
+    "collections.abc.Mapping", "collections.abc.Sequence",
+})
+
+
+class Wire001JsonSafeFields(Rule):
+    id: ClassVar[str] = "WIRE001"
+    title: ClassVar[str] = "non-JSON-safe dataclass field in the wire protocol"
+    rationale: ClassVar[str] = (
+        "protocol dataclasses round-trip through newline-delimited JSON; "
+        "a field type JSON cannot represent breaks clients that did not "
+        "write the server (and vice versa)."
+    )
+    packages: ClassVar[tuple[str, ...] | None] = ("serve",)
+
+    def applies(self, mod: Module) -> bool:
+        pkg = mod.repro_package
+        return pkg is not None and pkg == ("serve", "protocol")
+
+    def check(self, mod: Module) -> Iterator[Finding]:
+        wire_classes = self._wire_safe_local_classes(mod)
+        for cls in mod.tree.body:
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not self._is_dataclass(mod, cls):
+                continue
+            for stmt in cls.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                if not isinstance(stmt.target, ast.Name):
+                    continue
+                if self._is_classvar(stmt.annotation):
+                    continue
+                if not self._safe(mod, stmt.annotation, wire_classes):
+                    yield self.finding(
+                        mod, stmt,
+                        f"field `{cls.name}.{stmt.target.id}: "
+                        f"{ast.unparse(stmt.annotation)}` is not JSON-wire-"
+                        "safe — allowed: str/int/float/bool/None/Any, "
+                        "list/dict/tuple/Mapping/Sequence of safe types, "
+                        "and wire types defined in this module",
+                    )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_dataclass(mod: Module, cls: ast.ClassDef) -> bool:
+        for deco in cls.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            qualified = mod.qualified_name(target)
+            if qualified in ("dataclasses.dataclass", "dataclass"):
+                return True
+        return False
+
+    @staticmethod
+    def _wire_safe_local_classes(mod: Module) -> frozenset[str]:
+        """Local classes allowed as field types: this module's dataclasses
+        (themselves under WIRE001 scrutiny) and its ``str``-based enums
+        (serialized as their string value)."""
+        names: set[str] = set()
+        for cls in mod.tree.body:
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if Wire001JsonSafeFields._is_dataclass(mod, cls):
+                names.add(cls.name)
+                continue
+            base_names = {
+                mod.qualified_name(b) for b in cls.bases
+            }
+            if "str" in base_names:
+                names.add(cls.name)
+        return frozenset(names)
+
+    @staticmethod
+    def _is_classvar(node: ast.expr) -> bool:
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        return isinstance(node, (ast.Name, ast.Attribute)) and (
+            (isinstance(node, ast.Name) and node.id == "ClassVar")
+            or (isinstance(node, ast.Attribute) and node.attr == "ClassVar")
+        )
+
+    def _safe(
+        self, mod: Module, node: ast.expr, wire_classes: frozenset[str]
+    ) -> bool:
+        if isinstance(node, ast.Constant):
+            if node.value is None:
+                return True
+            if isinstance(node.value, str):  # forward reference
+                name = node.value.strip()
+                return name in _SAFE_ATOMS or name in wire_classes
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in _SAFE_ATOMS or node.id in wire_classes
+        if isinstance(node, ast.Attribute):
+            qualified = mod.qualified_name(node)
+            return qualified in _SAFE_QUALIFIED
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            return self._safe(mod, node.left, wire_classes) and self._safe(
+                mod, node.right, wire_classes
+            )
+        if isinstance(node, ast.Subscript):
+            base = mod.qualified_name(node.value)
+            if base not in _SAFE_CONTAINERS:
+                return False
+            index = node.slice
+            elements = (
+                list(index.elts) if isinstance(index, ast.Tuple) else [index]
+            )
+            return all(
+                isinstance(e, ast.Constant) and e.value is Ellipsis
+                or self._safe(mod, e, wire_classes)
+                for e in elements
+            )
+        return False

@@ -1,0 +1,49 @@
+"""Per-line ``# repro: noqa`` suppressions.
+
+A finding is suppressed when the physical line it is reported on carries
+a marker comment::
+
+    t = time.time()  # repro: noqa DET001 -- CLI wall-time banner only
+
+``# repro: noqa`` with no rule list suppresses *every* rule on that line;
+``# repro: noqa DET001, DET002`` suppresses exactly those rules.  Text
+after the rule list (conventionally introduced with ``--``) is the
+justification — required by review convention, not enforced here.
+
+Suppressions are deliberately per-line (the finding's reported line, i.e.
+the first line of the offending statement), mirroring flake8's ``noqa``:
+coarse file- or block-level escapes would let violations accumulate
+invisibly.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["line_suppressions"]
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa"
+    r"(?:\s*[:=]?\s*(?P<rules>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*))?",
+)
+_RULE = re.compile(r"[A-Z]+\d+")
+
+
+def line_suppressions(lines: list[str]) -> dict[int, frozenset[str]]:
+    """Map 1-based line number → suppressed rule ids on that line.
+
+    An *empty* frozenset means "suppress every rule" (a bare
+    ``# repro: noqa``).
+    """
+    table: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        if "#" not in line:
+            continue
+        match = _NOQA.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        table[lineno] = (
+            frozenset(_RULE.findall(rules)) if rules else frozenset()
+        )
+    return table

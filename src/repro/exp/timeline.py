@@ -9,7 +9,10 @@ make.  Works from a :class:`repro.sim.trace.Trace` recorded with
 
 from __future__ import annotations
 
+import math
+
 from repro.errors import ExperimentError
+from repro.sim.engine import DUE_ABS_TOL, DUE_REL_TOL
 from repro.sim.trace import TaskRecord, Trace
 from repro.topology.machine import MachineTopology
 
@@ -28,12 +31,21 @@ def _select_execution(trace: Trace, uid: str, occurrence: int) -> tuple[float, f
     return rec.start, rec.end
 
 
+def _at_or_after(t: float, bound: float) -> bool:
+    """``t >= bound`` with the relative ``DUE_REL_TOL`` idiom: timestamps
+    a few ulps apart (accumulated-float noise) count as simultaneous at
+    any magnitude of simulated time, so boundary tasks are never dropped
+    from long-run timelines."""
+    return t >= bound or math.isclose(t, bound, rel_tol=DUE_REL_TOL, abs_tol=DUE_ABS_TOL)
+
+
 def _tasks_in_window(trace: Trace, uid: str, start: float, end: float) -> list[TaskRecord]:
-    eps = 1e-12
     return [
         t
         for t in trace.tasks
-        if t.taskloop == uid and t.start >= start - eps and t.end <= end + eps
+        if t.taskloop == uid
+        and _at_or_after(t.start, start)
+        and _at_or_after(end, t.end)
     ]
 
 

@@ -102,7 +102,7 @@ async def _serve(args: argparse.Namespace) -> int:
     print(f"listening on {host}:{port}; ctrl-c drains gracefully", flush=True)
     try:
         await service._drained.wait()
-    except (KeyboardInterrupt, asyncio.CancelledError):
+    except (KeyboardInterrupt, asyncio.CancelledError):  # repro: noqa EXC001 -- top of the CLI: ctrl-c *is* the drain signal; nothing above this frame needs the cancellation, and re-raising would traceback at the terminal
         print("draining: finishing admitted jobs, rejecting new ones", flush=True)
         snapshot = await service.drain()
         jobs = snapshot["jobs"]

@@ -13,6 +13,9 @@ Resilience built in:
   typed ``queue_full`` backpressure and dropped connections — with
   exponential backoff plus *full jitter* (``uniform(0, min(cap, base·2ⁿ))``)
   from an injectable RNG, so chaos tests replay identical schedules.
+  The default jitter source is the seed-derived
+  :func:`repro.sim.rng.pyrandom` substream ``("serve.client", "retry")``
+  — byte-identical replay by construction, never entropy-seeded.
   ``draining`` rejections are never retried: they cannot succeed.
 """
 
@@ -21,6 +24,8 @@ from __future__ import annotations
 import asyncio
 import random
 from typing import Any, Callable, Mapping
+
+from repro.sim.rng import pyrandom
 
 from repro.serve.protocol import (
     AdmissionRejected,
@@ -123,7 +128,7 @@ class ServiceClient:
         ``draining`` rejections and protocol errors are raised immediately.
         """
         if rng is None:
-            rng = random.Random()
+            rng = pyrandom(0, "serve.client", "retry")
         attempt = 0
         while True:
             try:

@@ -42,12 +42,11 @@ import random
 import sys
 import time
 
-import numpy as np
-
 from repro.serve.client import ServiceClient
 from repro.serve.faults import FaultKind, FaultPlan
 from repro.serve.metrics import percentile
 from repro.serve.protocol import AdmissionRejected, JobRequest
+from repro.sim.rng import pyrandom, stream
 from repro.workloads.registry import PAPER_ORDER
 
 __all__ = ["main"]
@@ -144,7 +143,7 @@ async def _closed_client(
     plan: FaultPlan | None,
 ) -> None:
     """One tenant: submit, wait for completion, repeat."""
-    rng = random.Random(f"retry:{args.seed}:{tenant}")
+    rng = pyrandom(args.seed, "serve.loadgen.retry", tenant)
     async with await ServiceClient.connect(host, port) as client:
         for _ in range(args.jobs_per_client):
             t0 = time.monotonic()
@@ -163,8 +162,8 @@ async def _open_loop(
     plan: FaultPlan | None,
 ) -> None:
     """Poisson arrivals at --rate; completions tracked in the background."""
-    rng = np.random.default_rng(args.seed)
-    retry_rng = random.Random(f"retry:{args.seed}:open")
+    rng = stream(args.seed, "serve.loadgen", "arrivals")
+    retry_rng = pyrandom(args.seed, "serve.loadgen.retry", "open")
     total = args.clients * args.jobs_per_client
     waiters: list[asyncio.Task] = []
 

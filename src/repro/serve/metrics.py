@@ -18,10 +18,11 @@ time deterministically.
 
 from __future__ import annotations
 
-import random
 import time
 from collections import Counter
 from typing import Any, Callable, Mapping, Sequence
+
+from repro.sim.rng import pyrandom
 
 __all__ = ["percentile", "LatencyReservoir", "ServiceMetrics"]
 
@@ -54,7 +55,8 @@ class LatencyReservoir:
     replaces a random slot with probability ``capacity / i``, so the
     retained sample stays uniform over everything seen.  Count, sum and
     max are tracked exactly alongside, and the replacement draws come
-    from a seeded :class:`random.Random` so a replayed run samples
+    from the seed-derived :func:`repro.sim.rng.pyrandom` substream
+    ``("serve.metrics", "reservoir")`` so a replayed run samples
     identically.
     """
 
@@ -62,7 +64,7 @@ class LatencyReservoir:
         if capacity < 1:
             raise ValueError(f"reservoir capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._rng = random.Random(seed)
+        self._rng = pyrandom(seed, "serve.metrics", "reservoir")
         self._sample: list[float] = []
         self._count = 0
         self._sum = 0.0

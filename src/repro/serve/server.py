@@ -517,8 +517,10 @@ class SchedulingService:
                 await write_message(writer, response)
                 if message.get("op") == "drain":
                     return
-        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+        except (ConnectionResetError, BrokenPipeError):
             pass
+        except asyncio.CancelledError:
+            raise  # cancellation must propagate; `finally` closes the writer
         finally:
             writer.close()
             try:

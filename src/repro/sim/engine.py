@@ -18,6 +18,15 @@ from repro.errors import SimulationError
 
 __all__ = ["Clock", "Event", "EventQueue", "Simulator"]
 
+#: Relative tolerance for "same simulated time": two float timestamps
+#: produced by different accumulation orders agree only to a few ulps, so
+#: an absolute epsilon stops resolving same-time comparisons once the
+#: clock grows past ~0.01 s.  Shared by ``EventQueue.pop_due`` (the PR 3
+#: bug), ``Clock.advance_to``'s backwards guard, and the timeline window
+#: filter in :mod:`repro.exp.timeline`.
+DUE_REL_TOL = 1e-12
+DUE_ABS_TOL = 1e-15
+
 
 class Clock:
     """Monotonic simulation clock in seconds."""
@@ -41,8 +50,17 @@ class Clock:
         return self._now
 
     def advance_to(self, t: float) -> float:
-        """Move time forward to absolute time ``t`` (>= now)."""
-        if not math.isfinite(t) or t < self._now - 1e-12:
+        """Move time forward to absolute time ``t`` (>= now).
+
+        "Backwards" uses the relative ``DUE_REL_TOL`` idiom: a target a
+        few ulps below ``now`` (accumulated-float noise from a different
+        summation order) clamps to ``now`` instead of raising, at any
+        clock magnitude.
+        """
+        if not math.isfinite(t) or (
+            t < self._now
+            and not math.isclose(t, self._now, rel_tol=DUE_REL_TOL, abs_tol=DUE_ABS_TOL)
+        ):
             raise SimulationError(f"cannot move clock backwards to {t} from {self._now}")
         self._now = max(self._now, t)
         return self._now
@@ -65,13 +83,6 @@ class Event:
         self.cancelled = True
         if self._queue is not None:
             self._queue._note_cancelled()
-
-
-#: Relative tolerance for "due at now": two float timestamps produced by
-#: different accumulation orders agree only to a few ulps, so an absolute
-#: epsilon stops resolving same-time events once ``now`` grows past ~0.01 s.
-DUE_REL_TOL = 1e-12
-DUE_ABS_TOL = 1e-15
 
 
 class EventQueue:

@@ -10,11 +10,12 @@ from the run seed plus a string path, so
 
 from __future__ import annotations
 
+import random
 import zlib
 
 import numpy as np
 
-__all__ = ["stream", "spawn_key"]
+__all__ = ["stream", "spawn_key", "pyrandom"]
 
 
 def spawn_key(*names: str) -> list[int]:
@@ -33,3 +34,19 @@ def stream(seed: int, *names: str) -> np.random.Generator:
         raise ValueError(f"seed must be non-negative, got {seed}")
     ss = np.random.SeedSequence(entropy=seed, spawn_key=tuple(spawn_key(*names)))
     return np.random.Generator(np.random.Philox(ss))
+
+
+def pyrandom(seed: int, *names: str) -> random.Random:
+    """A seeded :class:`random.Random` for substream ``names`` of ``seed``.
+
+    Same substream addressing as :func:`stream`, for call sites that want
+    cheap scalar draws (backoff jitter, reservoir slots) without paying
+    for a numpy ``Generator``.  The two never share state: the stdlib
+    generator is seeded from 128 bits of the substream's
+    :class:`~numpy.random.SeedSequence` output.
+    """
+    if seed < 0:
+        raise ValueError(f"seed must be non-negative, got {seed}")
+    ss = np.random.SeedSequence(entropy=seed, spawn_key=tuple(spawn_key(*names)))
+    entropy = int.from_bytes(ss.generate_state(4, dtype=np.uint32).tobytes(), "little")
+    return random.Random(entropy)

@@ -1,0 +1,130 @@
+"""Engine mechanics: suppression semantics, parse failures, name
+resolution, package scoping, ordering."""
+
+import ast
+
+from repro.analysis import analyze_source, select_rules
+from repro.analysis.engine import PARSE_RULE_ID, Module
+from repro.analysis.suppress import line_suppressions
+from tests.analysis.conftest import OUTSIDE, SIM
+
+
+class TestSuppressions:
+    def test_matching_rule_noqa_suppresses(self, check):
+        findings = check(
+            SIM,
+            """
+            import time
+            t = time.time()  # repro: noqa DET001 -- fixture banner only
+            """,
+            select="DET001",
+        )
+        assert findings == []
+
+    def test_bare_noqa_suppresses_every_rule(self, check):
+        findings = check(
+            SIM,
+            """
+            import time
+            t = time.time()  # repro: noqa
+            """,
+            select="DET001",
+        )
+        assert findings == []
+
+    def test_wrong_rule_noqa_does_not_suppress(self, check):
+        findings = check(
+            SIM,
+            """
+            import time
+            t = time.time()  # repro: noqa DET002 -- wrong rule id
+            """,
+            select="DET001",
+        )
+        assert [f.rule for f in findings] == ["DET001"]
+
+    def test_noqa_is_per_line_not_per_file(self, check):
+        findings = check(
+            SIM,
+            """
+            import time
+            a = time.time()  # repro: noqa DET001 -- this line only
+            b = time.time()
+            """,
+            select="DET001",
+        )
+        assert [f.line for f in findings] == [4]
+
+    def test_multi_rule_list_parsed(self):
+        table = line_suppressions(["x = 1  # repro: noqa DET001, DET003 -- why"])
+        assert table == {1: frozenset({"DET001", "DET003"})}
+
+    def test_plain_flake8_noqa_is_not_ours(self):
+        assert line_suppressions(["x = 1  # noqa: E501"]) == {}
+
+
+class TestParseFailure:
+    def test_syntax_error_becomes_parse000(self, check):
+        findings = check(SIM, "def broken(:\n")
+        assert [f.rule for f in findings] == [PARSE_RULE_ID]
+        assert "does not parse" in findings[0].message
+
+
+class TestNameResolution:
+    @staticmethod
+    def _module(path, source):
+        return Module(path, source, ast.parse(source))
+
+    def test_import_alias_table(self):
+        mod = self._module(
+            OUTSIDE,
+            "import numpy as np\nfrom time import monotonic as mono\n",
+        )
+        assert mod.imports["np"] == "numpy"
+        assert mod.imports["mono"] == "time.monotonic"
+
+    def test_attribute_chain_through_alias(self):
+        mod = self._module(OUTSIDE, "import numpy as np\nx = np.random.default_rng\n")
+        attr = mod.tree.body[1].value
+        assert mod.qualified_name(attr) == "numpy.random.default_rng"
+
+    def test_relative_import_resolved_against_package(self):
+        mod = self._module(
+            "src/repro/serve/client.py", "from ..sim.rng import pyrandom\n"
+        )
+        assert mod.imports["pyrandom"] == "repro.sim.rng.pyrandom"
+
+    def test_non_name_roots_resolve_to_none(self):
+        mod = self._module(OUTSIDE, "x = factory().make\n")
+        attr = mod.tree.body[0].value
+        assert mod.qualified_name(attr) is None
+
+
+class TestPackageScoping:
+    def test_repro_package_extraction(self):
+        mod = Module("src/repro/sim/rng.py", "", ast.parse(""))
+        assert mod.repro_package == ("sim", "rng")
+        assert mod.in_packages(("sim", "core"))
+        assert not mod.in_packages(("serve",))
+
+    def test_paths_outside_repro_have_no_package(self):
+        mod = Module("scripts/calibrate.py", "", ast.parse(""))
+        assert mod.repro_package is None
+        assert not mod.in_packages(("sim",))
+
+
+class TestOutputContract:
+    def test_findings_sorted_and_deduplicated(self):
+        src = "import time\nb = time.time()\na = time.time()\n"
+        findings = analyze_source(SIM, src, select_rules("DET001"))
+        assert [f.line for f in findings] == [2, 3]
+        assert len(set(findings)) == len(findings)
+
+    def test_render_and_baseline_key_shapes(self):
+        src = "import time\nt = time.time()\n"
+        (finding,) = analyze_source(SIM, src, select_rules("DET001"))
+        assert finding.render().startswith(f"{SIM}:2:")
+        assert finding.baseline_key() == (
+            f"DET001::{SIM}::{finding.message}"
+        )
+        assert set(finding.to_json()) == {"rule", "path", "line", "col", "message"}

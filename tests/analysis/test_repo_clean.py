@@ -1,0 +1,55 @@
+"""Meta-test: the shipped tree satisfies its own static invariants.
+
+This is the same gate CI runs (``python -m repro.analysis src tests
+scripts --strict``), expressed as a test so a violation fails fast in any
+local pytest run — and so the analyzer cannot silently rot.
+
+Policy assertions ride along: the deterministic core (``sim/``,
+``core/``, ``serve/``) must have *zero* baseline entries — findings there
+get fixed, not grandfathered (DESIGN.md §6).
+"""
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis import ALL_RULES, analyze_paths
+from repro.analysis.baseline import load_baseline, partition_findings
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "analysis-baseline.json"
+SCAN_ROOTS = [REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "scripts"]
+
+#: repro subpackages where grandfathering is forbidden outright.
+NO_BASELINE_PACKAGES = ("repro/sim/", "repro/core/", "repro/serve/")
+
+
+def _scan():
+    findings, scanned = analyze_paths(SCAN_ROOTS, ALL_RULES)
+    assert scanned > 150, "scan missed most of the tree — path setup broken?"
+    return findings
+
+
+def test_tree_has_no_unbaselined_findings():
+    findings = _scan()
+    baseline = load_baseline(BASELINE) if BASELINE.exists() else Counter()
+    new, _grandfathered, stale = partition_findings(findings, baseline)
+    assert not new, "unbaselined findings:\n" + "\n".join(
+        f.render() for f in new
+    )
+    assert not stale, "stale baseline entries (delete them):\n" + "\n".join(stale)
+
+
+def test_core_packages_have_no_baseline_entries():
+    if not BASELINE.exists():
+        return  # no baseline at all: trivially satisfied
+    data = json.loads(BASELINE.read_text(encoding="utf-8"))
+    offenders = [
+        entry
+        for entry in data.get("findings", [])
+        if any(marker in entry["path"] for marker in NO_BASELINE_PACKAGES)
+    ]
+    assert not offenders, (
+        "sim/, core/ and serve/ must stay baseline-free; fix these instead "
+        f"of grandfathering: {offenders}"
+    )

@@ -1,0 +1,187 @@
+"""Fixture tests for WIRE001 (protocol wire-safety) and EXC001."""
+
+from tests.analysis.conftest import OUTSIDE, PROTOCOL, SERVE, SIM
+
+
+class TestWire001JsonSafeFields:
+    def test_set_field_flagged(self, check):
+        findings = check(
+            PROTOCOL,
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class JobRequest:
+                tenant: str
+                tags: set[str]
+            """,
+            select="WIRE001",
+        )
+        assert [f.rule for f in findings] == ["WIRE001"]
+        assert "JobRequest.tags" in findings[0].message
+
+    def test_arbitrary_object_field_flagged(self, check):
+        findings = check(
+            PROTOCOL,
+            """
+            from dataclasses import dataclass
+            import numpy as np
+
+            @dataclass
+            class Record:
+                payload: np.ndarray
+            """,
+            select="WIRE001",
+        )
+        assert [f.rule for f in findings] == ["WIRE001"]
+
+    def test_guard_json_atoms_and_containers_ok(self, check):
+        findings = check(
+            PROTOCOL,
+            """
+            from dataclasses import dataclass, field
+            from typing import Any
+
+            @dataclass
+            class Record:
+                job_id: str
+                attempt: int
+                latency_s: float | None
+                params: dict[str, Any]
+                history: list[str] = field(default_factory=list)
+            """,
+            select="WIRE001",
+        )
+        assert findings == []
+
+    def test_guard_local_wire_types_composable(self, check):
+        # nested protocol dataclasses and str-enums serialize fine
+        findings = check(
+            PROTOCOL,
+            """
+            import enum
+            from dataclasses import dataclass
+            from typing import ClassVar
+
+            class JobState(str, enum.Enum):
+                QUEUED = "queued"
+                DONE = "done"
+
+            @dataclass
+            class JobRecord:
+                state: JobState
+                request: "JobRequest"
+                WIRE_VERSION: ClassVar[int] = 1
+
+            @dataclass
+            class JobRequest:
+                tenant: str
+            """,
+            select="WIRE001",
+        )
+        assert findings == []
+
+    def test_guard_only_protocol_module_in_scope(self, check):
+        src = """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Internal:
+            callbacks: set[str]
+        """
+        assert check(SERVE, src, select="WIRE001") == []
+        assert check(OUTSIDE, src, select="WIRE001") == []
+
+
+class TestExc001ExceptionHygiene:
+    def test_bare_except_flagged(self, check):
+        findings = check(
+            SIM,
+            """
+            def guard(fn):
+                try:
+                    fn()
+                except:
+                    pass
+            """,
+            select="EXC001",
+        )
+        assert [f.rule for f in findings] == ["EXC001"]
+        assert "bare `except:`" in findings[0].message
+
+    def test_bare_except_flagged_outside_repro_too(self, check):
+        findings = check(
+            OUTSIDE,
+            """
+            try:
+                run()
+            except:
+                pass
+            """,
+            select="EXC001",
+        )
+        assert [f.rule for f in findings] == ["EXC001"]
+
+    def test_swallowed_cancellation_flagged(self, check):
+        findings = check(
+            SERVE,
+            """
+            import asyncio
+
+            async def worker(job):
+                try:
+                    await job()
+                except asyncio.CancelledError:
+                    pass
+            """,
+            select="EXC001",
+        )
+        assert [f.rule for f in findings] == ["EXC001"]
+        assert "CancelledError" in findings[0].message
+
+    def test_swallowed_cancellation_in_tuple_flagged(self, check):
+        findings = check(
+            SERVE,
+            """
+            import asyncio
+
+            async def worker(job):
+                try:
+                    await job()
+                except (ValueError, asyncio.CancelledError):
+                    return None
+            """,
+            select="EXC001",
+        )
+        assert [f.rule for f in findings] == ["EXC001"]
+
+    def test_guard_reraise_after_cleanup_ok(self, check):
+        findings = check(
+            SERVE,
+            """
+            import asyncio
+
+            async def worker(job, writer):
+                try:
+                    await job()
+                except asyncio.CancelledError:
+                    writer.close()
+                    raise
+            """,
+            select="EXC001",
+        )
+        assert findings == []
+
+    def test_guard_named_exceptions_ok(self, check):
+        findings = check(
+            SIM,
+            """
+            def guard(fn):
+                try:
+                    fn()
+                except (ValueError, KeyError):
+                    return None
+            """,
+            select="EXC001",
+        )
+        assert findings == []

@@ -65,3 +65,34 @@ class TestUtilisation:
         for line in text.splitlines()[1:]:
             pct = float(line.split("%")[0].split()[-1])
             assert 0.0 <= pct <= 100.5
+
+
+class TestWindowTolerance:
+    def test_boundary_task_survives_large_timestamps(self, tiny):
+        # regression (DET003 audit): _tasks_in_window used an absolute
+        # 1e-12 epsilon, so at start~1e6 a task whose start sits a few
+        # ulps before the window start (accumulated-float noise,
+        # ~1.2e-10 off) was silently dropped from the rendering
+        import math
+
+        from repro.sim.trace import TaskloopRecord, TaskRecord, Trace
+
+        base = 1e6
+        trace = Trace(enabled=True)
+        trace.add_taskloop(
+            TaskloopRecord(
+                taskloop="tl", iteration=0, num_threads=1, node_mask_bits=1,
+                steal_policy="local", start=base, end=base + 1.0, overhead=0.0,
+            )
+        )
+        noisy_start = math.nextafter(base, 0.0)
+        assert base - noisy_start > 1e-12  # beyond the old absolute epsilon
+        trace.add_task(
+            TaskRecord(
+                taskloop="tl", chunk_index=0, core=0, node=0,
+                start=noisy_start, end=base + 0.5, base_time=0.5, stolen=False,
+            )
+        )
+        text = render_taskloop_timeline(trace, tiny, "tl")
+        assert "1 tasks" in text
+        assert "#" in text

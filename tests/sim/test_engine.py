@@ -37,6 +37,22 @@ class TestClock:
         with pytest.raises(SimulationError):
             c.advance_to(1.0)
 
+    def test_advance_to_tolerates_ulp_noise_at_large_now(self):
+        # regression (DET003 audit): the backwards guard used an absolute
+        # 1e-12 epsilon, so at now=1e6 a target a few ulps below now
+        # (accumulated-float noise, ~1.2e-10 off) spuriously raised
+        now = 1e6
+        c = Clock(start=now)
+        almost_now = math.nextafter(now, 0.0)
+        assert almost_now < now  # genuinely below, beyond 1e-12 absolute
+        assert now - almost_now > 1e-12
+        assert c.advance_to(almost_now) == now  # clamps, no raise
+
+    def test_advance_to_still_rejects_genuine_backwards_at_large_now(self):
+        c = Clock(start=1e6)
+        with pytest.raises(SimulationError):
+            c.advance_to(1e6 - 0.5)
+
     def test_bad_start(self):
         with pytest.raises(SimulationError):
             Clock(start=-1.0)
