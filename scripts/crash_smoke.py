@@ -1,0 +1,170 @@
+"""Crash smoke test: SIGKILL a journaled campaign, resume, diff golden.
+
+The durability contract under test (DESIGN.md §5c): a campaign run with
+``--journal`` can be SIGKILLed at *any* point and resumed with
+``--resume`` to produce byte-identical results.  This script proves it
+end-to-end against live subprocesses:
+
+1. a golden, uninterrupted journaled campaign records the results JSON
+   and the journal's record count ``N``;
+2. at ``--crash-points`` distinct seeded crash points ``n <= N``, a fresh
+   campaign is started with ``REPRO_CRASH_AFTER_JOURNAL_RECORDS=n`` — the
+   process SIGKILLs itself the instant the n-th journal record hits the
+   disk — then resumed; the resumed results must be byte-identical to
+   golden and the run cache must hold zero quarantined files;
+3. a corruption scenario flips one byte of a committed cache entry before
+   the resume: the entry must be quarantined (exactly one file, kept for
+   forensics, never served) and transparently recomputed — results again
+   byte-identical.
+
+Exits non-zero on violation; CI runs this to keep the crash path
+exercised.  Usage::
+
+    PYTHONPATH=src python scripts/crash_smoke.py [--crash-points 3] [--seed 0]
+"""
+
+import argparse
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.exp.journal import read_records
+
+CAMPAIGN = ["fig2", "--machine", "tiny", "--seeds", "2", "--timesteps", "2",
+            "--benchmarks", "matmul", "cg"]
+TIMEOUT = 300
+
+
+def check(cond: bool, message: str, failures: list) -> None:
+    status = "ok" if cond else "FAIL"
+    print(f"[{status}] {message}")
+    if not cond:
+        failures.append(message)
+
+
+def run_campaign(workdir: Path, *, crash_after: int | None = None,
+                 resume: bool = False) -> subprocess.CompletedProcess:
+    """One campaign subprocess against ``workdir``'s cache + journal."""
+    env = dict(os.environ, PYTHONPATH="src",
+               REPRO_CACHE_DIR=str(workdir / "cache"))
+    env.pop("REPRO_CRASH_AFTER_JOURNAL_RECORDS", None)
+    if crash_after is not None:
+        env["REPRO_CRASH_AFTER_JOURNAL_RECORDS"] = str(crash_after)
+    journal_flag = "--resume" if resume else "--journal"
+    cmd = [sys.executable, "-m", "repro.exp.cli", *CAMPAIGN,
+           journal_flag, str(workdir / "campaign.wal"),
+           "--save", str(workdir / "results.json")]
+    return subprocess.run(cmd, env=env, timeout=TIMEOUT,
+                          stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                          text=True)
+
+
+def cache_entries(workdir: Path) -> list[Path]:
+    """Every regular cache entry file (quarantine excluded by name)."""
+    root = workdir / "cache"
+    return sorted(p for p in root.glob("??/*.json") if p.is_file())
+
+
+def quarantined(workdir: Path) -> list[Path]:
+    qdir = workdir / "cache" / "quarantine"
+    return sorted(qdir.iterdir()) if qdir.is_dir() else []
+
+
+def crash_then_resume(base: Path, name: str, crash_after: int,
+                      golden: bytes, failures: list,
+                      corrupt_one_entry: bool = False) -> None:
+    workdir = base / name
+    workdir.mkdir()
+    crashed = run_campaign(workdir, crash_after=crash_after)
+    check(crashed.returncode == -signal.SIGKILL,
+          f"{name}: campaign SIGKILLed itself after record {crash_after} "
+          f"(rc={crashed.returncode})", failures)
+    records = read_records(workdir / "campaign.wal")
+    check(len(records) == crash_after,
+          f"{name}: journal holds exactly the {crash_after} records that "
+          f"were durable at the kill (found {len(records)})", failures)
+    # atomic_write's guarantee: the results file either doesn't exist yet
+    # or is the complete payload — a torn intermediate is impossible
+    results = workdir / "results.json"
+    check(not results.exists() or results.read_bytes() == golden,
+          f"{name}: results file after the crash is absent or complete, "
+          "never torn", failures)
+    if corrupt_one_entry:
+        entries = cache_entries(workdir)
+        check(bool(entries), f"{name}: crashed run left cache entries to corrupt",
+              failures)
+        if entries:
+            victim = entries[0]
+            raw = bytearray(victim.read_bytes())
+            raw[-10] ^= 0xFF
+            victim.write_bytes(bytes(raw))
+            print(f"    flipped one byte of {victim.name[:12]}…")
+    resumed = run_campaign(workdir, resume=True)
+    check(resumed.returncode == 0,
+          f"{name}: resume exited 0 (rc={resumed.returncode})", failures)
+    if resumed.returncode != 0:
+        print(resumed.stdout)
+        return
+    check((workdir / "results.json").read_bytes() == golden,
+          f"{name}: resumed results are byte-identical to golden", failures)
+    leaks = quarantined(workdir)
+    want = 1 if corrupt_one_entry else 0
+    check(len(leaks) == want,
+          f"{name}: {want} quarantined file(s) after resume (found {len(leaks)})",
+          failures)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--crash-points", type=int, default=3,
+                        help="distinct SIGKILL points to exercise (>= 3)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="crash-point sampling seed")
+    args = parser.parse_args()
+
+    failures: list = []
+    base = Path(tempfile.mkdtemp(prefix="crash-smoke-"))
+    try:
+        golden_dir = base / "golden"
+        golden_dir.mkdir()
+        golden_run = run_campaign(golden_dir)
+        if golden_run.returncode != 0:
+            print(golden_run.stdout)
+            print("FAIL: golden campaign did not complete")
+            return 1
+        golden = (golden_dir / "results.json").read_bytes()
+        n_records = len(read_records(golden_dir / "campaign.wal"))
+        print(f"golden campaign: {n_records} journal records, "
+              f"{len(golden)} result bytes")
+        check(len(quarantined(golden_dir)) == 0,
+              "golden: zero quarantined files", failures)
+
+        # records 2..N: after the header, through the final checkpoint
+        rng = random.Random(args.seed)
+        points = rng.sample(range(2, n_records + 1),
+                            min(args.crash_points, n_records - 1))
+        for n in sorted(points):
+            crash_then_resume(base, f"crash-at-{n}", n, golden, failures)
+
+        # corruption scenario: crash mid-campaign, then poison one
+        # committed cache entry before resuming
+        crash_then_resume(base, "corrupt-entry", max(points), golden,
+                          failures, corrupt_one_entry=True)
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+
+    if failures:
+        print(f"\n{len(failures)} crash-smoke failure(s)")
+        return 1
+    print(f"\ncrash smoke passed: {len(points)} kill point(s) + corruption "
+          "recovery, all byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

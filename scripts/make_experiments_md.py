@@ -6,6 +6,8 @@ Usage: python scripts/make_experiments_md.py /tmp/experiments_full.txt
 import sys
 from pathlib import Path
 
+from repro.ioutil import atomic_write
+
 HEADER = """\
 # EXPERIMENTS — paper vs. reproduction
 
@@ -163,7 +165,7 @@ def main(path: str) -> None:
         "tables": text.strip(),
     }
     out = HEADER.format(**values)
-    Path("EXPERIMENTS.md").write_text(out)
+    atomic_write(Path("EXPERIMENTS.md"), out)
     print(f"EXPERIMENTS.md written ({len(out.splitlines())} lines)")
 
 

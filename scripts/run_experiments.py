@@ -19,8 +19,10 @@ interactive counterpart of the ASCII timelines.
 import argparse
 import time
 
-from repro.exp.cliopts import add_campaign_arguments, config_from_args
+from repro.exp.cliopts import (add_campaign_arguments, add_journal_arguments,
+                               config_from_args, journal_from_args)
 from repro.exp.figures import figure2, figure3, figure4, figure5, figure6, table1
+from repro.exp.journal import install_checkpoint_handlers
 from repro.exp.persistence import results_to_dict, save_results
 from repro.exp.report import (render_speedups, render_threads, render_overheads,
                               render_figure6, render_variability)
@@ -31,6 +33,7 @@ parser = argparse.ArgumentParser(description=__doc__)
 parser.add_argument("seeds_positional", nargs="?", type=int, default=None,
                     metavar="seeds", help="repetitions per cell (paper: 30)")
 add_campaign_arguments(parser)
+add_journal_arguments(parser)
 parser.add_argument("--out", default="experiments_data.json",
                     help="cell-summary JSON output path")
 parser.add_argument("--trace-out", default=None, metavar="PATH",
@@ -46,7 +49,13 @@ if args.seeds is None and args.seeds_positional is not None:
     args.seeds = args.seeds_positional
 cfg = config_from_args(args, seeds_default=30)
 t0 = time.time()
-r = Runner(cfg)
+journal = journal_from_args(args)
+if journal is not None:
+    install_checkpoint_handlers(journal)
+    if journal.committed_cells():
+        print(f"resuming from {journal.path}: "
+              f"{len(journal.committed_cells())} cell(s) already committed")
+r = Runner(cfg, journal=journal)
 print(f"campaign: seeds={cfg.seeds}, timesteps="
       f"{'model defaults (50)' if cfg.timesteps is None else cfg.timesteps}, "
       f"noise {'on' if cfg.with_noise else 'off'}, jobs={cfg.jobs}, "
@@ -83,4 +92,7 @@ if args.trace_out:
     rt.run_application(make_benchmark(bench, timesteps=cfg.timesteps))
     out = write_chrome_trace(args.trace_out, rt.last_ctx.trace, r.topology)
     print(f"chrome trace of ({bench}, {sched}) written to {out}")
+if journal is not None:
+    journal.checkpoint("complete")
+    journal.close()
 print(f"wall time: {time.time()-t0:.0f}s; cell summaries saved to {args.out}")

@@ -14,6 +14,7 @@ from repro.analysis.rules.determinism import (
     Seed001SeedlessEntryPoint,
 )
 from repro.analysis.rules.exceptions import Exc001ExceptionHygiene
+from repro.analysis.rules.io import Io001DurableWrites
 from repro.analysis.rules.wire import Wire001JsonSafeFields
 
 __all__ = ["ALL_RULES", "rules_by_id", "select_rules"]
@@ -25,6 +26,7 @@ ALL_RULES: tuple[Rule, ...] = (
     Det003TimeEquality(),
     Asy001BlockingInAsync(),
     Lock001InconsistentLocking(),
+    Io001DurableWrites(),
     Wire001JsonSafeFields(),
     Exc001ExceptionHygiene(),
     Seed001SeedlessEntryPoint(),

@@ -14,10 +14,16 @@ Guarantees:
 * **losslessness** — floats round-trip through JSON via Python's
   shortest-repr encoding, so a decoded run is bit-identical to the
   original (NaN entries in per-node arrays included);
-* **atomicity** — entries are written to a temp file and ``os.replace``\\d
-  into place, so a crash mid-write never leaves a readable half-entry;
-* **self-healing** — corrupt, truncated, or stale-schema entries are
-  treated as misses, deleted, and recomputed rather than crashing.
+* **atomicity** — entries go through :func:`repro.ioutil.atomic_write`
+  (tmp file + fsync + rename), so a crash mid-write never leaves a
+  readable half-entry;
+* **integrity** — every entry is framed as a header line carrying the
+  SHA-256 of the exact payload bytes that follow; a read verifies it, so
+  a flipped or truncated byte *anywhere* in the file is detected;
+* **self-healing via quarantine** — a corrupt, mismatched or
+  stale-schema entry is moved aside into ``<root>/quarantine/`` (kept
+  for forensics, never served) and the run is transparently recomputed
+  rather than crashing or returning garbage.
 
 Bump :data:`SCHEMA_VERSION` whenever the simulator's observable behaviour
 or the serialisation format changes; old entries then miss and are
@@ -30,7 +36,6 @@ import dataclasses
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
@@ -38,12 +43,14 @@ import numpy as np
 
 from repro.counters.metrics import TaskloopCounters
 from repro.interference.noise import NoiseParams
+from repro.ioutil import atomic_write
 from repro.runtime.overhead import OverheadLedger
 from repro.runtime.results import AppRunResult, TaskloopResult
 from repro.topology.machine import MachineTopology
 
 __all__ = [
     "SCHEMA_VERSION",
+    "QUARANTINE_DIR",
     "ResultCache",
     "CacheStats",
     "default_cache_dir",
@@ -55,8 +62,9 @@ __all__ = [
 ]
 
 #: Bump when simulator behaviour or the entry format changes; every cached
-#: entry carrying an older version is invalidated on read.
-SCHEMA_VERSION = 1
+#: entry carrying an older version is invalidated on read.  v2: framed
+#: header + SHA-256 payload checksum (crash-safe durability PR).
+SCHEMA_VERSION = 2
 
 
 def default_cache_dir() -> Path:
@@ -249,78 +257,141 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     invalidated: int = 0
+    quarantined: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dataclasses.asdict(self)
 
 
+#: Subdirectory (under the cache root) holding entries that failed
+#: verification.  Longer than two characters, so :meth:`ResultCache.keys`'s
+#: ``??/*.json`` glob can never pick quarantined files back up.
+QUARANTINE_DIR = "quarantine"
+
+
+def _encode_entry(key: str, result: AppRunResult) -> bytes:
+    """Frame one entry: header line + exact payload bytes it checksums.
+
+    The header's ``sha256`` covers the *raw payload bytes*, not their
+    parsed meaning — that is what makes single-byte corruption at any
+    offset detectable (a semantic checksum would forgive JSON-equivalent
+    mutations and, worse, cost a re-encode per read).
+    """
+    payload = run_to_json(result).encode("utf-8")
+    header = _canonical(
+        {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+        }
+    ).encode("utf-8")
+    return header + b"\n" + payload
+
+
+def _decode_entry(key: str, raw: bytes) -> AppRunResult:
+    """Verify and decode one framed entry; raises ``ValueError``/
+    ``KeyError``/``TypeError`` on any damage (all roads lead to
+    quarantine)."""
+    newline = raw.find(b"\n")
+    if newline < 0:
+        raise ValueError("cache entry has no header/payload frame")
+    header = json.loads(raw[:newline])
+    if header["schema"] != SCHEMA_VERSION:
+        raise ValueError("stale cache entry schema")
+    if header["key"] != key:
+        raise ValueError("cache entry stored under the wrong key")
+    payload = raw[newline + 1 :]
+    if hashlib.sha256(payload).hexdigest() != header["sha256"]:
+        raise ValueError("cache entry payload fails its checksum")
+    return decode_run(json.loads(payload))
+
+
 class ResultCache:
-    """One-file-per-run JSON store addressed by :func:`run_key` hashes.
+    """One-file-per-run store addressed by :func:`run_key` hashes.
 
     Entries live two directory levels deep (``ab/abcdef....json``) to keep
     directories small at paper scale.  All operations are safe against
     concurrent writers of the *same* key: both write identical content and
     ``os.replace`` is atomic.
+
+    ``fsync=False`` (tests only) skips the durability flush on writes;
+    framing, checksums and quarantine behave identically.
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path, *, fsync: bool = True):
         self.root = Path(root)
         self.stats = CacheStats()
+        self._fsync = fsync
 
     # -- paths ----------------------------------------------------------
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / QUARANTINE_DIR
+
     # -- operations -----------------------------------------------------
     def get(self, key: str) -> AppRunResult | None:
         """The cached run under ``key``, or ``None`` on miss.
 
-        A corrupt or stale-schema entry counts as a miss; the offending
-        file is removed so the recomputed run can replace it.
+        An entry that fails verification — torn frame, checksum mismatch,
+        wrong key, stale schema — counts as a miss and is *quarantined*
+        (moved under :attr:`quarantine_root`), never served; the caller
+        recomputes and the slot is free for the fresh entry.
         """
         path = self.path_for(key)
         try:
-            envelope = json.loads(path.read_text())
-            if envelope["schema"] != SCHEMA_VERSION or envelope["key"] != key:
-                raise ValueError("stale or mismatched cache entry")
-            result = decode_run(envelope["run"])
+            raw = path.read_bytes()
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (ValueError, KeyError, TypeError, OSError):
-            self._invalidate(path)
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            result = _decode_entry(key, raw)
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path)
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return result
 
     def put(self, key: str, result: AppRunResult) -> Path:
-        """Atomically persist ``result`` under ``key``."""
+        """Atomically and durably persist ``result`` under ``key``."""
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        envelope = {"schema": SCHEMA_VERSION, "key": key, "run": encode_run(result)}
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(envelope, handle)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write(path, _encode_entry(key, result), fsync=self._fsync)
         self.stats.stores += 1
         return path
 
-    def _invalidate(self, path: Path) -> None:
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad entry aside (kept for forensics, definitely unserved).
+
+        Falls back to deletion if the move itself fails — a bad entry must
+        never remain at its addressable path.
+        """
+        self.quarantine_root.mkdir(parents=True, exist_ok=True)
+        target = self.quarantine_root / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = self.quarantine_root / f"{path.name}.{suffix}"
         try:
-            path.unlink()
+            os.replace(path, target)
+            self.stats.quarantined += 1
         except OSError:
-            pass
+            try:
+                path.unlink()
+            except OSError:
+                pass
         self.stats.invalidated += 1
+
+    def quarantined_files(self) -> list[Path]:
+        """Every quarantined entry currently on disk (sorted)."""
+        if not self.quarantine_root.is_dir():
+            return []
+        return sorted(p for p in self.quarantine_root.iterdir() if p.is_file())
 
     # -- maintenance ----------------------------------------------------
     def keys(self) -> Iterator[str]:

@@ -1,0 +1,403 @@
+"""Append-only write-ahead journal for experiment campaigns.
+
+A campaign SIGKILLed mid-flight loses its process state but must lose no
+*work*: every completed run is already in the content-addressed cache
+(:mod:`repro.exp.cache`), and this journal records, durably, how far the
+campaign got — each cell's ``planned → running → committed`` transitions
+— so ``--resume`` can replay the file, skip committed cells, and finish
+the rest.  Because per-cell seed streams are derived from stable cell
+keys (:func:`repro.exp.runner.derive_run_seed`), the resumed campaign's
+output is byte-identical to an uninterrupted run.
+
+Record framing
+--------------
+
+One record per line::
+
+    crc32(payload):08x SP payload LF
+
+where ``payload`` is canonical JSON (sorted keys, no whitespace).  Every
+append is flushed and ``fsync``'d before :meth:`Journal.append` returns,
+so the journal on disk is always a prefix of the logical record stream
+plus at most one torn tail line.  Replay verifies each line's CRC:
+
+* a damaged or truncated *final* line is the torn write of the crash —
+  it is dropped silently;
+* a damaged line with valid records after it cannot be produced by a
+  crash of the single append-only writer, so it raises
+  :class:`~repro.errors.JournalError` (real corruption must be loud).
+
+Records carry no timestamps — the journal lives in a deterministic
+package (DET001) and replay must not depend on when the campaign ran.
+
+Commit protocol (used by :class:`repro.exp.runner.Runner`)
+----------------------------------------------------------
+
+1. a ``campaign`` header pins the configuration fingerprint (topology,
+   seeds, timesteps, noise); resuming under a different configuration is
+   refused;
+2. every cell is journalled ``planned`` with its run keys before any
+   simulation starts;
+3. ``running`` marks the cell whose runs are being computed;
+4. ``committed`` is appended only after every run of the cell has been
+   persisted to the result cache — the cache write *happens before* the
+   commit record, so a committed cell's runs are always reloadable (and,
+   being checksummed, verifiable) on resume.
+
+State replay is idempotent and monotone: transitions only advance
+(``planned < running < committed``), so replaying any prefix twice
+yields the same state as replaying it once — the Hypothesis property
+tests pin this.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import zlib
+from pathlib import Path
+from types import FrameType, TracebackType
+from typing import Any, Iterable, Mapping
+
+from repro.errors import JournalError
+from repro.ioutil import fsync_dir
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "CELL_PLANNED",
+    "CELL_RUNNING",
+    "CELL_COMMITTED",
+    "Journal",
+    "JournalState",
+    "CampaignJournal",
+    "read_records",
+    "replay_state",
+    "install_checkpoint_handlers",
+]
+
+#: Bump when the record vocabulary changes incompatibly.
+JOURNAL_VERSION = 1
+
+CELL_PLANNED = "planned"
+CELL_RUNNING = "running"
+CELL_COMMITTED = "committed"
+
+#: Monotone transition order — replay only ever advances a cell.
+_STATE_ORDER = {CELL_PLANNED: 0, CELL_RUNNING: 1, CELL_COMMITTED: 2}
+
+
+def _frame(record: Mapping[str, Any]) -> bytes:
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return f"{zlib.crc32(payload):08x} ".encode("ascii") + payload + b"\n"
+
+
+def _parse_line(line: bytes) -> dict[str, Any] | None:
+    """Decode one framed line; ``None`` means damaged (CRC or structure)."""
+    if len(line) < 10 or line[8:9] != b" ":
+        return None
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    payload = line[9:]
+    if zlib.crc32(payload) != crc:
+        return None
+    try:
+        record = json.loads(payload)
+    except ValueError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def read_records(path: str | Path) -> list[dict[str, Any]]:
+    """Every intact record of a journal file, in append order.
+
+    Tolerates exactly the damage a crash can cause: a torn final line
+    (truncated, no trailing newline, or CRC-broken).  Damage anywhere
+    else raises :class:`JournalError`.
+    """
+    raw = Path(path).read_bytes()
+    if not raw:
+        return []
+    lines = raw.split(b"\n")
+    complete, tail = lines[:-1], lines[-1]
+    records: list[dict[str, Any]] = []
+    for index, line in enumerate(complete):
+        record = _parse_line(line)
+        if record is None:
+            if index == len(complete) - 1 and tail == b"":
+                break  # torn final record that still got its newline out
+            raise JournalError(
+                f"{path}: journal record {index + 1} is corrupt but records "
+                "follow it — this is not a torn tail; refusing to replay"
+            )
+        records.append(record)
+    # a non-empty `tail` is the torn, never-newline-terminated final write
+    return records
+
+
+class Journal:
+    """The append-only framed record file (one durable write per append).
+
+    ``fsync=False`` drops the per-record flush-to-disk (tests); the frame
+    and replay semantics are unchanged.  ``crash_after=N`` is the crash-
+    injection seam used by ``scripts/crash_smoke.py``: the *process* is
+    SIGKILLed immediately after the N-th append becomes durable, which
+    lands the kill exactly between two journal transitions.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync: bool = True,
+        crash_after: int | None = None,
+    ):
+        self.path = Path(path)
+        self._fsync = fsync
+        self._crash_after = crash_after
+        self._appended = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        existed = self.path.exists()
+        self._fh = open(self.path, "ab")
+        if not existed and fsync:
+            fsync_dir(self.path.parent)
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Durably append one record (framed, flushed, fsync'd)."""
+        if self._fh.closed:
+            raise JournalError(f"{self.path}: journal is closed")
+        self._fh.write(_frame(record))
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+        self._appended += 1
+        if self._crash_after is not None and self._appended >= self._crash_after:
+            # crash-injection seam: die the hard way, mid-campaign, with
+            # the record just written already durable on disk
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    @property
+    def appended(self) -> int:
+        """Records appended through *this* handle (not the whole file)."""
+        return self._appended
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+
+class JournalState:
+    """Replayed view of a campaign journal (idempotent fold over records)."""
+
+    def __init__(self) -> None:
+        self.header: dict[str, Any] | None = None
+        self.cells: dict[tuple[str, str], str] = {}
+        self.keys: dict[tuple[str, str], tuple[str, ...]] = {}
+        self.checkpoints: list[str] = []
+
+    def apply(self, record: Mapping[str, Any]) -> None:
+        """Fold one record in.  Monotone and idempotent by construction:
+        a cell only advances through the state order, a second identical
+        header is a no-op, and a *conflicting* header is corruption."""
+        kind = record.get("type")
+        if kind == "campaign":
+            header = {k: v for k, v in record.items() if k != "type"}
+            if self.header is None:
+                self.header = header
+            elif self.header != header:
+                raise JournalError(
+                    "journal contains two conflicting campaign headers — "
+                    f"{self.header!r} vs {header!r}"
+                )
+        elif kind == "cell":
+            state = record.get("state")
+            if state not in _STATE_ORDER:
+                raise JournalError(f"unknown cell state {state!r} in journal")
+            cell = (str(record.get("benchmark")), str(record.get("scheduler")))
+            current = self.cells.get(cell)
+            if current is None or _STATE_ORDER[state] > _STATE_ORDER[current]:
+                self.cells[cell] = state
+            keys = record.get("keys")
+            if keys is not None and cell not in self.keys:
+                self.keys[cell] = tuple(str(k) for k in keys)
+        elif kind == "checkpoint":
+            # ordered set of distinct stop reasons: like the cell states,
+            # folding is idempotent, so replaying a stream twice yields
+            # the same state as once (the full audit trail is the file)
+            reason = str(record.get("reason"))
+            if reason not in self.checkpoints:
+                self.checkpoints.append(reason)
+        else:
+            raise JournalError(f"unknown journal record type {kind!r}")
+
+    def state_of(self, benchmark: str, scheduler: str) -> str | None:
+        return self.cells.get((benchmark, scheduler))
+
+    def committed_cells(self) -> set[tuple[str, str]]:
+        return {
+            cell for cell, state in self.cells.items() if state == CELL_COMMITTED
+        }
+
+
+def replay_state(records: Iterable[Mapping[str, Any]]) -> JournalState:
+    """Fold a record stream into a :class:`JournalState`."""
+    state = JournalState()
+    for record in records:
+        state.apply(record)
+    return state
+
+
+class CampaignJournal:
+    """Cell-level WAL of one campaign: the :class:`Journal` plus the
+    replayed state, kept in lockstep.
+
+    Opening an existing file replays it first (this *is* ``--resume``);
+    :meth:`begin` then verifies the configuration fingerprint before any
+    new record is appended.  Transition appends are conditional on the
+    replayed state, so resuming writes no duplicate records for work the
+    previous incarnation already journalled.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync: bool = True,
+        crash_after: int | None = None,
+    ):
+        self.path = Path(path)
+        if self.path.exists():
+            self.state = replay_state(read_records(self.path))
+        else:
+            self.state = JournalState()
+        self._journal = Journal(self.path, fsync=fsync, crash_after=crash_after)
+
+    # -- lifecycle ------------------------------------------------------
+    def begin(
+        self,
+        *,
+        topology_fp: str,
+        seeds: int,
+        timesteps: int | None,
+        with_noise: bool,
+    ) -> None:
+        """Pin (or verify, on resume) the campaign configuration."""
+        header = {
+            "version": JOURNAL_VERSION,
+            "topology": topology_fp,
+            "seeds": seeds,
+            "timesteps": timesteps,
+            "with_noise": with_noise,
+        }
+        if self.state.header is not None:
+            if self.state.header != header:
+                raise JournalError(
+                    f"{self.path}: journal was written by a differently-"
+                    f"configured campaign (journal: {self.state.header!r}, "
+                    f"this run: {header!r}) — resume with the original "
+                    "configuration or start a fresh journal"
+                )
+            return
+        self._append({"type": "campaign", **header})
+
+    def close(self) -> None:
+        self._journal.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    # -- transitions ----------------------------------------------------
+    def cell_planned(
+        self, benchmark: str, scheduler: str, keys: Iterable[str]
+    ) -> None:
+        if self.state.state_of(benchmark, scheduler) is None:
+            self._cell(CELL_PLANNED, benchmark, scheduler, keys=list(keys))
+
+    def cell_running(self, benchmark: str, scheduler: str) -> None:
+        current = self.state.state_of(benchmark, scheduler)
+        if current is None or _STATE_ORDER[current] < _STATE_ORDER[CELL_RUNNING]:
+            self._cell(CELL_RUNNING, benchmark, scheduler)
+
+    def cell_committed(
+        self, benchmark: str, scheduler: str, keys: Iterable[str]
+    ) -> None:
+        """Record the commit point.  MUST be called only after every run
+        of the cell is durably in the result cache (the commit protocol's
+        ordering is what makes resume sound)."""
+        if not self.is_committed(benchmark, scheduler):
+            self._cell(CELL_COMMITTED, benchmark, scheduler, keys=list(keys))
+
+    def checkpoint(self, reason: str) -> None:
+        """Mark a clean stop (signal drain, campaign completion)."""
+        self._append({"type": "checkpoint", "reason": reason})
+
+    # -- queries --------------------------------------------------------
+    def is_committed(self, benchmark: str, scheduler: str) -> bool:
+        return self.state.state_of(benchmark, scheduler) == CELL_COMMITTED
+
+    def committed_cells(self) -> set[tuple[str, str]]:
+        return self.state.committed_cells()
+
+    # -- plumbing -------------------------------------------------------
+    def _cell(
+        self,
+        state: str,
+        benchmark: str,
+        scheduler: str,
+        keys: list[str] | None = None,
+    ) -> None:
+        record: dict[str, Any] = {
+            "type": "cell",
+            "state": state,
+            "benchmark": benchmark,
+            "scheduler": scheduler,
+        }
+        if keys is not None:
+            record["keys"] = keys
+        self._append(record)
+
+    def _append(self, record: dict[str, Any]) -> None:
+        # keep the on-disk file and the in-memory replay in lockstep:
+        # apply first (it validates), then write
+        self.state.apply(record)
+        self._journal.append(record)
+
+
+def install_checkpoint_handlers(journal: CampaignJournal) -> None:
+    """SIGTERM/SIGINT → journal a ``checkpoint`` record, then exit.
+
+    The campaign's compute is synchronous, so the handler runs between
+    bytecodes; ``SystemExit`` unwinds through the runner (releasing the
+    journal handle via its context manager) and the process exits with
+    the conventional ``128 + signum`` status.  The journalled work stays
+    durable — rerunning with ``--resume`` picks up at the first
+    uncommitted cell.
+    """
+
+    def _handler(signum: int, frame: FrameType | None) -> None:
+        journal.checkpoint(signal.Signals(signum).name.lower())
+        raise SystemExit(128 + signum)
+
+    signal.signal(signal.SIGTERM, _handler)
+    signal.signal(signal.SIGINT, _handler)

@@ -22,6 +22,7 @@ from typing import Any
 from repro.errors import ExperimentError
 from repro.exp.figures import OverheadRow, SpeedupRow, ThreadsRow, VariabilityRow
 from repro.exp.runner import Runner
+from repro.ioutil import atomic_write
 
 __all__ = [
     "RESULTS_SCHEMA_VERSION",
@@ -105,12 +106,15 @@ def results_to_dict(runner: Runner) -> dict[str, Any]:
 
 
 def save_results(path: str | Path, payload: dict[str, Any] | list[Any]) -> Path:
-    """Write a results payload (dict or figure-row list) as JSON."""
+    """Write a results payload (dict or figure-row list) as JSON.
+
+    The write is atomic (tmp file + fsync + rename): a crash mid-save
+    leaves either the previous file or the new one, never a torn JSON.
+    """
     path = Path(path)
     if isinstance(payload, list):
         payload = {"rows": rows_to_dicts(payload)}
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
+    return atomic_write(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def load_results(path: str | Path) -> dict[str, Any] | list[Any]:

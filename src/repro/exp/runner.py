@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.errors import ExperimentError
 from repro.exp.cache import ResultCache, run_key, topology_fingerprint
+from repro.exp.journal import CampaignJournal
 from repro.exp.stats import Summary, summarize
 from repro.interference.noise import NoiseParams
 from repro.runtime.results import AppRunResult
@@ -238,6 +239,7 @@ class Runner:
         *,
         cache: ResultCache | None = None,
         jobs: int | None = None,
+        journal: CampaignJournal | None = None,
     ):
         self.config = config or ExperimentConfig.from_env()
         self.topology = topology or zen4_9354()
@@ -245,6 +247,7 @@ class Runner:
         if cache is None and self.config.cache_dir:
             cache = ResultCache(self.config.cache_dir)
         self.cache = cache
+        self.journal = journal
         self._cells: dict[tuple[str, str], CellResult] = {}
         self._topology_fp: str | None = None
 
@@ -283,22 +286,72 @@ class Runner:
         self, pairs: Iterable[tuple[str, str]]
     ) -> dict[tuple[str, str], CellResult]:
         """Compute many cells at once, fanning *all* their missing runs
-        out over one worker pool (cross-cell parallelism)."""
+        out over one worker pool (cross-cell parallelism).
+
+        With a :class:`CampaignJournal` attached, cells are instead
+        executed one at a time under the ``planned → running →
+        committed`` protocol (intra-cell parallelism only), so a crash
+        loses at most one cell's uncached work; results are byte-identical
+        either way.
+        """
         wanted = list(dict.fromkeys(pairs))
         todo = [pair for pair in wanted if pair not in self._cells]
         if todo:
             cell_specs = {pair: self.specs(*pair) for pair in todo}
-            results = self._execute({
-                spec.key(self.topology_fp): spec
-                for specs in cell_specs.values()
-                for spec in specs
-            })
-            for pair, specs in cell_specs.items():
-                runs = [results[spec.key(self.topology_fp)] for spec in specs]
-                self._cells[pair] = CellResult(
-                    benchmark=pair[0], scheduler=pair[1], runs=runs
-                )
+            if self.journal is not None:
+                self._compute_journaled(cell_specs)
+            else:
+                results = self._execute({
+                    spec.key(self.topology_fp): spec
+                    for specs in cell_specs.values()
+                    for spec in specs
+                })
+                for pair, specs in cell_specs.items():
+                    runs = [results[spec.key(self.topology_fp)] for spec in specs]
+                    self._cells[pair] = CellResult(
+                        benchmark=pair[0], scheduler=pair[1], runs=runs
+                    )
         return {pair: self._cells[pair] for pair in wanted}
+
+    def _compute_journaled(
+        self, cell_specs: dict[tuple[str, str], list[RunSpec]]
+    ) -> None:
+        """Cell-by-cell execution under the write-ahead commit protocol.
+
+        Ordering per cell: ``running`` is journalled before any
+        simulation; every run is persisted to the cache inside
+        :meth:`_execute`; only then is ``committed`` appended.  On
+        resume, a committed cell's runs come back as verified cache hits
+        (a quarantined entry is simply recomputed — determinism makes
+        the replacement byte-identical), so no transition is re-recorded
+        for it.
+        """
+        journal = self.journal
+        assert journal is not None
+        journal.begin(
+            topology_fp=self.topology_fp,
+            seeds=self.config.seeds,
+            timesteps=self.config.timesteps,
+            with_noise=self.config.with_noise,
+        )
+        keyed = {
+            pair: [spec.key(self.topology_fp) for spec in specs]
+            for pair, specs in cell_specs.items()
+        }
+        for pair, specs in cell_specs.items():
+            journal.cell_planned(*pair, keys=keyed[pair])
+        for pair, specs in cell_specs.items():
+            keys = keyed[pair]
+            committed = journal.is_committed(*pair)
+            if not committed:
+                journal.cell_running(*pair)
+            results = self._execute(dict(zip(keys, specs)))
+            self._cells[pair] = CellResult(
+                benchmark=pair[0], scheduler=pair[1],
+                runs=[results[key] for key in keys],
+            )
+            if not committed:
+                journal.cell_committed(*pair, keys=keys)
 
     def prefetch(
         self, benchmarks: Sequence[str], schedulers: Sequence[str]

@@ -4,10 +4,14 @@ Examples::
 
     python -m repro.serve --machine small --port 7077
     python -m repro.serve --queue-capacity 32 --cache-dir .cache
+    python -m repro.serve --snapshot-out metrics.json   # final snapshot
 
 The server prints its bound address on startup and serves until
-interrupted (SIGINT drains gracefully: admitted jobs finish, new
-submissions are rejected with the typed ``draining`` error).
+interrupted.  SIGINT *and* SIGTERM drain gracefully: admitted jobs
+finish, new submissions are rejected with the typed ``draining`` error,
+and (with ``--snapshot-out``) a final metrics snapshot is written
+atomically — the snapshot's job counters always conserve
+(``submitted == completed + failed``, nothing in flight after a drain).
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import signal
 import sys
 
 from repro.exp.cliopts import (
@@ -78,6 +83,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0,
         help="fault plan RNG seed (default 0)",
     )
+    parser.add_argument(
+        "--snapshot-out",
+        default=None,
+        metavar="PATH",
+        help="after the drain, write the final metrics snapshot to PATH "
+        "as JSON (atomic tmp-file + rename write)",
+    )
     add_machine_argument(parser)
     # campaign flags set the *defaults* jobs inherit (seeds, cache, noise)
     add_campaign_arguments(parser)
@@ -98,11 +110,31 @@ async def _serve(args: argparse.Namespace) -> int:
         default_deadline_s=args.default_deadline,
     )
     host, port = await service.start(args.host, args.port)
+    # signal → event: the handler runs on the loop, so the drain (and the
+    # final snapshot write) happen in ordinary task context, not inside a
+    # signal frame.  Installed before the readiness line is printed — a
+    # supervisor may SIGTERM the instant it sees the address.
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed: list[signal.Signals] = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-unix event loop: ctrl-c falls back to KeyboardInterrupt
     print(f"serving {service.topology.describe()}")
-    print(f"listening on {host}:{port}; ctrl-c drains gracefully", flush=True)
+    print(f"listening on {host}:{port}; SIGINT/SIGTERM drain gracefully", flush=True)
     try:
-        await service._drained.wait()
-    except (KeyboardInterrupt, asyncio.CancelledError):  # repro: noqa EXC001 -- top of the CLI: ctrl-c *is* the drain signal; nothing above this frame needs the cancellation, and re-raising would traceback at the terminal
+        waits = [asyncio.ensure_future(service._drained.wait()),
+                 asyncio.ensure_future(stop.wait())]
+        try:
+            await asyncio.wait(waits, return_when=asyncio.FIRST_COMPLETED)
+        except (KeyboardInterrupt, asyncio.CancelledError):  # repro: noqa EXC001 -- top of the CLI: ctrl-c *is* the drain signal; nothing above this frame needs the cancellation, and re-raising would traceback at the terminal
+            pass
+        finally:
+            for w in waits:
+                w.cancel()
         print("draining: finishing admitted jobs, rejecting new ones", flush=True)
         snapshot = await service.drain()
         jobs = snapshot["jobs"]
@@ -110,6 +142,12 @@ async def _serve(args: argparse.Namespace) -> int:
             f"drained: {jobs['completed']} completed, {jobs['failed']} failed, "
             f"{jobs['rejected_total']} rejected"
         )
+        if args.snapshot_out:
+            out = service.persist_snapshot(args.snapshot_out)
+            print(f"final metrics snapshot written to {out}")
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
     return 0
 
 

@@ -50,6 +50,7 @@ from __future__ import annotations
 import asyncio
 import functools
 import time
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -61,6 +62,7 @@ from repro.errors import (
     TransientRunnerError,
 )
 from repro.exp.runner import LEASE_SCHEDULERS, ExperimentConfig, Runner, RunSpec
+from repro.ioutil import atomic_write_json
 from repro.runtime.results import AppRunResult
 from repro.serve.admission import AdmissionQueue
 from repro.serve.arbiter import LeaseLedger, NodeArbiter
@@ -497,6 +499,16 @@ class SchedulingService:
                 dict(self.fault_plan.injected) if self.fault_plan is not None else None
             ),
         )
+
+    def persist_snapshot(self, path: str | Path) -> Path:
+        """Atomically write the current metrics snapshot as JSON.
+
+        Tmp file + fsync + rename: a server killed mid-write leaves
+        either the previous snapshot or the new one, never torn JSON.
+        Called by the CLI after a signal-triggered drain so operators get
+        a final, conservation-consistent account of every job.
+        """
+        return atomic_write_json(Path(path), self.metrics_snapshot())
 
     # ------------------------------------------------------------------
     # wire handling

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ExperimentError
+from repro.ioutil import atomic_write
 from repro.sim.trace import Trace
 from repro.topology.machine import MachineTopology
 
@@ -173,5 +174,4 @@ def write_chrome_trace(
     }
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(payload))
-    return out
+    return atomic_write(out, json.dumps(payload))

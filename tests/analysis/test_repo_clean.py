@@ -5,8 +5,8 @@ scripts --strict``), expressed as a test so a violation fails fast in any
 local pytest run — and so the analyzer cannot silently rot.
 
 Policy assertions ride along: the deterministic core (``sim/``,
-``core/``, ``serve/``) must have *zero* baseline entries — findings there
-get fixed, not grandfathered (DESIGN.md §6).
+``core/``, ``serve/``, ``exp/``) must have *zero* baseline entries —
+findings there get fixed, not grandfathered (DESIGN.md §6).
 """
 
 import json
@@ -21,7 +21,7 @@ BASELINE = REPO_ROOT / "analysis-baseline.json"
 SCAN_ROOTS = [REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "scripts"]
 
 #: repro subpackages where grandfathering is forbidden outright.
-NO_BASELINE_PACKAGES = ("repro/sim/", "repro/core/", "repro/serve/")
+NO_BASELINE_PACKAGES = ("repro/sim/", "repro/core/", "repro/serve/", "repro/exp/")
 
 
 def _scan():
@@ -50,6 +50,6 @@ def test_core_packages_have_no_baseline_entries():
         if any(marker in entry["path"] for marker in NO_BASELINE_PACKAGES)
     ]
     assert not offenders, (
-        "sim/, core/ and serve/ must stay baseline-free; fix these instead "
+        "sim/, core/, serve/ and exp/ must stay baseline-free; fix these instead "
         f"of grandfathering: {offenders}"
     )

@@ -166,11 +166,14 @@ class TestResultCache:
     def test_stale_schema_is_miss(self, tmp_cache):
         key = run_key(**BASE_KEY_KWARGS)
         tmp_cache.put(key, synthetic_run())
-        envelope = json.loads(tmp_cache.path_for(key).read_text())
-        envelope["schema"] = SCHEMA_VERSION - 1
-        tmp_cache.path_for(key).write_text(json.dumps(envelope))
+        path = tmp_cache.path_for(key)
+        header_raw, payload = path.read_bytes().split(b"\n", 1)
+        header = json.loads(header_raw)
+        header["schema"] = SCHEMA_VERSION - 1
+        stale = json.dumps(header, sort_keys=True, separators=(",", ":"))
+        path.write_bytes(stale.encode() + b"\n" + payload)
         assert tmp_cache.get(key) is None
-        assert not tmp_cache.path_for(key).exists()
+        assert not path.exists()
 
     def test_key_mismatch_is_miss(self, tmp_cache):
         """An entry copied to the wrong address must not be served."""
@@ -179,7 +182,7 @@ class TestResultCache:
         tmp_cache.put(key_a, synthetic_run())
         path_b = tmp_cache.path_for(key_b)
         path_b.parent.mkdir(parents=True, exist_ok=True)
-        path_b.write_text(tmp_cache.path_for(key_a).read_text())
+        path_b.write_bytes(tmp_cache.path_for(key_a).read_bytes())
         assert tmp_cache.get(key_b) is None
 
     def test_put_leaves_no_temp_files(self, tmp_cache):
@@ -196,6 +199,67 @@ class TestResultCache:
         assert tmp_cache.get(key) is None
         tmp_cache.put(key, synthetic_run())
         assert tmp_cache.get(key) is not None
+
+
+class TestQuarantine:
+    """Verification failures move entries aside instead of deleting them."""
+
+    def _poison(self, cache, key):
+        path = cache.path_for(key)
+        raw = bytearray(path.read_bytes())
+        raw[-10] ^= 0xFF  # flip one payload byte
+        path.write_bytes(bytes(raw))
+        return path
+
+    def test_checksum_mismatch_is_quarantined_not_served(self, tmp_cache):
+        key = run_key(**BASE_KEY_KWARGS)
+        tmp_cache.put(key, synthetic_run())
+        path = self._poison(tmp_cache, key)
+        assert tmp_cache.get(key) is None
+        assert not path.exists()
+        assert tmp_cache.stats.quarantined == 1
+        assert tmp_cache.stats.invalidated == 1
+        assert len(tmp_cache.quarantined_files()) == 1
+
+    def test_quarantined_entry_is_recomputable(self, tmp_cache):
+        """After quarantine, the slot accepts a fresh identical entry."""
+        key = run_key(**BASE_KEY_KWARGS)
+        run = synthetic_run()
+        tmp_cache.put(key, run)
+        self._poison(tmp_cache, key)
+        assert tmp_cache.get(key) is None
+        tmp_cache.put(key, run)
+        got = tmp_cache.get(key)
+        assert got is not None
+        assert run_to_json(got) == run_to_json(run)
+        # the forensic copy survives the recompute
+        assert len(tmp_cache.quarantined_files()) == 1
+
+    def test_quarantine_names_never_collide(self, tmp_cache):
+        key = run_key(**BASE_KEY_KWARGS)
+        for _ in range(3):
+            tmp_cache.put(key, synthetic_run())
+            self._poison(tmp_cache, key)
+            assert tmp_cache.get(key) is None
+        assert len(tmp_cache.quarantined_files()) == 3
+
+    def test_quarantine_invisible_to_keys_and_len(self, tmp_cache):
+        key = run_key(**BASE_KEY_KWARGS)
+        tmp_cache.put(key, synthetic_run())
+        self._poison(tmp_cache, key)
+        tmp_cache.get(key)
+        assert list(tmp_cache.keys()) == []
+        assert len(tmp_cache) == 0
+        assert key not in tmp_cache
+
+    def test_truncation_is_quarantined(self, tmp_cache):
+        key = run_key(**BASE_KEY_KWARGS)
+        tmp_cache.put(key, synthetic_run())
+        path = tmp_cache.path_for(key)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        assert tmp_cache.get(key) is None
+        assert len(tmp_cache.quarantined_files()) == 1
 
 
 class TestDefaultCacheDir:

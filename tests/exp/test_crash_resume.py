@@ -1,0 +1,141 @@
+"""Crash/resume integration tests: SIGKILL a journaled campaign, resume.
+
+Subprocess-based (the campaign really dies by SIGKILL mid-journal via
+``REPRO_CRASH_AFTER_JOURNAL_RECORDS``), asserting the durability
+contract end-to-end: the resumed run's saved results are byte-identical
+to an uninterrupted golden run, committed cells are served from the
+cache without re-journalling, and a corrupted cache entry is quarantined
+and recomputed rather than trusted.  ``scripts/crash_smoke.py`` runs the
+same scenario at more kill points; these tests keep it pinned in tier 1.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.exp.journal import CELL_COMMITTED, read_records, replay_state
+
+pytestmark = pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+
+CAMPAIGN = ["fig2", "--machine", "tiny", "--seeds", "2", "--timesteps", "2",
+            "--benchmarks", "matmul", "cg"]
+TIMEOUT = 120
+
+
+def run_campaign(workdir, *, crash_after=None, resume=False):
+    env = dict(os.environ, PYTHONPATH="src",
+               REPRO_CACHE_DIR=str(workdir / "cache"))
+    env.pop("REPRO_CRASH_AFTER_JOURNAL_RECORDS", None)
+    if crash_after is not None:
+        env["REPRO_CRASH_AFTER_JOURNAL_RECORDS"] = str(crash_after)
+    cmd = [sys.executable, "-m", "repro.exp.cli", *CAMPAIGN,
+           "--resume" if resume else "--journal", str(workdir / "campaign.wal"),
+           "--save", str(workdir / "results.json")]
+    return subprocess.run(cmd, env=env, timeout=TIMEOUT, text=True,
+                          stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+
+
+@pytest.fixture(scope="module")
+def golden(tmp_path_factory):
+    """One uninterrupted journaled campaign: (results bytes, record count)."""
+    workdir = tmp_path_factory.mktemp("golden")
+    proc = run_campaign(workdir)
+    assert proc.returncode == 0, proc.stdout
+    records = read_records(workdir / "campaign.wal")
+    return (workdir / "results.json").read_bytes(), len(records)
+
+
+def test_golden_journal_shape(golden, tmp_path):
+    """Header first, every cell committed, completion checkpoint last."""
+    workdir = tmp_path
+    proc = run_campaign(workdir)
+    assert proc.returncode == 0
+    records = read_records(workdir / "campaign.wal")
+    assert records[0]["type"] == "campaign"
+    assert records[-1] == {"type": "checkpoint", "reason": "complete"}
+    state = replay_state(records)
+    assert set(state.cells.values()) == {CELL_COMMITTED}
+    assert len(state.cells) == 4  # 2 benchmarks x 2 schedulers
+
+
+@pytest.mark.parametrize("crash_after", [3, 7])
+def test_sigkill_then_resume_is_byte_identical(golden, tmp_path, crash_after):
+    golden_bytes, n_records = golden
+    assert crash_after < n_records
+    crashed = run_campaign(tmp_path, crash_after=crash_after)
+    assert crashed.returncode == -signal.SIGKILL
+    # exactly the durable records survive; the journal replays cleanly
+    assert len(read_records(tmp_path / "campaign.wal")) == crash_after
+
+    resumed = run_campaign(tmp_path, resume=True)
+    assert resumed.returncode == 0, resumed.stdout
+    assert (tmp_path / "results.json").read_bytes() == golden_bytes
+    # no quarantined cache entries: a clean crash corrupts nothing
+    assert not (tmp_path / "cache" / "quarantine").exists()
+
+
+def test_resume_after_commit_skips_recompute(golden, tmp_path):
+    """Crashing after the first commit: the resume reports cache hits and
+    appends no duplicate transitions for the committed cell."""
+    golden_bytes, _ = golden
+    crashed = run_campaign(tmp_path, crash_after=7)  # past first commit
+    assert crashed.returncode == -signal.SIGKILL
+    committed = replay_state(read_records(tmp_path / "campaign.wal")).committed_cells()
+    assert committed  # at least one cell committed before the kill
+
+    resumed = run_campaign(tmp_path, resume=True)
+    assert resumed.returncode == 0, resumed.stdout
+    assert "resuming from" in resumed.stdout
+    records = read_records(tmp_path / "campaign.wal")
+    for cell in committed:
+        transitions = [r for r in records if r.get("type") == "cell"
+                       and (r["benchmark"], r["scheduler"]) == cell]
+        states = [r["state"] for r in transitions]
+        assert len(states) == len(set(states)), (
+            f"duplicate transitions journalled for committed cell {cell}")
+    assert (tmp_path / "results.json").read_bytes() == golden_bytes
+
+
+def test_corrupted_cache_entry_is_quarantined_and_recomputed(golden, tmp_path):
+    golden_bytes, _ = golden
+    crashed = run_campaign(tmp_path, crash_after=7)
+    assert crashed.returncode == -signal.SIGKILL
+    entries = sorted((tmp_path / "cache").glob("??/*.json"))
+    assert entries, "crashed run left no cache entries"
+    raw = bytearray(entries[0].read_bytes())
+    raw[-10] ^= 0xFF
+    entries[0].write_bytes(bytes(raw))
+
+    resumed = run_campaign(tmp_path, resume=True)
+    assert resumed.returncode == 0, resumed.stdout
+    assert (tmp_path / "results.json").read_bytes() == golden_bytes
+    quarantine = tmp_path / "cache" / "quarantine"
+    assert len(list(quarantine.iterdir())) == 1
+
+
+def test_resume_with_wrong_config_is_refused(golden, tmp_path):
+    proc = run_campaign(tmp_path, crash_after=3)
+    assert proc.returncode == -signal.SIGKILL
+    env = dict(os.environ, PYTHONPATH="src",
+               REPRO_CACHE_DIR=str(tmp_path / "cache"))
+    cmd = [sys.executable, "-m", "repro.exp.cli", "fig2", "--machine", "tiny",
+           "--seeds", "3", "--timesteps", "2", "--benchmarks", "matmul", "cg",
+           "--resume", str(tmp_path / "campaign.wal")]
+    mismatched = subprocess.run(cmd, env=env, timeout=TIMEOUT, text=True,
+                                stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    assert mismatched.returncode != 0
+    assert "differently-configured" in mismatched.stdout
+
+
+def test_resume_of_missing_journal_is_refused(tmp_path):
+    env = dict(os.environ, PYTHONPATH="src")
+    cmd = [sys.executable, "-m", "repro.exp.cli", *CAMPAIGN,
+           "--resume", str(tmp_path / "nope.wal")]
+    proc = subprocess.run(cmd, env=env, timeout=TIMEOUT, text=True,
+                          stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    assert proc.returncode != 0
+    assert "does not exist" in proc.stdout

@@ -1,0 +1,177 @@
+"""Unit tests for the campaign write-ahead journal.
+
+Framing (CRC per line), torn-tail tolerance vs mid-file corruption, the
+monotone cell state machine, conditional transition appends on resume,
+and configuration pinning.  The crash *process* semantics live in
+``tests/exp/test_crash_resume.py``; here everything is in-process.
+"""
+
+import signal
+
+import pytest
+
+from repro.errors import JournalError
+from repro.exp.journal import (
+    CELL_COMMITTED,
+    CELL_PLANNED,
+    CELL_RUNNING,
+    CampaignJournal,
+    Journal,
+    JournalState,
+    read_records,
+    replay_state,
+)
+
+HEADER = dict(topology_fp="fp", seeds=2, timesteps=3, with_noise=True)
+
+
+def make_journal(path, **kwargs):
+    kwargs.setdefault("fsync", False)  # keep the unit tests off the disk's throat
+    return CampaignJournal(path, **kwargs)
+
+
+class TestFraming:
+    def test_roundtrip_preserves_records_in_order(self, tmp_path):
+        path = tmp_path / "j.wal"
+        records = [{"type": "checkpoint", "reason": f"r{i}"} for i in range(5)]
+        with Journal(path, fsync=False) as j:
+            for r in records:
+                j.append(r)
+        assert read_records(path) == records
+
+    def test_empty_and_missing_files(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with pytest.raises(FileNotFoundError):
+            read_records(path)
+        path.write_bytes(b"")
+        assert read_records(path) == []
+
+    def test_torn_tail_without_newline_dropped(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with Journal(path, fsync=False) as j:
+            j.append({"type": "checkpoint", "reason": "a"})
+            j.append({"type": "checkpoint", "reason": "b"})
+        whole = path.read_bytes()
+        path.write_bytes(whole[:-7])  # tear the final record mid-payload
+        assert [r["reason"] for r in read_records(path)] == ["a"]
+
+    def test_torn_tail_with_newline_dropped(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with Journal(path, fsync=False) as j:
+            j.append({"type": "checkpoint", "reason": "a"})
+        # a CRC-broken final line that did get its newline written
+        raw = path.read_bytes() + b"deadbeef {broken\n"
+        path.write_bytes(raw)
+        assert [r["reason"] for r in read_records(path)] == ["a"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with Journal(path, fsync=False) as j:
+            j.append({"type": "checkpoint", "reason": "a"})
+            j.append({"type": "checkpoint", "reason": "b"})
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[0] = b"00000000 " + lines[0][9:]  # break record 1's CRC
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(JournalError, match="not a torn tail"):
+            read_records(path)
+
+    def test_append_to_closed_journal_raises(self, tmp_path):
+        j = Journal(tmp_path / "j.wal", fsync=False)
+        j.close()
+        with pytest.raises(JournalError, match="closed"):
+            j.append({"type": "checkpoint", "reason": "late"})
+
+
+class TestStateMachine:
+    def apply_all(self, *records):
+        state = JournalState()
+        for r in records:
+            state.apply(r)
+        return state
+
+    def cell(self, state, keys=None):
+        r = {"type": "cell", "state": state, "benchmark": "cg", "scheduler": "ilan"}
+        if keys is not None:
+            r["keys"] = keys
+        return r
+
+    def test_transitions_advance_monotonically(self):
+        state = self.apply_all(
+            self.cell(CELL_PLANNED, keys=["k1"]),
+            self.cell(CELL_RUNNING),
+            self.cell(CELL_COMMITTED, keys=["k1"]),
+        )
+        assert state.state_of("cg", "ilan") == CELL_COMMITTED
+        assert state.committed_cells() == {("cg", "ilan")}
+        assert state.keys[("cg", "ilan")] == ("k1",)
+
+    def test_stale_transition_never_regresses(self):
+        state = self.apply_all(
+            self.cell(CELL_COMMITTED, keys=["k1"]),
+            self.cell(CELL_RUNNING),
+            self.cell(CELL_PLANNED, keys=["k1"]),
+        )
+        assert state.state_of("cg", "ilan") == CELL_COMMITTED
+
+    def test_unknown_state_and_type_raise(self):
+        with pytest.raises(JournalError, match="unknown cell state"):
+            self.apply_all(self.cell("paused"))
+        with pytest.raises(JournalError, match="unknown journal record type"):
+            self.apply_all({"type": "mystery"})
+
+    def test_conflicting_headers_raise(self):
+        state = JournalState()
+        state.apply({"type": "campaign", "seeds": 2})
+        state.apply({"type": "campaign", "seeds": 2})  # identical: fine
+        with pytest.raises(JournalError, match="conflicting campaign headers"):
+            state.apply({"type": "campaign", "seeds": 3})
+
+
+class TestCampaignJournal:
+    def test_resume_skips_already_journalled_transitions(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with make_journal(path) as j:
+            j.begin(**HEADER)
+            j.cell_planned("cg", "ilan", keys=["k1"])
+            j.cell_running("cg", "ilan")
+            j.cell_committed("cg", "ilan", keys=["k1"])
+        before = len(read_records(path))
+        with make_journal(path) as j:
+            j.begin(**HEADER)  # same config: verifies, appends nothing
+            j.cell_planned("cg", "ilan", keys=["k1"])
+            j.cell_running("cg", "ilan")
+            j.cell_committed("cg", "ilan", keys=["k1"])
+            assert j.is_committed("cg", "ilan")
+        assert len(read_records(path)) == before
+
+    def test_resume_with_other_config_refused(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with make_journal(path) as j:
+            j.begin(**HEADER)
+        with make_journal(path) as j:
+            with pytest.raises(JournalError, match="differently-configured"):
+                j.begin(**{**HEADER, "seeds": 99})
+
+    def test_checkpoint_records_appended(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with make_journal(path) as j:
+            j.begin(**HEADER)
+            j.checkpoint("sigterm")
+        state = replay_state(read_records(path))
+        assert state.checkpoints == ["sigterm"]
+
+    def test_crash_after_is_wired_through(self, tmp_path):
+        """The seam SIGKILLs on the Nth append — assert via a fork so the
+        test process survives its own journal."""
+        import os
+
+        path = tmp_path / "j.wal"
+        pid = os.fork()
+        if pid == 0:  # child: dies on the 2nd append
+            with make_journal(path, crash_after=2) as j:
+                j.begin(**HEADER)
+                j.cell_planned("cg", "ilan", keys=["k1"])
+                os._exit(0)  # pragma: no cover - never reached
+        _, status = os.waitpid(pid, 0)
+        assert os.WIFSIGNALED(status) and os.WTERMSIG(status) == signal.SIGKILL
+        assert len(read_records(path)) == 2

@@ -1,0 +1,105 @@
+"""Signal-driven shutdown: drain, then a final atomic metrics snapshot.
+
+The contract under test (see ``repro.serve.__main__``): SIGTERM (and
+SIGINT) drain the service — admitted jobs finish, new submissions are
+rejected — and ``--snapshot-out`` then persists one final JSON snapshot
+via an atomic tmp-file + rename write.  The snapshot must *conserve*:
+every submitted job is accounted as completed or failed, with nothing
+left active or queued after a drain.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.exp.runner import ExperimentConfig
+from repro.serve.protocol import JobRequest
+from repro.serve.server import SchedulingService
+from repro.topology.presets import dual_socket_small
+
+TIMEOUT = 60
+
+
+def _service(**kwargs):
+    kwargs.setdefault(
+        "config",
+        ExperimentConfig(seeds=1, timesteps=3, with_noise=False, jobs=1, cache_dir=None),
+    )
+    return SchedulingService(dual_socket_small(), **kwargs)
+
+
+def assert_conserves(snapshot: dict) -> None:
+    """The snapshot's job ledger balances and nothing is in flight."""
+    jobs = snapshot["jobs"]
+    assert jobs["submitted"] == (
+        jobs["completed"] + jobs["failed"] + jobs["active"] + jobs["queued"]
+    )
+    assert jobs["active"] == 0
+    assert jobs["queued"] == 0
+
+
+class TestPersistSnapshot:
+    def test_drained_snapshot_conserves_job_counts(self, tmp_path):
+        async def scenario():
+            service = _service()
+            await service.start()
+            for _ in range(4):
+                service.submit(JobRequest(benchmark="matmul", timesteps=3, nodes=1))
+            await service.drain()
+            return service.persist_snapshot(tmp_path / "metrics.json")
+
+        out = asyncio.run(scenario())
+        snapshot = json.loads(out.read_text())
+        assert_conserves(snapshot)
+        assert snapshot["jobs"]["submitted"] == 4
+        assert snapshot["jobs"]["completed"] == 4
+        assert snapshot["service"]["draining"] is True
+
+    def test_persist_is_atomic_no_temp_debris(self, tmp_path):
+        async def scenario():
+            service = _service()
+            await service.start()
+            await service.drain()
+            return service.persist_snapshot(tmp_path / "metrics.json")
+
+        out = asyncio.run(scenario())
+        assert json.loads(out.read_text())  # parseable, non-empty
+        assert [p.name for p in tmp_path.iterdir()] == ["metrics.json"]
+
+
+class TestSigterm:
+    @pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+    def test_sigterm_drains_and_persists_snapshot(self, tmp_path):
+        """A live ``python -m repro.serve`` process, SIGTERMed, exits 0
+        after writing a conserving snapshot."""
+        snap = tmp_path / "final.json"
+        env = dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "--machine", "tiny",
+             "--port", "0", "--no-noise", "--no-cache",
+             "--snapshot-out", str(snap)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            deadline = time.monotonic() + TIMEOUT
+            for line in proc.stdout:
+                if "listening on" in line:
+                    break
+                assert time.monotonic() < deadline, "server never came up"
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=TIMEOUT)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert proc.returncode == 0, out
+        assert "draining" in out
+        assert snap.exists(), out
+        assert_conserves(json.loads(snap.read_text()))
