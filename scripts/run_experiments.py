@@ -48,6 +48,9 @@ args = parser.parse_args()
 if args.seeds is None and args.seeds_positional is not None:
     args.seeds = args.seeds_positional
 cfg = config_from_args(args, seeds_default=30)
+if (args.journal or args.resume) and cfg.cache_dir is None:
+    raise SystemExit("--journal/--resume require the run cache (committed "
+                     "cells are reloaded from it on resume); drop --no-cache")
 t0 = time.time()
 journal = journal_from_args(args)
 if journal is not None:

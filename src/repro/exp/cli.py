@@ -119,6 +119,11 @@ _resolve_machine = resolve_machine
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     cfg = config_from_args(args)
+    if (args.journal or args.resume) and cfg.cache_dir is None:
+        raise SystemExit(
+            "--journal/--resume require the run cache (committed cells are "
+            "reloaded from it on resume); drop --no-cache"
+        )
     journal = journal_from_args(args)
     if journal is not None:
         install_checkpoint_handlers(journal)

@@ -121,7 +121,15 @@ def journal_from_args(args: argparse.Namespace) -> CampaignJournal | None:
     if getattr(args, "resume", None) is not None and not os.path.exists(path):
         raise SystemExit(f"--resume {path}: journal file does not exist")
     crash_env = os.environ.get("REPRO_CRASH_AFTER_JOURNAL_RECORDS")
-    crash_after = int(crash_env) if crash_env else None
+    crash_after = None
+    if crash_env:
+        try:
+            crash_after = int(crash_env)
+        except ValueError:
+            raise SystemExit(
+                f"REPRO_CRASH_AFTER_JOURNAL_RECORDS={crash_env!r}: expected "
+                "an integer (the journal-append count to SIGKILL after)"
+            ) from None
     return CampaignJournal(path, crash_after=crash_after)
 
 

@@ -22,7 +22,9 @@ so the journal on disk is always a prefix of the logical record stream
 plus at most one torn tail line.  Replay verifies each line's CRC:
 
 * a damaged or truncated *final* line is the torn write of the crash —
-  it is dropped silently;
+  it is dropped silently on replay, and re-opening the journal for
+  appending truncates it away first, so new records always start on a
+  record boundary (never glued onto torn bytes);
 * a damaged line with valid records after it cannot be produced by a
   crash of the single append-only writer, so it raises
   :class:`~repro.errors.JournalError` (real corruption must be loud).
@@ -110,8 +112,9 @@ def _parse_line(line: bytes) -> dict[str, Any] | None:
     return record if isinstance(record, dict) else None
 
 
-def read_records(path: str | Path) -> list[dict[str, Any]]:
-    """Every intact record of a journal file, in append order.
+def _scan(path: str | Path) -> tuple[list[dict[str, Any]], int]:
+    """Intact records of a journal file plus the byte offset where the
+    intact prefix ends (== file size when there is no torn tail).
 
     Tolerates exactly the damage a crash can cause: a torn final line
     (truncated, no trailing newline, or CRC-broken).  Damage anywhere
@@ -119,10 +122,11 @@ def read_records(path: str | Path) -> list[dict[str, Any]]:
     """
     raw = Path(path).read_bytes()
     if not raw:
-        return []
+        return [], 0
     lines = raw.split(b"\n")
     complete, tail = lines[:-1], lines[-1]
     records: list[dict[str, Any]] = []
+    intact_end = 0
     for index, line in enumerate(complete):
         record = _parse_line(line)
         if record is None:
@@ -133,8 +137,15 @@ def read_records(path: str | Path) -> list[dict[str, Any]]:
                 "follow it — this is not a torn tail; refusing to replay"
             )
         records.append(record)
+        intact_end += len(line) + 1  # the record and its newline
     # a non-empty `tail` is the torn, never-newline-terminated final write
-    return records
+    return records, intact_end
+
+
+def read_records(path: str | Path) -> list[dict[str, Any]]:
+    """Every intact record of a journal file, in append order (the torn
+    final line a crash can leave is dropped; see :func:`_scan`)."""
+    return _scan(path)[0]
 
 
 class Journal:
@@ -160,9 +171,27 @@ class Journal:
         self._appended = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
         existed = self.path.exists()
+        if existed:
+            self._truncate_torn_tail()
         self._fh = open(self.path, "ab")
         if not existed and fsync:
             fsync_dir(self.path.parent)
+
+    def _truncate_torn_tail(self) -> None:
+        """Cut the file back to its last intact record boundary.
+
+        Replay merely *tolerates* the torn final line a crash leaves; an
+        appender must remove it, or the next record would be glued onto
+        the damaged bytes — producing a line that is silently dropped (if
+        last) or poisons the whole journal (if records follow it).  After
+        this, every append starts on a record boundary.
+        """
+        _, intact_end = _scan(self.path)
+        if intact_end < self.path.stat().st_size:
+            with open(self.path, "r+b") as fh:
+                fh.truncate(intact_end)
+                if self._fsync:
+                    os.fsync(fh.fileno())
 
     def append(self, record: Mapping[str, Any]) -> None:
         """Durably append one record (framed, flushed, fsync'd)."""

@@ -246,6 +246,15 @@ class Runner:
         self.jobs = max(1, jobs if jobs is not None else self.config.jobs)
         if cache is None and self.config.cache_dir:
             cache = ResultCache(self.config.cache_dir)
+        if journal is not None and cache is None:
+            # `committed` promises every run of the cell is durably in the
+            # cache; without one the record would be a lie and a resume
+            # would silently recompute "committed" work
+            raise ExperimentError(
+                "a journaled campaign requires a result cache (the commit "
+                "protocol records 'committed' only for cache-persisted "
+                "runs); attach a cache or drop the journal"
+            )
         self.cache = cache
         self.journal = journal
         self._cells: dict[tuple[str, str], CellResult] = {}

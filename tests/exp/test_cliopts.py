@@ -8,8 +8,10 @@ from repro.exp.cache import default_cache_dir
 from repro.exp.cliopts import (
     MACHINE_PRESETS,
     add_campaign_arguments,
+    add_journal_arguments,
     add_machine_argument,
     config_from_args,
+    journal_from_args,
     resolve_machine,
 )
 from repro.topology.hwloc import format_topology
@@ -111,6 +113,28 @@ def test_cache_on_by_default_with_fallback_chain(tmp_path, monkeypatch):
 def test_no_cache_disables_the_cache_entirely(tmp_path):
     cfg = config_from_args(parse(["--no-cache", "--cache-dir", str(tmp_path)]))
     assert cfg.cache_dir is None
+
+
+# ----------------------------------------------------------------------
+# journal flags
+# ----------------------------------------------------------------------
+def parse_journal(argv):
+    parser = argparse.ArgumentParser()
+    add_journal_arguments(parser)
+    return parser.parse_args(argv)
+
+
+def test_malformed_crash_env_is_a_clean_cli_error(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CRASH_AFTER_JOURNAL_RECORDS", "abc")
+    args = parse_journal(["--journal", str(tmp_path / "j.wal")])
+    with pytest.raises(SystemExit, match="expected an integer"):
+        journal_from_args(args)
+
+
+def test_resume_of_missing_journal_is_a_clean_cli_error(tmp_path):
+    args = parse_journal(["--resume", str(tmp_path / "nope.wal")])
+    with pytest.raises(SystemExit, match="does not exist"):
+        journal_from_args(args)
 
 
 # ----------------------------------------------------------------------

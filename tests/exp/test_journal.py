@@ -75,6 +75,47 @@ class TestFraming:
         with pytest.raises(JournalError, match="not a torn tail"):
             read_records(path)
 
+    def test_reopen_truncates_torn_tail_before_appending(self, tmp_path):
+        """The reviewer's crash shape: a torn tail must not have the next
+        append glued onto it — reopening truncates to the last intact
+        record boundary, so later replays never see mid-file damage."""
+        path = tmp_path / "j.wal"
+        with Journal(path, fsync=False) as j:
+            j.append({"type": "checkpoint", "reason": "a"})
+            j.append({"type": "checkpoint", "reason": "b"})
+        path.write_bytes(path.read_bytes()[:-7])  # tear the final record
+        with Journal(path, fsync=False) as j:
+            j.append({"type": "checkpoint", "reason": "c"})
+            j.append({"type": "checkpoint", "reason": "d"})
+        # no torn bytes survive: every record replays, none is dropped
+        assert [r["reason"] for r in read_records(path)] == ["a", "c", "d"]
+
+    def test_reopen_truncates_newline_terminated_damage(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with Journal(path, fsync=False) as j:
+            j.append({"type": "checkpoint", "reason": "a"})
+        # a CRC-broken final line that did get its newline written
+        path.write_bytes(path.read_bytes() + b"deadbeef {broken\n")
+        with Journal(path, fsync=False) as j:
+            j.append({"type": "checkpoint", "reason": "b"})
+        assert [r["reason"] for r in read_records(path)] == ["a", "b"]
+
+    def test_reopen_via_campaign_journal_heals_torn_tail(self, tmp_path):
+        """End-to-end resume shape: CampaignJournal over a torn file must
+        append records a *second* resume can still replay."""
+        path = tmp_path / "j.wal"
+        with make_journal(path) as j:
+            j.begin(**HEADER)
+            j.cell_planned("cg", "ilan", keys=["k1"])
+        path.write_bytes(path.read_bytes()[:-5])  # tear the planned record
+        with make_journal(path) as j:
+            j.begin(**HEADER)
+            j.cell_planned("cg", "ilan", keys=["k1"])
+            j.cell_running("cg", "ilan")
+            j.cell_committed("cg", "ilan", keys=["k1"])
+        with make_journal(path) as j:  # a second resume replays cleanly
+            assert j.is_committed("cg", "ilan")
+
     def test_append_to_closed_journal_raises(self, tmp_path):
         j = Journal(tmp_path / "j.wal", fsync=False)
         j.close()

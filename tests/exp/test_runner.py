@@ -118,3 +118,16 @@ class TestRunner:
         cached = runner.cached_cells()
         assert ("matmul", "baseline") in cached
         assert ("matmul", "ilan") in cached
+
+    def test_journal_without_cache_refused(self, tiny, tmp_path):
+        """'committed' promises cache persistence; without a cache the
+        journal would lie and resume would silently recompute."""
+        from repro.exp.journal import CampaignJournal
+
+        journal = CampaignJournal(tmp_path / "j.wal", fsync=False)
+        with pytest.raises(ExperimentError, match="requires a result cache"):
+            Runner(
+                ExperimentConfig(seeds=1, timesteps=1),
+                topology=tiny,
+                journal=journal,
+            )
