@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.bench import timers
 from repro.exp.runner import ExperimentConfig, Runner
 
 
@@ -43,6 +44,9 @@ def run_once(benchmark, fn):
 
     The experiments are deterministic given their seed set, and a single
     invocation already aggregates many simulated runs, so repeated
-    benchmark rounds would only re-measure the cache.
+    benchmark rounds would only re-measure the cache.  Timing goes
+    through the repo's single wall-clock seam (:mod:`repro.bench.timers`)
+    so these figures and ``scripts/bench.py`` measure identically.
     """
+    benchmark._timer = timers.now
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

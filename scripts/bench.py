@@ -1,0 +1,87 @@
+"""Benchmark harness CLI: measure, record, and gate simulator performance.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py [--quick] [--seed N]
+                                           [--out BENCH_6.json]
+                                           [--compare BENCH_prev.json]
+                                           [--max-regression 0.25]
+
+Measures simulator throughput (events/sec, reference vs. incremental
+engine) on three campaign sizes, campaign wall time cold vs. warm cache,
+and service latency percentiles from a short load-generator run, and
+emits one validated ``BENCH_<n>.json`` document (see
+:mod:`repro.bench.schema`).
+
+``--quick`` runs the same campaign shapes with fewer repeats — fast
+enough for a CI smoke job, comparable with committed full documents.
+
+``--compare PREV`` gates the fresh measurement against a previous
+document: exit 0 when within the regression budget, 1 on regression, 2
+on a malformed document or bad invocation.  On different hardware than
+the baseline, only the engine speedup ratios are gated (they are
+machine-independent); see :mod:`repro.bench.compare`.
+"""
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.compare import compare_documents, load_document
+from repro.bench.harness import run_benchmarks
+from repro.errors import BenchError
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke scale: same campaign shapes, fewer repeats",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="campaign seed")
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the measured BENCH document to this path",
+    )
+    parser.add_argument(
+        "--compare", metavar="PREV", default=None,
+        help="gate the fresh measurement against a previous BENCH document",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.25, metavar="FRAC",
+        help="relative regression budget for --compare (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        doc = run_benchmarks(
+            mode="quick" if args.quick else "full", seed=args.seed, log=print
+        )
+    except BenchError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+
+    if args.compare:
+        try:
+            previous = load_document(args.compare)
+            report = compare_documents(
+                previous, doc, max_regression=args.max_regression
+            )
+        except BenchError as exc:
+            print(f"bench: {exc}", file=sys.stderr)
+            return 2
+        for line in report.lines():
+            print(line)
+        return 0 if report.ok else 1
+
+    if not args.out:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

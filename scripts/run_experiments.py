@@ -17,8 +17,8 @@ first paper benchmark under ILAN) and writes it as a Chrome
 interactive counterpart of the ASCII timelines.
 """
 import argparse
-import time
 
+from repro.bench.timers import now as wall_now
 from repro.exp.cliopts import (add_campaign_arguments, add_journal_arguments,
                                config_from_args, journal_from_args)
 from repro.exp.figures import figure2, figure3, figure4, figure5, figure6, table1
@@ -51,7 +51,7 @@ cfg = config_from_args(args, seeds_default=30)
 if (args.journal or args.resume) and cfg.cache_dir is None:
     raise SystemExit("--journal/--resume require the run cache (committed "
                      "cells are reloaded from it on resume); drop --no-cache")
-t0 = time.time()
+t0 = wall_now()
 journal = journal_from_args(args)
 if journal is not None:
     install_checkpoint_handlers(journal)
@@ -98,4 +98,4 @@ if args.trace_out:
 if journal is not None:
     journal.checkpoint("complete")
     journal.close()
-print(f"wall time: {time.time()-t0:.0f}s; cell summaries saved to {args.out}")
+print(f"wall time: {wall_now()-t0:.0f}s; cell summaries saved to {args.out}")

@@ -17,8 +17,10 @@ __all__ = ["Det001WallClock", "Det002AmbientRng", "Det003TimeEquality",
            "Seed001SeedlessEntryPoint"]
 
 #: Packages whose behaviour must be a pure function of (inputs, seed):
-#: the simulator core, scheduler, runtime and experiment harness.
-DETERMINISTIC_PACKAGES = ("sim", "core", "runtime", "exp")
+#: the simulator core, scheduler, runtime, experiment harness, and the
+#: benchmark harness (whose *measurements* are wall time, but only via the
+#: explicitly annotated timer seam in repro.bench.timers).
+DETERMINISTIC_PACKAGES = ("sim", "core", "runtime", "exp", "bench")
 
 #: DET002/SEED001 additionally cover the serving layer: its *wall time* is
 #: real (latency measurement), but its randomness must still replay.

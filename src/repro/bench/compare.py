@@ -1,0 +1,157 @@
+"""Regression comparison between two ``BENCH`` documents.
+
+``scripts/bench.py --compare BENCH_prev.json`` diffs a fresh measurement
+against a committed baseline with a relative budget (default 25%).
+
+What gets gated depends on how comparable the two documents are:
+
+* **same environment and same mode** (identical fingerprints, equal
+  repeat counts): absolute events/sec per (campaign, engine) must not
+  drop by more than the budget, and neither may the incremental speedup;
+* **otherwise** (CI hardware vs. the machine that produced the committed
+  baseline, or a single-repeat quick run vs. a best-of-N full document):
+  absolute throughput is not comparable, so only the
+  incremental-over-reference *speedup* per campaign is gated — a
+  machine- and repeat-insensitive property of the optimisation itself
+  (both engines are measured back-to-back in the same process, so
+  machine noise largely divides out).
+
+Latency and wall-time metrics are reported but never gated: they measure
+service and cache behaviour whose absolute values are too environment-
+bound for a hard threshold.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.schema import CAMPAIGNS, validate
+from repro.errors import BenchError
+
+__all__ = ["Check", "CompareReport", "compare_documents", "load_document"]
+
+
+def load_document(path: str | Path) -> dict:
+    """Read and validate a BENCH document from disk."""
+    p = Path(path)
+    try:
+        text = p.read_text()
+    except OSError as exc:
+        raise BenchError(f"cannot read BENCH document {p}: {exc}") from exc
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BenchError(f"{p} is not valid JSON: {exc}") from exc
+    validate(doc)
+    return doc
+
+
+@dataclass(frozen=True)
+class Check:
+    """One gated comparison: a metric, its two values, and the verdict."""
+
+    metric: str
+    previous: float
+    current: float
+    ok: bool
+
+    @property
+    def change(self) -> float:
+        """Relative change, negative = regression."""
+        if self.previous == 0:
+            return 0.0
+        return self.current / self.previous - 1.0
+
+    def describe(self) -> str:
+        verdict = "ok" if self.ok else "REGRESSION"
+        return (
+            f"{self.metric}: {self.previous:,.2f} -> {self.current:,.2f} "
+            f"({self.change:+.1%}) {verdict}"
+        )
+
+
+@dataclass
+class CompareReport:
+    """Outcome of one document comparison."""
+
+    max_regression: float
+    absolute_comparable: bool
+    checks: list[Check] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Check]:
+        return [c for c in self.checks if not c.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def lines(self) -> list[str]:
+        scope = (
+            "same environment and mode: gating absolute events/sec and speedups"
+            if self.absolute_comparable
+            else "documents not absolutely comparable: gating engine speedups only"
+        )
+        out = [f"comparing with max regression {self.max_regression:.0%} ({scope})"]
+        out.extend(note for note in self.notes)
+        out.extend(check.describe() for check in self.checks)
+        out.append(
+            "PASS: no regressions"
+            if self.ok
+            else f"FAIL: {len(self.regressions)} regression(s)"
+        )
+        return out
+
+
+def _gate(report: CompareReport, metric: str, previous: float, current: float) -> None:
+    floor = previous * (1.0 - report.max_regression)
+    report.checks.append(
+        Check(metric=metric, previous=previous, current=current, ok=current >= floor)
+    )
+
+
+def compare_documents(
+    previous: dict, current: dict, *, max_regression: float = 0.25
+) -> CompareReport:
+    """Gate ``current`` against ``previous``; both must validate."""
+    if not 0.0 <= max_regression < 1.0:
+        raise BenchError(
+            f"max_regression must be in [0, 1), got {max_regression}"
+        )
+    validate(previous)
+    validate(current)
+    prev_eps = previous["metrics"]["events_per_sec"]
+    cur_eps = current["metrics"]["events_per_sec"]
+    same_env = all(
+        prev_eps[c]["environment"] == cur_eps[c]["environment"] for c in CAMPAIGNS
+    )
+    same_mode = previous["mode"] == current["mode"]
+    report = CompareReport(
+        max_regression=max_regression,
+        absolute_comparable=same_env and same_mode,
+    )
+    if not same_mode:
+        report.notes.append(
+            f"note: comparing mode={current['mode']!r} against "
+            f"mode={previous['mode']!r} (same campaign shapes, different repeats)"
+        )
+    for campaign in CAMPAIGNS:
+        prev_entry, cur_entry = prev_eps[campaign], cur_eps[campaign]
+        if report.absolute_comparable:
+            for engine in ("reference", "incremental"):
+                _gate(
+                    report,
+                    f"events_per_sec.{campaign}.{engine}",
+                    prev_entry[engine]["events_per_sec"],
+                    cur_entry[engine]["events_per_sec"],
+                )
+        _gate(
+            report,
+            f"events_per_sec.{campaign}.speedup",
+            prev_entry["speedup"],
+            cur_entry["speedup"],
+        )
+    return report

@@ -1,0 +1,156 @@
+"""The ``BENCH_<n>.json`` document schema, and its validator.
+
+One benchmark-harness invocation emits one document.  The layout is
+stable and versioned so committed documents stay comparable across PRs:
+
+* ``schema_version`` — bumped on any incompatible layout change;
+* ``mode`` — ``full`` (committed baselines) or ``quick`` (CI smoke);
+  both modes measure the *same campaign shapes* so their events/sec are
+  comparable, quick just repeats less;
+* ``metrics.events_per_sec.<campaign>`` — simulator throughput for each
+  engine on the small/medium/large synthetic campaigns, plus the
+  incremental-over-reference ``speedup``;
+* ``metrics.campaign_wall_s`` — one cached experiment campaign, cold
+  then warm (warm replays from the run cache, so warm ≤ cold is itself
+  a correctness signal the bench tests assert);
+* ``metrics.service_latency_s`` — client p50/p99 from a short in-process
+  load-generator run against the scheduling service;
+* every metric group carries its own ``environment`` fingerprint —
+  captured when *that* metric was measured, so a document stitched
+  together over time (or a machine change mid-run) is visible in the
+  data rather than silently misleading.
+
+Validation is hand-rolled on stdlib types (no jsonschema dependency);
+:func:`validate` raises :class:`~repro.errors.BenchError` with a path to
+the offending field.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from typing import Any
+
+import numpy as np
+
+from repro.errors import BenchError
+
+__all__ = [
+    "CAMPAIGNS",
+    "ENGINE_FIELDS",
+    "SCHEMA_VERSION",
+    "environment_fingerprint",
+    "validate",
+]
+
+SCHEMA_VERSION = 1
+
+#: Campaign sizes every document reports, smallest first.
+CAMPAIGNS = ("small", "medium", "large")
+
+#: Per-engine measurement fields inside an events_per_sec entry.
+ENGINE_FIELDS = ("events", "wall_s", "events_per_sec", "repeats")
+
+MODES = ("full", "quick")
+
+
+def environment_fingerprint() -> dict[str, Any]:
+    """Where a measurement was taken: enough to judge comparability."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+# ----------------------------------------------------------------------
+def _fail(path: str, message: str) -> None:
+    raise BenchError(f"BENCH document invalid at {path}: {message}")
+
+
+def _require(doc: dict, path: str, key: str, kinds: type | tuple) -> Any:
+    if key not in doc:
+        _fail(f"{path}.{key}", "missing required field")
+    value = doc[key]
+    if not isinstance(value, kinds):
+        _fail(f"{path}.{key}", f"expected {kinds}, got {type(value).__name__}")
+    if isinstance(value, bool) and kinds in ((int, float), float, int):
+        _fail(f"{path}.{key}", "expected a number, got a bool")
+    return value
+
+
+def _require_number(doc: dict, path: str, key: str, *, minimum: float = 0.0) -> float:
+    value = _require(doc, path, key, (int, float))
+    if value < minimum:
+        _fail(f"{path}.{key}", f"must be >= {minimum}, got {value}")
+    return float(value)
+
+
+def _check_environment(env: Any, path: str) -> None:
+    if not isinstance(env, dict):
+        _fail(path, f"expected an environment dict, got {type(env).__name__}")
+    for key in ("python", "numpy", "platform", "machine"):
+        _require(env, path, key, str)
+    _require(env, path, "cpu_count", int)
+
+
+def _check_engine_entry(entry: Any, path: str) -> None:
+    if not isinstance(entry, dict):
+        _fail(path, f"expected a measurement dict, got {type(entry).__name__}")
+    _require(entry, path, "events", int)
+    if entry["events"] <= 0:
+        _fail(f"{path}.events", "must be a positive count")
+    _require_number(entry, path, "wall_s")
+    _require_number(entry, path, "events_per_sec")
+    _require(entry, path, "repeats", int)
+    if entry["repeats"] < 1:
+        _fail(f"{path}.repeats", "must be >= 1")
+
+
+def validate(doc: Any) -> None:
+    """Check ``doc`` against the schema; raise :class:`BenchError` if bad."""
+    if not isinstance(doc, dict):
+        raise BenchError(
+            f"BENCH document must be a JSON object, got {type(doc).__name__}"
+        )
+    version = _require(doc, "$", "schema_version", int)
+    if version != SCHEMA_VERSION:
+        _fail("$.schema_version", f"expected {SCHEMA_VERSION}, got {version}")
+    mode = _require(doc, "$", "mode", str)
+    if mode not in MODES:
+        _fail("$.mode", f"expected one of {MODES}, got {mode!r}")
+    _require(doc, "$", "seed", int)
+    metrics = _require(doc, "$", "metrics", dict)
+
+    eps = _require(metrics, "$.metrics", "events_per_sec", dict)
+    for campaign in CAMPAIGNS:
+        path = f"$.metrics.events_per_sec.{campaign}"
+        entry = eps.get(campaign)
+        if not isinstance(entry, dict):
+            _fail(path, "missing campaign entry")
+        _check_environment(entry.get("environment"), f"{path}.environment")
+        for engine in ("reference", "incremental"):
+            _check_engine_entry(entry.get(engine), f"{path}.{engine}")
+        _require_number(entry, path, "speedup")
+
+    wall = _require(metrics, "$.metrics", "campaign_wall_s", dict)
+    path = "$.metrics.campaign_wall_s"
+    _check_environment(wall.get("environment"), f"{path}.environment")
+    _require_number(wall, path, "cold_s")
+    _require_number(wall, path, "warm_s")
+    _require(wall, path, "runs", int)
+    if wall["runs"] < 1:
+        _fail(f"{path}.runs", "must be >= 1")
+
+    serve = _require(metrics, "$.metrics", "service_latency_s", dict)
+    path = "$.metrics.service_latency_s"
+    _check_environment(serve.get("environment"), f"{path}.environment")
+    _require(serve, path, "jobs", int)
+    if serve["jobs"] < 1:
+        _fail(f"{path}.jobs", "must be >= 1")
+    for key in ("p50", "p99"):
+        _require_number(serve, path, key)
+    _require_number(serve, path, "throughput_jps")

@@ -100,6 +100,29 @@ class CounterBoard:
         cur.busy_time += active_cores * dt
         cur.idle_time += max(participating - active_cores, 0) * dt
 
+    def step_scalars(
+        self,
+        dt: float,
+        mean_sat: float,
+        max_sat: float,
+        active_cores: int,
+        participating: int,
+    ) -> None:
+        """Integrate one step from precomputed saturation scalars.
+
+        The incremental engine caches ``float(sat.mean())`` and
+        ``float(sat.max())`` across steps whose saturation vector did not
+        change; the accumulation below is expression-for-expression the
+        same as :meth:`step`, so the two entry points are bit-identical.
+        """
+        cur = self._current
+        if not self.enabled or cur is None or dt <= 0:
+            return
+        cur.sat_time_integral += mean_sat * dt
+        cur.peak_saturation = max(cur.peak_saturation, max_sat)
+        cur.busy_time += active_cores * dt
+        cur.idle_time += max(participating - active_cores, 0) * dt
+
     def add_chunk_traffic(self, bytes_total: float, bytes_remote: float) -> None:
         cur = self._current
         if not self.enabled or cur is None:

@@ -24,7 +24,9 @@ environment:
 * ``REPRO_FULL=1`` — force the paper-scale defaults, overriding
   ``REPRO_SEEDS``/``REPRO_ITERS``;
 * ``REPRO_JOBS`` — worker processes (default 1 = in-process);
-* ``REPRO_CACHE_DIR`` — persistent run-cache directory (default: none).
+* ``REPRO_CACHE_DIR`` — persistent run-cache directory (default: none);
+* ``REPRO_ENGINE`` — slowdown recompute engine (``reference`` |
+  ``incremental``); orthogonal to scale, results are byte-identical.
 """
 
 from __future__ import annotations
@@ -42,6 +44,7 @@ from repro.exp.cache import ResultCache, run_key, topology_fingerprint
 from repro.exp.journal import CampaignJournal
 from repro.exp.stats import Summary, summarize
 from repro.interference.noise import NoiseParams
+from repro.runtime.context import ENGINES
 from repro.runtime.results import AppRunResult
 from repro.runtime.runtime import OpenMPRuntime
 from repro.sim.rng import spawn_key
@@ -86,6 +89,13 @@ class ExperimentConfig:
     with_noise: bool = True
     jobs: int = 1
     cache_dir: str | None = None
+    engine: str = "reference"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ExperimentError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
 
     @staticmethod
     def from_env(*, default_seeds: int = 30) -> "ExperimentConfig":
@@ -93,14 +103,16 @@ class ExperimentConfig:
 
         Precedence: ``REPRO_FULL=1`` forces paper-parity scale (30 seeds,
         model-default timesteps) over ``REPRO_SEEDS``/``REPRO_ITERS``.
-        ``REPRO_JOBS`` and ``REPRO_CACHE_DIR`` are orthogonal to scale and
-        are honoured either way.  Later environment changes never affect a
-        config (or a :class:`Runner`) that was already constructed.
+        ``REPRO_JOBS``, ``REPRO_CACHE_DIR`` and ``REPRO_ENGINE`` are
+        orthogonal to scale and are honoured either way.  Later environment
+        changes never affect a config (or a :class:`Runner`) that was
+        already constructed.
         """
         jobs = int(os.environ.get("REPRO_JOBS", "1"))
         cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        engine = os.environ.get("REPRO_ENGINE") or "reference"
         if os.environ.get("REPRO_FULL") == "1":
-            return ExperimentConfig(jobs=jobs, cache_dir=cache_dir)
+            return ExperimentConfig(jobs=jobs, cache_dir=cache_dir, engine=engine)
         seeds = int(os.environ.get("REPRO_SEEDS", str(default_seeds)))
         iters = os.environ.get("REPRO_ITERS")
         return ExperimentConfig(
@@ -108,6 +120,7 @@ class ExperimentConfig:
             timesteps=int(iters) if iters else None,
             jobs=jobs,
             cache_dir=cache_dir,
+            engine=engine,
         )
 
 
@@ -139,6 +152,13 @@ class RunSpec:
     of the cache key when set, so leased and unleased runs of the same
     cell never collide; ``None`` leaves the key bit-identical to the
     pre-lease format.
+
+    ``engine`` selects the slowdown recompute strategy.  The engines are
+    byte-identical by contract, but a non-default engine still enters the
+    cache key (defence in depth: if the contract ever broke, a poisoned
+    cache entry could masquerade as a reference result).  ``"reference"``
+    leaves the key bit-identical to the pre-engine format, so existing
+    caches stay valid.
     """
 
     benchmark: str
@@ -148,9 +168,14 @@ class RunSpec:
     noise: NoiseParams | None
     topology: MachineTopology
     lease_bits: int | None = None
+    engine: str = "reference"
 
     def key(self, topology_fp: str | None = None) -> str:
-        params = {"lease": self.lease_bits} if self.lease_bits is not None else None
+        params: dict[str, object] = {}
+        if self.lease_bits is not None:
+            params["lease"] = self.lease_bits
+        if self.engine != "reference":
+            params["engine"] = self.engine
         return run_key(
             benchmark=self.benchmark,
             scheduler=self.scheduler,
@@ -158,7 +183,7 @@ class RunSpec:
             timesteps=self.timesteps,
             noise=self.noise,
             topology=topology_fp if topology_fp is not None else self.topology,
-            scheduler_params=params,
+            scheduler_params=params or None,
         )
 
 
@@ -192,6 +217,7 @@ def execute_spec(spec: RunSpec) -> AppRunResult:
         scheduler=_make_scheduler(spec),
         seed=spec.seed,
         noise=spec.noise,
+        engine=spec.engine,
     )
     return runtime.run_application(app)
 
@@ -282,6 +308,7 @@ class Runner:
                 timesteps=cfg.timesteps,
                 noise=noise,
                 topology=self.topology,
+                engine=cfg.engine,
             )
             for index in range(cfg.seeds)
         ]
@@ -401,6 +428,7 @@ class Runner:
                 noise=noise,
                 topology=self.topology,
                 lease_bits=lease_bits,
+                engine=cfg.engine,
             )
             for index in range(n)
         ]

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.counters.metrics import CounterBoard
+from repro.errors import SimulationError
 from repro.interference.model import InterferenceModel
 from repro.interference.noise import NoiseParams, NoiseProcess
 from repro.memory.allocator import MemoryMap
@@ -20,6 +21,7 @@ from repro.memory.cache import CacheModel
 from repro.memory.pages import DEFAULT_PAGE_BYTES
 from repro.runtime.overhead import OverheadParams
 from repro.sim.engine import Simulator
+from repro.sim.incremental import IncrementalInterference
 from repro.sim.progress import CoreStates
 from repro.sim.rng import stream
 from repro.sim.trace import Trace
@@ -27,7 +29,12 @@ from repro.topology.distances import DistanceMatrix
 from repro.topology.machine import MachineTopology
 from repro.topology.presets import default_distances
 
-__all__ = ["RunContext"]
+__all__ = ["ENGINES", "RunContext"]
+
+#: Recognised execution engines: the from-scratch reference recompute and
+#: the change-driven incremental recompute (byte-identical by contract;
+#: see repro.sim.incremental and tests/sim/test_engine_equivalence.py).
+ENGINES = ("reference", "incremental")
 
 
 @dataclass
@@ -47,6 +54,8 @@ class RunContext:
     params: OverheadParams
     noise: NoiseProcess
     seed: int
+    engine: str = "reference"
+    incremental: IncrementalInterference | None = None
     _rngs: dict[tuple[str, ...], np.random.Generator] = field(default_factory=dict)
 
     @staticmethod
@@ -61,12 +70,21 @@ class RunContext:
         trace: bool = False,
         counters: bool = True,
         page_bytes: int = DEFAULT_PAGE_BYTES,
+        engine: str = "reference",
     ) -> "RunContext":
         """Build a fresh run context for ``topology``.
 
         Distances, bandwidth and overhead parameters default to the
-        Zen 4-calibrated models; noise defaults to disabled.
+        Zen 4-calibrated models; noise defaults to disabled.  ``engine``
+        selects how per-step slowdowns are computed: ``"reference"``
+        recomputes from scratch, ``"incremental"`` refreshes only cores
+        whose node contention state changed — byte-identical outputs by
+        contract.
         """
+        if engine not in ENGINES:
+            raise SimulationError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
         distances = distances or default_distances(topology)
         bandwidth = bandwidth or BandwidthModel.from_topology(topology)
         cache = CacheModel.from_topology(topology)
@@ -90,6 +108,12 @@ class RunContext:
                 sim, states, noise_params or NoiseParams(), stream(seed, "noise")
             ),
             seed=seed,
+            engine=engine,
+            incremental=(
+                IncrementalInterference(interference, states)
+                if engine == "incremental"
+                else None
+            ),
         )
         ctx.noise.start()
         return ctx

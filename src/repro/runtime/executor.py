@@ -31,6 +31,7 @@ from repro.runtime.results import TaskloopResult
 from repro.runtime.schedulers.base import TaskloopPlan
 from repro.runtime.task import Chunk, TaskloopWork
 from repro.runtime.threads import Worker, WorkerPool
+from repro.sim.progress import EPS
 from repro.sim.trace import StealRecord, TaskloopRecord, TaskRecord
 
 __all__ = ["TaskloopExecutor"]
@@ -87,9 +88,72 @@ class TaskloopExecutor:
             pool.worker_for_core(core).queue.extend(chunks)
 
         rng = ctx.rng("runtime", "steal")
+        if ctx.engine == "incremental":
+            executed, steals_local, steals_remote = self._loop_incremental(
+                work, plan, pool, rng, ledger
+            )
+        else:
+            executed, steals_local, steals_remote = self._loop_reference(
+                work, plan, pool, rng, ledger
+            )
+
+        # taskloop barrier: all active threads synchronise
+        barrier = ctx.params.barrier_cost(plan.num_threads)
+        ledger.charge("barrier", barrier)
+        ctx.advance_serial(barrier)
+
+        elapsed = ctx.sim.now - t_start
+        counters = ctx.counters.finish(elapsed)
+        node_perf, node_busy = self._node_performance(busy_before, work_before)
+        result = TaskloopResult(
+            uid=work.uid,
+            name=work.name,
+            elapsed=elapsed,
+            num_threads=plan.num_threads,
+            node_mask_bits=plan.node_mask_bits,
+            steal_policy=plan.steal_mode,
+            overhead=ledger,
+            node_perf=node_perf,
+            node_busy=node_busy,
+            tasks_executed=executed,
+            steals_local=steals_local,
+            steals_remote=steals_remote,
+            counters=counters,
+        )
+        ctx.trace.add_taskloop(
+            TaskloopRecord(
+                taskloop=work.uid,
+                iteration=-1,
+                num_threads=plan.num_threads,
+                node_mask_bits=plan.node_mask_bits,
+                steal_policy=plan.steal_mode,
+                start=t_start,
+                end=ctx.sim.now,
+                overhead=ledger.total,
+            )
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    def _loop_reference(
+        self,
+        work: TaskloopWork,
+        plan: TaskloopPlan,
+        pool: WorkerPool,
+        rng: np.random.Generator,
+        ledger: OverheadLedger,
+    ) -> tuple[int, int, int]:
+        """The from-scratch dispatch-advance loop: the differential oracle.
+
+        Every step recomputes all slowdowns and scans every worker during
+        dispatch.  ``--engine=incremental`` (:meth:`_loop_incremental`)
+        must reproduce this loop's output bit for bit.
+        """
+        ctx = self.ctx
         executed = 0
         steals_local = 0
         steals_remote = 0
+        total_chunks = plan.total_chunks
 
         dispatched = self._dispatch_idle(work, plan, pool, rng, ledger)
         steals_local += dispatched[0]
@@ -132,43 +196,157 @@ class TaskloopExecutor:
                 dispatched = self._dispatch_idle(work, plan, pool, rng, ledger)
                 steals_local += dispatched[0]
                 steals_remote += dispatched[1]
+        return executed, steals_local, steals_remote
 
-        # taskloop barrier: all active threads synchronise
-        barrier = ctx.params.barrier_cost(plan.num_threads)
-        ledger.charge("barrier", barrier)
-        ctx.advance_serial(barrier)
+    def _loop_incremental(
+        self,
+        work: TaskloopWork,
+        plan: TaskloopPlan,
+        pool: WorkerPool,
+        rng: np.random.Generator,
+        ledger: OverheadLedger,
+    ) -> tuple[int, int, int]:
+        """The change-driven loop behind ``--engine=incremental``.
 
-        elapsed = ctx.sim.now - t_start
-        counters = ctx.counters.finish(elapsed)
-        node_perf, node_busy = self._node_performance(busy_before, work_before)
-        result = TaskloopResult(
-            uid=work.uid,
-            name=work.name,
-            elapsed=elapsed,
-            num_threads=plan.num_threads,
-            node_mask_bits=plan.node_mask_bits,
-            steal_policy=plan.steal_mode,
-            overhead=ledger,
-            node_perf=node_perf,
-            node_busy=node_busy,
-            tasks_executed=executed,
-            steals_local=steals_local,
-            steals_remote=steals_remote,
-            counters=counters,
+        Same protocol as :meth:`_loop_reference`, with three hot-path
+        substitutions that are bit-identical by construction:
+
+        * slowdowns come from the :class:`~repro.sim.incremental.
+          IncrementalInterference` cache (only dirty rows recomputed,
+          with the reference's own expressions);
+        * dispatch walks a maintained idle-core list in ascending core
+          order — the same ``acquire`` call sequence the reference's
+          full-pool scan makes, without touching active workers;
+        * completion times and the advance run maskless over all cores
+          into preallocated buffers, with idle cores parked at
+          ``rem = inf`` so every idle lane is an exact bitwise no-op of
+          the reference's masked computation.
+        """
+        ctx = self.ctx
+        states = ctx.states
+        inc = ctx.incremental
+        if inc is None:
+            raise SimulationError("incremental engine requested but not initialised")
+        sim = ctx.sim
+        events = sim.events
+        clock = sim.clock
+        counters = ctx.counters
+        sample_counters = counters.enabled
+        total_chunks = plan.total_chunks
+        num_threads = plan.num_threads
+        executed = 0
+        steals_local = 0
+        steals_remote = 0
+
+        # every participating core is idle at entry (run() checked), so the
+        # idle list starts as the pool's ascending core order
+        idle = [w.core_id for w in pool]
+        num_workers = len(idle)
+        sl, sr, idle = self._dispatch_idle_incremental(
+            work, plan, pool, rng, ledger, idle
         )
-        ctx.trace.add_taskloop(
-            TaskloopRecord(
-                taskloop=work.uid,
-                iteration=-1,
-                num_threads=plan.num_threads,
-                node_mask_bits=plan.node_mask_bits,
-                steal_policy=plan.steal_mode,
-                start=t_start,
-                end=ctx.sim.now,
-                overhead=ledger.total,
-            )
-        )
-        return result
+        steals_local += sl
+        steals_remote += sr
+        active_count = num_workers - len(idle)
+
+        num_cores = states.num_cores
+        rem = states.rem
+        ov = states.ov
+        active = states.active
+        busy_time = states.busy_time
+        work_done = states.work_done
+        # preallocated step buffers (per taskloop, not per step)
+        times = np.empty(num_cores)
+        ov_wall = np.empty(num_cores)
+        burn = np.empty(num_cores)
+        tmp = np.empty(num_cores)
+        body_wall = np.empty(num_cores)
+        prog = np.empty(num_cores)
+        before = np.empty(num_cores)
+        delta = np.empty(num_cores)
+        done = np.empty(num_cores, dtype=bool)
+        ov_small = np.empty(num_cores, dtype=bool)
+        inactive = np.empty(num_cores, dtype=bool)
+
+        # park idle cores at rem = inf: (ov + inf*s)/speed = inf reproduces
+        # the reference's inf fill without building a mask every step
+        rem[~active] = np.inf
+        try:
+            while executed < total_chunks:
+                if active_count == 0:
+                    counters.abort()
+                    raise SimulationError(
+                        f"deadlock: {total_chunks - executed} chunks of "
+                        f"{work.uid!r} remain but no core can acquire work"
+                    )
+                slowdown = inc.slowdowns()
+                if sample_counters:
+                    mean_sat, max_sat = inc.saturation_scalars()
+                speed = states.speed  # noise rebinds this array; re-read
+                # completion times: (ov + rem * s) / speed, maskless
+                np.multiply(rem, slowdown, out=times)
+                np.add(ov, times, out=times)
+                np.divide(times, speed, out=times)
+                dt_complete = float(times.min())
+                dt_event = events.next_time() - clock.now
+                dt = min(dt_complete, max(dt_event, 0.0))
+                if not math.isfinite(dt):
+                    counters.abort()
+                    raise SimulationError("no finite next step; simulation is stuck")
+                if sample_counters:
+                    counters.step_scalars(
+                        dt, mean_sat, max_sat, active_count, num_threads
+                    )
+                if dt != 0.0:
+                    # fused CoreStates.advance: expression-identical on
+                    # active lanes, exact no-op on idle lanes (ov = 0,
+                    # rem = inf, slowdown = 1)
+                    np.divide(ov, speed, out=ov_wall)
+                    np.minimum(ov_wall, dt, out=burn)
+                    np.multiply(burn, speed, out=tmp)
+                    np.subtract(ov, tmp, out=ov)
+                    np.subtract(dt, burn, out=body_wall)
+                    np.multiply(body_wall, speed, out=prog)
+                    np.divide(prog, slowdown, out=prog)
+                    before[:] = rem
+                    np.subtract(before, prog, out=tmp)
+                    np.maximum(tmp, 0.0, out=rem)
+                    np.multiply(active, dt, out=tmp)
+                    busy_time += tmp
+                    np.logical_not(active, out=inactive)
+                    # masked: idle lanes would be inf - inf; zeroed instead
+                    np.subtract(before, rem, out=delta, where=active)
+                    np.copyto(delta, 0.0, where=inactive)
+                    work_done += delta
+                    np.less_equal(rem, EPS, out=done)
+                    np.less_equal(ov, EPS, out=ov_small)
+                    done &= ov_small
+                    completed = (
+                        [int(c) for c in np.nonzero(done)[0]] if done.any() else []
+                    )
+                else:
+                    completed = []
+                clock.advance(dt)
+                sim.run_due_events()
+                for core in completed:
+                    running: _Running = states.finish(core)
+                    rem[core] = np.inf  # finish reset it to 0.0; re-park
+                    running.access.commit()
+                    executed += 1
+                    self._trace_task(running, core)
+                if completed:
+                    idle.extend(completed)
+                    idle.sort()
+                    sl, sr, idle = self._dispatch_idle_incremental(
+                        work, plan, pool, rng, ledger, idle
+                    )
+                    steals_local += sl
+                    steals_remote += sr
+                    active_count = num_workers - len(idle)
+        finally:
+            # leave idle cores exactly as the reference does (rem = 0.0)
+            rem[~states.active] = 0.0
+        return executed, steals_local, steals_remote
 
     # ------------------------------------------------------------------
     def _dispatch_idle(
@@ -205,6 +383,51 @@ class TaskloopExecutor:
                     steals_remote += 1
                 self._start_chunk(work, acq.chunk, worker, acq.overhead, acq.source, acq.victim_core)
         return steals_local, steals_remote
+
+    def _dispatch_idle_incremental(
+        self,
+        work: TaskloopWork,
+        plan: TaskloopPlan,
+        pool: WorkerPool,
+        rng: np.random.Generator,
+        ledger: OverheadLedger,
+        idle: list[int],
+    ) -> tuple[int, int, list[int]]:
+        """:meth:`_dispatch_idle` over a maintained idle-core list.
+
+        The reference scans every pool worker per pass and skips the
+        active ones; since an ``acquire`` can only activate the acquiring
+        worker (cores never turn idle mid-dispatch), iterating the sorted
+        idle list makes the *identical* sequence of ``acquire`` calls —
+        same workers, same order, same RNG draws, same ledger charges —
+        without touching the active majority.  Returns the updated list.
+        """
+        ctx = self.ctx
+        steals_local = 0
+        steals_remote = 0
+        policy = plan.policy
+        params = ctx.params
+        by_core = pool.by_core
+        progress = True
+        while progress and idle and pool.any_work():
+            progress = False
+            still_idle: list[int] = []
+            for core in idle:
+                worker = by_core[core]
+                acq = policy.acquire(worker, pool, rng, params, ledger)
+                if acq is None:
+                    still_idle.append(core)
+                    continue
+                progress = True
+                if acq.source == "steal_local":
+                    steals_local += 1
+                elif acq.source == "steal_remote":
+                    steals_remote += 1
+                self._start_chunk(
+                    work, acq.chunk, worker, acq.overhead, acq.source, acq.victim_core
+                )
+            idle = still_idle
+        return steals_local, steals_remote, idle
 
     def _start_chunk(
         self,

@@ -62,6 +62,7 @@ class OpenMPRuntime:
         noise: NoiseParams | None = None,
         trace: bool = False,
         page_bytes: int = DEFAULT_PAGE_BYTES,
+        engine: str = "reference",
     ):
         self.topology = topology
         self.scheduler = (
@@ -74,6 +75,7 @@ class OpenMPRuntime:
         self._noise = noise
         self._trace = trace
         self._page_bytes = page_bytes
+        self.engine = engine
         self.last_ctx: RunContext | None = None
 
     # ------------------------------------------------------------------
@@ -88,6 +90,7 @@ class OpenMPRuntime:
             noise_params=self._noise,
             trace=self._trace,
             page_bytes=self._page_bytes,
+            engine=self.engine,
         )
 
     def run_application(

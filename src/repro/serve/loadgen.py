@@ -49,7 +49,7 @@ from repro.serve.protocol import AdmissionRejected, JobRequest
 from repro.sim.rng import pyrandom, stream
 from repro.workloads.registry import PAPER_ORDER
 
-__all__ = ["main"]
+__all__ = ["main", "run_summary"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -253,6 +253,7 @@ async def _run(args: argparse.Namespace) -> dict:
         "latency_s": {
             "p50": percentile(lat, 50) if lat else None,
             "p95": percentile(lat, 95) if lat else None,
+            "p99": percentile(lat, 99) if lat else None,
         },
         "server": server_metrics,
     }
@@ -275,7 +276,10 @@ def _print_text(summary: dict) -> None:
         f"({summary['throughput_jps']:.2f} jobs/s)"
     )
     if lat["p50"] is not None:
-        print(f"client latency: p50 {lat['p50']*1e3:.1f} ms, p95 {lat['p95']*1e3:.1f} ms")
+        print(
+            f"client latency: p50 {lat['p50']*1e3:.1f} ms, "
+            f"p95 {lat['p95']*1e3:.1f} ms, p99 {lat['p99']*1e3:.1f} ms"
+        )
     if "faults" in summary:
         faults = summary["faults"]
         recovery = summary["server"].get("recovery", {})
@@ -313,6 +317,16 @@ def _exit_code(summary: dict) -> int:
             leaked = any(owner is not None for owner in leases.values())
         return 0 if conserved and not leaked else 1
     return 0 if summary["failed"] == 0 and conserved else 1
+
+
+def run_summary(argv: list[str] | None = None) -> dict:
+    """Run the load generator with CLI-style arguments; return its summary.
+
+    The programmatic entry point (used by the benchmark harness): same
+    flags as the CLI, no printing, no exit-code policy.
+    """
+    args = _build_parser().parse_args(argv)
+    return asyncio.run(_run(args))
 
 
 def main(argv: list[str] | None = None) -> int:

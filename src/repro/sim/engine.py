@@ -86,10 +86,18 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of :class:`Event`, stable for simultaneous events."""
+    """Min-heap of :class:`Event`, stable for simultaneous events.
+
+    The heap stores ``(time, seq, Event)`` tuples rather than the events
+    themselves: sift comparisons then run on plain tuples at C speed
+    instead of re-entering the dataclass ``__lt__`` (which builds a
+    comparison tuple per probe), and the hot-path operations below avoid
+    per-call allocation entirely — ``pop_due`` fills a caller-owned buffer
+    and ``next_time`` peeks without popping.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         # live (non-cancelled) event count, maintained incrementally so
         # __len__/is_empty are O(1) in the executor's hot loop
@@ -100,7 +108,7 @@ class EventQueue:
             raise SimulationError(f"cannot schedule event at time {time}")
         ev = Event(time=time, seq=next(self._counter), action=action, tag=tag,
                    _queue=self)
-        heapq.heappush(self._heap, ev)
+        heapq.heappush(self._heap, (ev.time, ev.seq, ev))
         self._live += 1
         return ev
 
@@ -108,8 +116,9 @@ class EventQueue:
         self._live -= 1
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
 
     @staticmethod
     def _due(time: float, now: float) -> bool:
@@ -120,21 +129,33 @@ class EventQueue:
     def next_time(self) -> float:
         """Time of the earliest pending event, ``inf`` when empty."""
         self._drop_cancelled()
-        return self._heap[0].time if self._heap else math.inf
+        return self._heap[0][0] if self._heap else math.inf
 
-    def pop_due(self, now: float) -> list[Event]:
+    def pop_due(self, now: float, out: list[Event] | None = None) -> list[Event]:
         """Pop every non-cancelled event with ``time <= now`` in order.
 
         "Due" uses a relative tolerance: timestamps within a few ulps of
         ``now`` (accumulated-float noise) count as simultaneous at any
         magnitude of simulated time.
+
+        ``out``, when given, is cleared and reused as the result list so a
+        caller polling every simulation step never churns allocations.
         """
-        due: list[Event] = []
-        while True:
-            self._drop_cancelled()
-            if not self._heap or not self._due(self._heap[0].time, now):
+        if out is None:
+            due: list[Event] = []
+        else:
+            due = out
+            due.clear()
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            ev = entry[2]
+            if ev.cancelled:
+                heapq.heappop(heap)
+                continue
+            if not self._due(entry[0], now):
                 break
-            ev = heapq.heappop(self._heap)
+            heapq.heappop(heap)
             ev._queue = None  # popped: a late cancel() must not touch _live
             self._live -= 1
             due.append(ev)
@@ -154,6 +175,10 @@ class Simulator:
         self.clock = Clock()
         self.events = EventQueue()
         self.stats: dict[str, Any] = {}
+        # reused pop_due buffer; swapped out while firing so a reentrant
+        # run_due_events (an action that advances the clock) falls back to
+        # a fresh list instead of clobbering the in-flight batch
+        self._due_buf: list[Event] | None = []
 
     @property
     def now(self) -> float:
@@ -165,10 +190,18 @@ class Simulator:
 
     def run_due_events(self) -> int:
         """Fire all events due at the current time; returns how many ran."""
-        due = self.events.pop_due(self.now)
-        for ev in due:
-            ev.action()
-        return len(due)
+        events = self.events
+        if events._live == 0:
+            return 0
+        buf = self._due_buf
+        self._due_buf = None
+        try:
+            due = events.pop_due(self.now, out=buf)
+            for ev in due:
+                ev.action()
+            return len(due)
+        finally:
+            self._due_buf = buf
 
     def bump(self, counter: str, amount: float = 1.0) -> None:
         """Increment a named statistic counter."""

@@ -70,6 +70,8 @@ class CoreStates:
         "payload",
         "busy_time",
         "work_done",
+        "track_changes",
+        "changed",
     )
 
     def __init__(self, num_cores: int, num_nodes: int, base_speed: np.ndarray | None = None):
@@ -95,6 +97,16 @@ class CoreStates:
         # for per-node performance tracing (the PTT's node statistics).
         self.busy_time = np.zeros(num_cores)
         self.work_done = np.zeros(num_cores)
+        # Change tracking for the incremental interference engine: when
+        # enabled, every start/finish records its core here.  Slowdowns
+        # depend only on (active, mem_frac, gamma, weights), all of which
+        # change exclusively through start/finish — noise changes `speed`,
+        # which affects completion times but never slowdowns — so this log
+        # is a complete dirty set for slowdown recomputation.  The consumer
+        # (repro.sim.incremental) drains it; tracking defaults to off so
+        # the reference engine is untouched.
+        self.track_changes = False
+        self.changed: list[int] = []
 
     # ------------------------------------------------------------------
     def start(
@@ -128,6 +140,8 @@ class CoreStates:
         self.gamma[core] = gamma
         self.weights[core] = w
         self.payload[core] = payload
+        if self.track_changes:
+            self.changed.append(core)
 
     def finish(self, core: int) -> Any:
         """Retire the completed task on ``core``; returns its payload."""
@@ -142,6 +156,8 @@ class CoreStates:
         self.gamma[core] = 0.0
         self.weights[core] = 0.0
         self.payload[core] = None
+        if self.track_changes:
+            self.changed.append(core)
         return payload
 
     def set_noise(self, factors: np.ndarray) -> None:

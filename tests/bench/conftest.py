@@ -1,0 +1,71 @@
+"""Fixtures for the benchmark-harness tests: canned BENCH documents."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.bench.schema import CAMPAIGNS, SCHEMA_VERSION, environment_fingerprint
+
+
+def engine_entry(events: int = 4_000, wall_s: float = 0.5, repeats: int = 3) -> dict:
+    return {
+        "events": events,
+        "wall_s": wall_s,
+        "events_per_sec": events / wall_s,
+        "repeats": repeats,
+    }
+
+
+def make_document(
+    *,
+    mode: str = "full",
+    seed: int = 0,
+    speedup: float = 4.0,
+    environment: dict | None = None,
+) -> dict:
+    """A small, fully valid BENCH document (all campaigns share shape)."""
+    env = environment or environment_fingerprint()
+    repeats = 3 if mode == "full" else 1
+    eps = {}
+    for campaign in CAMPAIGNS:
+        reference = engine_entry(repeats=repeats)
+        incremental = engine_entry(
+            events=reference["events"],
+            wall_s=reference["wall_s"] / speedup,
+            repeats=repeats,
+        )
+        eps[campaign] = {
+            "environment": copy.deepcopy(env),
+            "reference": reference,
+            "incremental": incremental,
+            "speedup": incremental["events_per_sec"]
+            / reference["events_per_sec"],
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "mode": mode,
+        "seed": seed,
+        "metrics": {
+            "events_per_sec": eps,
+            "campaign_wall_s": {
+                "environment": copy.deepcopy(env),
+                "cold_s": 2.0,
+                "warm_s": 0.25,
+                "runs": 3,
+            },
+            "service_latency_s": {
+                "environment": copy.deepcopy(env),
+                "jobs": 6,
+                "p50": 0.15,
+                "p99": 0.21,
+                "throughput_jps": 12.0,
+            },
+        },
+    }
+
+
+@pytest.fixture
+def document() -> dict:
+    return make_document()

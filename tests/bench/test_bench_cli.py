@@ -1,0 +1,111 @@
+"""Exit-code contract of ``scripts/bench.py``.
+
+0 = measured (and, with ``--compare``, within budget); 1 = regression;
+2 = malformed document or bad invocation.  The measurement itself is
+monkeypatched — these tests pin the CLI plumbing, not the campaigns.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import BenchError
+from tests.bench.conftest import make_document
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def bench_cli():
+    spec = importlib.util.spec_from_file_location(
+        "bench_cli_under_test", REPO_ROOT / "scripts" / "bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    yield module
+    sys.modules.pop(spec.name, None)
+
+
+@pytest.fixture
+def measured(bench_cli, monkeypatch):
+    """Replace the real campaigns with an instant canned measurement."""
+    doc = make_document()
+
+    def fake_run_benchmarks(*, mode, seed, log=None):
+        doc["mode"] = mode
+        doc["seed"] = seed
+        return doc
+
+    monkeypatch.setattr(bench_cli, "run_benchmarks", fake_run_benchmarks)
+    return doc
+
+
+def test_plain_run_prints_document(bench_cli, measured, capsys):
+    assert bench_cli.main([]) == 0
+    printed = json.loads(capsys.readouterr().out)
+    assert printed["mode"] == "full"
+
+
+def test_quick_flag_and_seed_reach_harness(bench_cli, measured, capsys):
+    assert bench_cli.main(["--quick", "--seed", "7"]) == 0
+    printed = json.loads(capsys.readouterr().out)
+    assert printed["mode"] == "quick" and printed["seed"] == 7
+
+
+def test_out_writes_validated_json(bench_cli, measured, tmp_path, capsys):
+    out = tmp_path / "BENCH_new.json"
+    assert bench_cli.main(["--out", str(out)]) == 0
+    on_disk = json.loads(out.read_text())
+    assert on_disk == measured
+    # --out replaces stdout dumping with a one-line confirmation
+    assert str(out) in capsys.readouterr().out
+
+
+def test_compare_within_budget_exits_zero(bench_cli, measured, tmp_path, capsys):
+    prev = tmp_path / "BENCH_prev.json"
+    prev.write_text(json.dumps(make_document()))
+    assert bench_cli.main(["--compare", str(prev)]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_compare_regression_exits_one(bench_cli, measured, tmp_path, capsys):
+    slower = make_document(speedup=1.1)  # baseline claims 4x; we measure 1.1x
+    prev = tmp_path / "BENCH_prev.json"
+    prev.write_text(json.dumps(make_document()))
+    measured["metrics"] = slower["metrics"]
+    assert bench_cli.main(["--compare", str(prev)]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_compare_missing_baseline_exits_two(bench_cli, measured, tmp_path, capsys):
+    assert bench_cli.main(["--compare", str(tmp_path / "absent.json")]) == 2
+    assert "bench:" in capsys.readouterr().err
+
+
+def test_compare_malformed_baseline_exits_two(bench_cli, measured, tmp_path):
+    prev = tmp_path / "BENCH_prev.json"
+    prev.write_text("{}")
+    assert bench_cli.main(["--compare", str(prev)]) == 2
+
+
+def test_measurement_failure_exits_two(bench_cli, monkeypatch, capsys):
+    def broken(**kwargs):
+        raise BenchError("engines diverged")
+
+    monkeypatch.setattr(bench_cli, "run_benchmarks", broken)
+    assert bench_cli.main([]) == 2
+    assert "engines diverged" in capsys.readouterr().err
+
+
+def test_bad_max_regression_exits_two(bench_cli, measured, tmp_path):
+    prev = tmp_path / "BENCH_prev.json"
+    prev.write_text(json.dumps(make_document()))
+    assert (
+        bench_cli.main(["--compare", str(prev), "--max-regression", "1.5"]) == 2
+    )

@@ -1,0 +1,167 @@
+"""Comparison-gating tests: what ``--compare`` gates, and when.
+
+The policy under test (see :mod:`repro.bench.compare`): absolute
+events/sec is gated only between documents from the same environment
+*and* the same mode; across machines or modes only the per-campaign
+incremental-over-reference speedup is gated, because that ratio is
+measured back-to-back in one process and survives machine changes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.compare import compare_documents, load_document
+from repro.errors import BenchError
+from tests.bench.conftest import make_document
+
+
+def _scale_engine(entry: dict, factor: float) -> None:
+    entry["wall_s"] /= factor
+    entry["events_per_sec"] = entry["events"] / entry["wall_s"]
+
+
+def _set_campaign_speedup(doc: dict, campaign: str, factor: float) -> None:
+    """Slow/speed the incremental engine only, moving the speedup ratio."""
+    entry = doc["metrics"]["events_per_sec"][campaign]
+    _scale_engine(entry["incremental"], factor)
+    entry["speedup"] = (
+        entry["incremental"]["events_per_sec"]
+        / entry["reference"]["events_per_sec"]
+    )
+
+
+def test_identical_documents_pass():
+    report = compare_documents(make_document(), make_document())
+    assert report.absolute_comparable
+    assert report.ok and not report.regressions
+    # same env + mode gates absolutes (2 engines x 3 campaigns) + 3 speedups
+    assert len(report.checks) == 9
+    assert report.lines()[-1].startswith("PASS")
+
+
+def test_small_noise_within_budget_passes():
+    current = make_document()
+    for campaign in ("small", "medium", "large"):
+        for engine in ("reference", "incremental"):
+            _scale_engine(
+                current["metrics"]["events_per_sec"][campaign][engine], 0.9
+            )
+    report = compare_documents(make_document(), current, max_regression=0.25)
+    assert report.ok  # -10% absolute, speedup unchanged
+
+
+def test_absolute_regression_fails_same_environment():
+    current = make_document()
+    _scale_engine(
+        current["metrics"]["events_per_sec"]["large"]["incremental"], 0.5
+    )
+    current["metrics"]["events_per_sec"]["large"]["speedup"] *= 0.5
+    report = compare_documents(make_document(), current, max_regression=0.25)
+    assert not report.ok
+    metrics = {c.metric for c in report.regressions}
+    assert "events_per_sec.large.incremental" in metrics
+    assert "events_per_sec.large.speedup" in metrics
+    assert report.lines()[-1].startswith("FAIL")
+
+
+def test_speedup_regression_fails_even_across_environments():
+    other_env = {
+        "python": "3.11.0",
+        "numpy": "1.26.0",
+        "platform": "darwin",
+        "machine": "arm64",
+        "cpu_count": 10,
+    }
+    current = make_document(environment=other_env)
+    _set_campaign_speedup(current, "large", 0.5)
+    report = compare_documents(make_document(), current)
+    assert not report.absolute_comparable
+    assert [c.metric for c in report.regressions] == [
+        "events_per_sec.large.speedup"
+    ]
+
+
+def test_absolute_drop_ignored_across_environments():
+    """CI machine 3x slower than the baseline machine: fine, as long as
+    the incremental engine keeps its edge."""
+    other_env = {
+        "python": "3.11.0",
+        "numpy": "1.26.0",
+        "platform": "darwin",
+        "machine": "arm64",
+        "cpu_count": 10,
+    }
+    current = make_document(environment=other_env)
+    for campaign in ("small", "medium", "large"):
+        for engine in ("reference", "incremental"):
+            _scale_engine(
+                current["metrics"]["events_per_sec"][campaign][engine], 1 / 3
+            )
+    report = compare_documents(make_document(), current)
+    assert not report.absolute_comparable
+    assert report.ok
+    assert len(report.checks) == 3  # speedups only
+
+
+def test_mode_mismatch_gates_ratios_only():
+    report = compare_documents(make_document(mode="full"), make_document(mode="quick"))
+    assert not report.absolute_comparable
+    assert len(report.checks) == 3
+    assert any("mode" in note for note in report.notes)
+
+
+def test_speedup_improvement_never_fails():
+    current = make_document()
+    _set_campaign_speedup(current, "large", 2.0)
+    assert compare_documents(make_document(), current).ok
+
+
+def test_invalid_budget_rejected():
+    with pytest.raises(BenchError, match="max_regression"):
+        compare_documents(make_document(), make_document(), max_regression=1.5)
+
+
+def test_invalid_document_rejected():
+    broken = make_document()
+    del broken["metrics"]["events_per_sec"]["large"]
+    with pytest.raises(BenchError):
+        compare_documents(make_document(), broken)
+    with pytest.raises(BenchError):
+        compare_documents(broken, make_document())
+
+
+def test_check_describes_change_direction():
+    report = compare_documents(make_document(), make_document())
+    for line in report.lines()[1:-1]:
+        assert "ok" in line
+
+
+# ----------------------------------------------------------------------
+# load_document
+# ----------------------------------------------------------------------
+def test_load_document_roundtrip(tmp_path, document):
+    p = tmp_path / "BENCH_x.json"
+    p.write_text(json.dumps(document))
+    assert load_document(p) == document
+
+
+def test_load_document_missing_file(tmp_path):
+    with pytest.raises(BenchError, match="cannot read"):
+        load_document(tmp_path / "absent.json")
+
+
+def test_load_document_bad_json(tmp_path):
+    p = tmp_path / "BENCH_x.json"
+    p.write_text("{not json")
+    with pytest.raises(BenchError, match="not valid JSON"):
+        load_document(p)
+
+
+def test_load_document_invalid_schema(tmp_path):
+    p = tmp_path / "BENCH_x.json"
+    p.write_text(json.dumps({"schema_version": 1}))
+    with pytest.raises(BenchError, match="invalid at"):
+        load_document(p)

@@ -1,0 +1,154 @@
+"""Schema tests: valid documents pass, every mutation fails with a path.
+
+Also the golden checks on the committed ``BENCH_6.json``: it validates
+against the current schema, its warm-cache campaign wall time does not
+exceed the cold one, and the large-campaign speedup clears the 3x bar
+this PR claims.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.schema import CAMPAIGNS, environment_fingerprint, validate
+from repro.errors import BenchError
+from tests.bench.conftest import make_document
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN = REPO_ROOT / "BENCH_6.json"
+
+
+def test_valid_document_passes(document):
+    validate(document)  # must not raise
+
+
+def test_quick_mode_document_passes():
+    validate(make_document(mode="quick"))
+
+
+def test_environment_fingerprint_is_schema_valid():
+    env = environment_fingerprint()
+    for key in ("python", "numpy", "platform", "machine"):
+        assert isinstance(env[key], str) and env[key]
+    assert isinstance(env["cpu_count"], int) and env["cpu_count"] >= 1
+
+
+@pytest.mark.parametrize(
+    "mutate, path_fragment",
+    [
+        (lambda d: d.pop("schema_version"), "$.schema_version"),
+        (lambda d: d.update(schema_version=99), "$.schema_version"),
+        (lambda d: d.update(schema_version=True), "$.schema_version"),
+        (lambda d: d.update(mode="fastest"), "$.mode"),
+        (lambda d: d.pop("seed"), "$.seed"),
+        (lambda d: d.update(seed="zero"), "$.seed"),
+        (lambda d: d.pop("metrics"), "$.metrics"),
+        (
+            lambda d: d["metrics"].pop("events_per_sec"),
+            "$.metrics.events_per_sec",
+        ),
+        (
+            lambda d: d["metrics"]["events_per_sec"].pop("large"),
+            "$.metrics.events_per_sec.large",
+        ),
+        (
+            lambda d: d["metrics"]["events_per_sec"]["small"].pop("environment"),
+            "$.metrics.events_per_sec.small.environment",
+        ),
+        (
+            lambda d: d["metrics"]["events_per_sec"]["small"]["environment"].pop(
+                "numpy"
+            ),
+            "$.metrics.events_per_sec.small.environment.numpy",
+        ),
+        (
+            lambda d: d["metrics"]["events_per_sec"]["medium"].pop("incremental"),
+            "$.metrics.events_per_sec.medium.incremental",
+        ),
+        (
+            lambda d: d["metrics"]["events_per_sec"]["medium"]["reference"].update(
+                events=0
+            ),
+            "$.metrics.events_per_sec.medium.reference.events",
+        ),
+        (
+            lambda d: d["metrics"]["events_per_sec"]["medium"]["reference"].update(
+                wall_s=-1.0
+            ),
+            "$.metrics.events_per_sec.medium.reference.wall_s",
+        ),
+        (
+            lambda d: d["metrics"]["events_per_sec"]["medium"]["incremental"].update(
+                repeats=0
+            ),
+            "$.metrics.events_per_sec.medium.incremental.repeats",
+        ),
+        (
+            lambda d: d["metrics"]["events_per_sec"]["large"].update(speedup=-0.5),
+            "$.metrics.events_per_sec.large.speedup",
+        ),
+        (
+            lambda d: d["metrics"]["campaign_wall_s"].pop("warm_s"),
+            "$.metrics.campaign_wall_s.warm_s",
+        ),
+        (
+            lambda d: d["metrics"]["campaign_wall_s"].update(runs=0),
+            "$.metrics.campaign_wall_s.runs",
+        ),
+        (
+            lambda d: d["metrics"]["service_latency_s"].update(jobs=0),
+            "$.metrics.service_latency_s.jobs",
+        ),
+        (
+            lambda d: d["metrics"]["service_latency_s"].pop("p99"),
+            "$.metrics.service_latency_s.p99",
+        ),
+        (
+            lambda d: d["metrics"]["service_latency_s"].update(p50="fast"),
+            "$.metrics.service_latency_s.p50",
+        ),
+    ],
+)
+def test_mutated_document_fails_with_path(document, mutate, path_fragment):
+    mutate(document)
+    with pytest.raises(BenchError) as excinfo:
+        validate(document)
+    assert path_fragment in str(excinfo.value)
+
+
+def test_non_dict_document_rejected():
+    with pytest.raises(BenchError, match="JSON object"):
+        validate([1, 2, 3])
+
+
+# ----------------------------------------------------------------------
+# golden: the committed BENCH_6.json
+# ----------------------------------------------------------------------
+def test_committed_document_validates():
+    doc = json.loads(GOLDEN.read_text())
+    validate(doc)
+    assert doc["mode"] == "full"
+
+
+def test_committed_warm_cache_not_slower_than_cold():
+    doc = json.loads(GOLDEN.read_text())
+    wall = doc["metrics"]["campaign_wall_s"]
+    assert wall["warm_s"] <= wall["cold_s"]
+
+
+def test_committed_large_speedup_clears_three_x():
+    doc = json.loads(GOLDEN.read_text())
+    eps = doc["metrics"]["events_per_sec"]
+    assert eps["large"]["speedup"] >= 3.0
+    # speedup is derived, not free-floating: it must match the recorded
+    # per-engine throughputs
+    for campaign in CAMPAIGNS:
+        entry = eps[campaign]
+        derived = (
+            entry["incremental"]["events_per_sec"]
+            / entry["reference"]["events_per_sec"]
+        )
+        assert entry["speedup"] == pytest.approx(derived, rel=1e-9)

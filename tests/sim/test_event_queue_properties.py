@@ -1,0 +1,202 @@
+"""Property tests for the allocation-free :class:`EventQueue`.
+
+The queue was rebuilt for the incremental engine's hot loop: tuple-keyed
+heap entries, an incrementally maintained live count, a caller-owned
+``pop_due`` output buffer.  These properties pin the behaviours the
+executor leans on, checked against random interleavings of schedule /
+cancel / pop and against a naive sorted-list model:
+
+* the internal heap invariant survives any operation sequence;
+* ``pop_due`` applies the relative due tolerance, so events a few ulps
+  past ``now`` still fire even when the clock is enormous;
+* ``len`` always equals the number of live (scheduled, not yet popped,
+  not cancelled) events, including cancels that land after a pop;
+* the ``out=`` buffer is reused, cleared, and gives the same answer as
+  the allocating form.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import DUE_ABS_TOL, DUE_REL_TOL, EventQueue
+
+
+def assert_heap_invariant(queue: EventQueue) -> None:
+    heap = queue._heap
+    for i in range(1, len(heap)):
+        parent = (i - 1) // 2
+        assert heap[parent][:2] <= heap[i][:2]
+
+
+# One operation = (kind, payload); payloads index into whatever events
+# currently exist, modulo, so every generated program is valid.
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("schedule"),
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        ),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=1_000)),
+        st.tuples(
+            st.just("pop"),
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        ),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops_strategy)
+def test_queue_matches_sorted_list_model(ops):
+    """Random schedule/cancel/pop interleavings against a naive model.
+
+    The model keeps a sorted list of live (time, seq) pairs; cancel marks,
+    pop removes everything due.  After every operation the queue's length,
+    emptiness, next_time and pop results must match the model exactly, and
+    the underlying heap must still be a heap.
+    """
+    queue = EventQueue()
+    model: list[tuple[float, int]] = []  # live events, kept sorted
+    handles: dict[int, object] = {}  # seq -> Event, everything ever scheduled
+    live_seqs: set[int] = set()
+    now = 0.0
+
+    for kind, arg in ops:
+        if kind == "schedule":
+            ev = queue.schedule(arg, lambda: None, tag=f"t{arg}")
+            model.append((ev.time, ev.seq))
+            model.sort()
+            handles[ev.seq] = ev
+            live_seqs.add(ev.seq)
+        elif kind == "cancel":
+            if handles:
+                seq = sorted(handles)[arg % len(handles)]
+                handles[seq].cancel()
+                # cancelling twice, or after a pop, must be a no-op
+                handles[seq].cancel()
+                if seq in live_seqs:
+                    live_seqs.discard(seq)
+                    model.remove(next(m for m in model if m[1] == seq))
+        else:  # pop
+            now = max(now, arg)  # the simulation clock is monotonic
+            popped = queue.pop_due(now)
+            due = [
+                m
+                for m in model
+                if m[0] <= now
+                or math.isclose(m[0], now, rel_tol=DUE_REL_TOL, abs_tol=DUE_ABS_TOL)
+            ]
+            assert [(ev.time, ev.seq) for ev in popped] == due
+            model = model[len(due):]
+            for ev in popped:
+                live_seqs.discard(ev.seq)
+
+        assert len(queue) == len(model) == len(live_seqs)
+        assert queue.is_empty() == (not model)
+        expected_next = model[0][0] if model else math.inf
+        assert queue.next_time() == expected_next
+        assert_heap_invariant(queue)
+
+    # drain: everything still live comes out in (time, seq) order
+    remaining = queue.pop_due(math.floor(1e9))
+    assert [(ev.time, ev.seq) for ev in remaining] == model
+    assert queue.is_empty() and len(queue) == 0
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    now=st.floats(min_value=1.0, max_value=1e12, allow_nan=False),
+    ulps=st.integers(min_value=0, max_value=4),
+    order=st.permutations(range(4)),
+)
+def test_pop_due_relative_tolerance_at_large_now(now, ulps, order):
+    """An event a few ulps *after* ``now`` is still due, at any magnitude.
+
+    This is the PR 3 bug the tolerance exists for: timestamps computed by
+    different float accumulation orders disagree in the last bits, and an
+    absolute epsilon stops resolving that once the clock passes ~0.01 s.
+    """
+    t = now
+    for _ in range(ulps):
+        t = math.nextafter(t, math.inf)
+    queue = EventQueue()
+    for i in order:  # insertion order must not affect due-ness
+        queue.schedule(t, lambda: None, tag=str(i))
+    assert math.isclose(t, now, rel_tol=DUE_REL_TOL, abs_tol=DUE_ABS_TOL)
+    popped = queue.pop_due(now)
+    assert len(popped) == 4
+    assert [ev.tag for ev in popped] == [str(i) for i in order]  # stable
+    assert queue.is_empty()
+
+    # ...but an event clearly beyond the tolerance is not due
+    queue.schedule(now * (1.0 + 1e-9), lambda: None)
+    assert queue.pop_due(now) == []
+    assert len(queue) == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        min_size=0,
+        max_size=30,
+    ),
+    cutoff=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+)
+def test_out_buffer_reuse_matches_allocating_form(times, cutoff):
+    """``pop_due(now, out=buf)`` returns ``buf`` itself, cleared of any
+    stale content, with exactly the allocating call's events."""
+    q_alloc, q_buf = EventQueue(), EventQueue()
+    for t in times:
+        q_alloc.schedule(t, lambda: None)
+        q_buf.schedule(t, lambda: None)
+    buf = ["stale", "entries"]
+    got_buf = q_buf.pop_due(cutoff, out=buf)
+    got_alloc = q_alloc.pop_due(cutoff)
+    assert got_buf is buf
+    assert [(e.time, e.seq) for e in got_buf] == [
+        (e.time, e.seq) for e in got_alloc
+    ]
+    assert len(q_buf) == len(q_alloc)
+    # the same buffer survives a second polling step, as in the hot loop
+    q_buf.schedule(cutoff, lambda: None)
+    again = q_buf.pop_due(cutoff, out=buf)
+    assert again is buf and len(again) == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    ),
+    data=st.data(),
+)
+def test_cancel_after_pop_never_corrupts_len(times, data):
+    """A handle cancelled *after* its event was popped must not decrement
+    the live count (the ``_queue = None`` hand-off in ``pop_due``)."""
+    queue = EventQueue()
+    events = [queue.schedule(t, lambda: None) for t in times]
+    cutoff = data.draw(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+    )
+    popped = queue.pop_due(cutoff)
+    survivors = len(events) - len(popped)
+    assert len(queue) == survivors
+    for ev in popped:
+        ev.cancel()  # late cancel: already delivered, must be a no-op
+        ev.cancel()
+    assert len(queue) == survivors
+    assert_heap_invariant(queue)
+    # cancelled-in-heap events are lazily dropped, never delivered
+    for ev in list(queue._heap):
+        ev[2].cancel()
+    assert queue.pop_due(math.inf) == []
+    assert queue.is_empty()
