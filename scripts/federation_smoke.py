@@ -1,0 +1,216 @@
+"""Federation smoke test: a seeded shard-kill scenario replayed twice.
+
+Runs the same federated scenario — N shards behind the consistent-hash
+router, one or more of them fated by a seeded
+:class:`~repro.serve.federation.faults.ShardFaultPlan` to die mid-run —
+twice from scratch, and asserts the recovery invariants:
+
+* at least one shard actually died (the scenario exercised the path),
+* job conservation holds on every shard:
+  ``submitted == completed + failed + active + queued + evicted``,
+* every submitted job reached a terminal state through the router
+  (orphans of the dead shards were re-admitted elsewhere),
+* zero leaked leases: after the drain no node on any shard — dead or
+  alive — has an owner,
+* per-shard strict FIFO: with one worker per shard, jobs start executing
+  in exactly the order they entered that shard's queue (migration and
+  adoption only ever touch the queue *tail*),
+* the two invocations produce byte-identical canonical reports — every
+  placement, crash point, requeue and final state is a pure function of
+  the seeds.
+
+The canonical report deliberately excludes wall-clock-dependent fields
+(latencies, throughput, uptime).  Exits non-zero on violation; CI runs
+this to keep the federated failure path exercised end-to-end.  Usage::
+
+    PYTHONPATH=src python scripts/federation_smoke.py [--shards 3] \\
+        [--jobs 18] [--fault-seed 11]
+"""
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.exp.cliopts import add_machine_argument, resolve_machine
+from repro.exp.runner import ExperimentConfig
+from repro.serve.federation import FederationRouter, ShardFaultPlan, build_shards
+from repro.serve.protocol import JobRequest
+
+
+def check(cond: bool, message: str, failures: list) -> None:
+    status = "ok" if cond else "FAIL"
+    print(f"[{status}] {message}")
+    if not cond:
+        failures.append(message)
+
+
+def _spy_on_starts(shards):
+    """Record, per shard, the order jobs start executing (acquire a lease).
+
+    The FIFO witness: with one worker per shard, the start order must be
+    exactly the local admission order (local job ids are assigned as jobs
+    enter a shard's queue, and eviction only removes the newest).
+    """
+    starts = {shard.shard_id: [] for shard in shards}
+    for shard in shards:
+        arbiter = shard.service.arbiter
+        real_acquire = arbiter.acquire
+
+        async def acquire(job_id, nodes_wanted, preferred=None,
+                          *, _sid=shard.shard_id, _real=real_acquire):
+            starts[_sid].append(job_id)
+            return await _real(job_id, nodes_wanted, preferred=preferred)
+
+        arbiter.acquire = acquire
+    return starts
+
+
+async def federation_run(args: argparse.Namespace) -> dict:
+    """One full scenario; returns a canonical (wall-clock-free) report."""
+    shards = build_shards(
+        args.shards,
+        lambda: resolve_machine(args.machine),
+        config=ExperimentConfig(seeds=1, timesteps=args.timesteps,
+                                with_noise=False, jobs=1, cache_dir=None),
+        queue_capacity=max(args.jobs, 16),
+        workers=1,  # one worker/shard keeps per-shard start order = FIFO
+    )
+    starts = _spy_on_starts(shards)
+    plan = ShardFaultPlan(args.shard_crash, seed=args.fault_seed,
+                          min_placements=2, max_placements=6)
+    router = FederationRouter(shards, seed=args.ring_seed,
+                              shard_fault_plan=plan)
+    await router.start()
+    for i in range(args.jobs):
+        await router.submit(
+            JobRequest(benchmark=args.benchmark, timesteps=args.timesteps,
+                       nodes=1, tenant=f"tenant-{i % 4}")
+        )
+    await router.drain()
+    snapshot = router.metrics_snapshot()
+
+    return {
+        "decisions": plan.decisions(),
+        "crashed": list(plan.crashed),
+        "dead": snapshot["fleet"]["dead"],
+        "alive": snapshot["fleet"]["alive"],
+        "counters": {
+            "placements": router.placements,
+            "failover_placements": router.failover_placements,
+            "shard_deaths": router.shard_deaths,
+            "requeued_jobs": router.requeued_jobs,
+            "rebalanced_tenants": router.rebalanced_tenants,
+        },
+        "job_states": snapshot["router"]["job_states"],
+        "jobs": {
+            fed_id: {
+                "tenant": job["tenant"],
+                "shard": job["shard"],
+                "placements": job["placements"],
+                "state": job["state"],
+            }
+            for fed_id, job in snapshot["jobs"].items()
+        },
+        "shard_jobs": {
+            shard_id: {
+                key: value
+                for key, value in shard["jobs"].items()
+                if key not in ("latency", "throughput_jps")  # wall-clock
+            }
+            for shard_id, shard in snapshot["shards"].items()
+        },
+        "leases": {
+            shard_id: shard["nodes"]["leases"]
+            for shard_id, shard in snapshot["shards"].items()
+        },
+        "starts": {sid: list(seq) for sid, seq in starts.items()},
+    }
+
+
+def verify(report: dict, label: str, args: argparse.Namespace,
+           failures: list) -> None:
+    check(report["counters"]["shard_deaths"] >= 1,
+          f"{label}: the seeded plan killed at least one shard "
+          f"({report['dead']})", failures)
+    check(len(report["alive"]) >= 1,
+          f"{label}: the fleet kept at least one live shard", failures)
+
+    total = {"submitted": 0, "completed": 0, "failed": 0, "evicted": 0}
+    conserved = True
+    for shard_id, jobs in sorted(report["shard_jobs"].items()):
+        if jobs["submitted"] != (jobs["completed"] + jobs["failed"]
+                                 + jobs["active"] + jobs["queued"]
+                                 + jobs["evicted"]):
+            conserved = False
+        for key in total:
+            total[key] += jobs[key]
+    check(conserved, f"{label}: per-shard conservation holds "
+          f"(submitted == completed + failed + active + queued + evicted)",
+          failures)
+
+    states = report["job_states"]
+    check(states["completed"] + states["failed"] == args.jobs,
+          f"{label}: all {args.jobs} jobs terminal through the router "
+          f"({states['completed']} completed, {states['failed']} failed)",
+          failures)
+    check(states["queued"] == states["running"] == 0,
+          f"{label}: the federation converged (nothing in flight)", failures)
+
+    moved = [j for j in report["jobs"].values() if len(j["placements"]) > 1]
+    check(len(moved) == report["counters"]["requeued_jobs"] > 0,
+          f"{label}: dead shards' jobs were re-admitted elsewhere "
+          f"({len(moved)} requeued)", failures)
+    check(all(j["shard"] not in report["dead"] for j in report["jobs"].values()),
+          f"{label}: no job ended mapped to a dead shard", failures)
+
+    leaked = [
+        (shard_id, node)
+        for shard_id, leases in report["leases"].items()
+        for node, owner in leases.items()
+        if owner is not None
+    ]
+    check(not leaked, f"{label}: zero leaked leases after drain "
+          f"(checked {len(report['leases'])} shard lease maps)", failures)
+
+    fifo = True
+    for shard_id, seq in report["starts"].items():
+        numbers = [int(job_id.split("-")[1]) for job_id in seq]
+        if numbers != sorted(numbers):
+            fifo = False
+    check(fifo, f"{label}: per-shard strict FIFO held (start order == "
+          "admission order on every shard)", failures)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--jobs", type=int, default=18)
+    parser.add_argument("--benchmark", default="matmul")
+    parser.add_argument("--timesteps", type=int, default=3)
+    parser.add_argument("--shard-crash", type=float, default=0.6)
+    parser.add_argument("--fault-seed", type=int, default=11)
+    parser.add_argument("--ring-seed", type=int, default=3)
+    add_machine_argument(parser, default="small")
+    args = parser.parse_args(argv)
+
+    failures: list = []
+    first = asyncio.run(federation_run(args))
+    verify(first, "run 1", args, failures)
+    second = asyncio.run(federation_run(args))
+    verify(second, "run 2", args, failures)
+
+    a = json.dumps(first, sort_keys=True).encode()
+    b = json.dumps(second, sort_keys=True).encode()
+    check(a == b, "the two seeded runs are byte-identical "
+          f"({len(a)} bytes of canonical report)", failures)
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print("\nfederation smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -97,9 +97,21 @@ class Module:
         return tail
 
     def in_packages(self, packages: Iterable[str]) -> bool:
-        """Whether this module lives under any ``repro.<package>``."""
+        """Whether this module lives under any ``repro.<package>``.
+
+        Entries may be dotted sub-package prefixes: ``"serve.federation"``
+        matches ``repro/serve/federation/*`` but not the rest of
+        ``repro/serve``, while a plain ``"serve"`` matches the whole
+        package, sub-packages included.
+        """
         pkg = self.repro_package
-        return pkg is not None and len(pkg) >= 1 and pkg[0] in set(packages)
+        if pkg is None or not pkg:
+            return False
+        for entry in packages:
+            prefix = tuple(entry.split("."))
+            if pkg[: len(prefix)] == prefix:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     @property

@@ -17,10 +17,14 @@ __all__ = ["Det001WallClock", "Det002AmbientRng", "Det003TimeEquality",
            "Seed001SeedlessEntryPoint"]
 
 #: Packages whose behaviour must be a pure function of (inputs, seed):
-#: the simulator core, scheduler, runtime, experiment harness, and the
+#: the simulator core, scheduler, runtime, experiment harness, the
 #: benchmark harness (whose *measurements* are wall time, but only via the
-#: explicitly annotated timer seam in repro.bench.timers).
-DETERMINISTIC_PACKAGES = ("sim", "core", "runtime", "exp", "bench")
+#: explicitly annotated timer seam in repro.bench.timers), and the
+#: federation tier (ring placement, crash schedules and migration are
+#: counted in logical placements, never seconds — a dotted entry, so the
+#: rest of ``serve`` keeps its real wall clock).
+DETERMINISTIC_PACKAGES = ("sim", "core", "runtime", "exp", "bench",
+                          "serve.federation")
 
 #: DET002/SEED001 additionally cover the serving layer: its *wall time* is
 #: real (latency measurement), but its randomness must still replay.

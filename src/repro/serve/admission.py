@@ -117,6 +117,42 @@ class AdmissionQueue(Generic[T]):
             self._all_done.set()
 
     # ------------------------------------------------------------------
+    def evict_newest(self, count: int) -> list[T]:
+        """Remove up to ``count`` items from the *tail* (the youngest).
+
+        The federation's saturation rebalance: the youngest waiting
+        items have accrued the least queue position, so moving them to
+        another shard costs the least fairness — the head of the FIFO
+        (the oldest waiter) is never touched, preserving the per-shard
+        no-starvation order for everything that stays.  Each evicted
+        item's admission is unwound (``unfinished`` decremented), as if
+        it had been taken and completed here.
+        """
+        if count < 0:
+            raise ValueError(f"cannot evict a negative count, got {count}")
+        evicted: list[T] = []
+        while self._items and len(evicted) < count:
+            evicted.append(self._items.pop())
+            self._unfinished -= 1
+        if self._unfinished == 0:
+            self._all_done.set()
+        return evicted
+
+    def clear(self) -> list[T]:
+        """Shard death: empty the queue and zero the unfinished count.
+
+        Every queued item is returned (oldest first) for the caller to
+        requeue elsewhere; in-flight accounting is forfeited — the
+        worker coroutines of a killed shard are already cancelled, so no
+        ``task_done`` is ever coming for them.
+        """
+        drained = list(self._items)
+        self._items.clear()
+        self._unfinished = 0
+        self._all_done.set()
+        return drained
+
+    # ------------------------------------------------------------------
     def start_drain(self) -> None:
         """Stop admitting; wake idle workers so they can observe the drain."""
         self._draining = True

@@ -1,0 +1,50 @@
+"""Federation tier: the scheduling service sharded across a fleet.
+
+One machine's :class:`~repro.serve.server.SchedulingService` arbitrates
+interference- and locality-aware leases; this package runs *N* of them —
+each with its own topology, arbiter, fault plan and metrics — behind a
+:class:`~repro.serve.federation.router.FederationRouter` that decides
+*which machine* a tenant's job runs on:
+
+* a seeded consistent-hash ring with virtual nodes
+  (:class:`~repro.serve.federation.ring.ConsistentHashRing`) gives every
+  tenant a deterministic shard preference order;
+* a warm-PTT affinity policy
+  (:class:`~repro.serve.federation.affinity.AffinityPolicy`) keeps a
+  tenant on the shard already holding its performance history;
+* saturation past a high-water mark sheds the youngest waiting jobs onto
+  the ring's next choice, never touching the FIFO head — the per-shard
+  strict-FIFO no-starvation invariant survives every rebalance;
+* a seeded ``shard_crash`` fault
+  (:class:`~repro.serve.federation.faults.ShardFaultPlan`) kills a whole
+  shard mid-run: its leases are reclaimed, its jobs requeue through the
+  router, and the run replays byte-identically.
+
+The wire front-end
+(:class:`~repro.serve.federation.service.FederationService`) speaks the
+existing newline-JSON protocol, so single-machine clients and the load
+generator drive a fleet unchanged.  Start one with::
+
+    python -m repro.serve.federation --shards 3 --machine small
+"""
+
+from repro.serve.federation.affinity import AffinityPolicy
+from repro.serve.federation.faults import SHARD_CRASH, ShardFaultPlan
+from repro.serve.federation.ring import ConsistentHashRing, RingError
+from repro.serve.federation.router import FederatedJob, FederationRouter
+from repro.serve.federation.service import FederationService
+from repro.serve.federation.shard import ShardHandle, build_shards, shard_fault_seed
+
+__all__ = [
+    "SHARD_CRASH",
+    "AffinityPolicy",
+    "ConsistentHashRing",
+    "FederatedJob",
+    "FederationRouter",
+    "FederationService",
+    "RingError",
+    "ShardFaultPlan",
+    "ShardHandle",
+    "build_shards",
+    "shard_fault_seed",
+]

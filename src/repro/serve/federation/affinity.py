@@ -1,0 +1,96 @@
+"""Topology-aware shard affinity: where a tenant's work should land.
+
+The ring (:mod:`repro.serve.federation.ring`) answers *"which shards may
+run this tenant, in what deterministic order"*; this module layers the
+warm-state preference on top.  Each shard-local
+:class:`~repro.serve.server.SchedulingService` learns a tenant's fastest
+NUMA node from its PTT history (``_remember_fastest_node``), so the shard
+that last ran a tenant holds its warm performance table and its
+fastest-node lease seed — re-placing the tenant there turns the next
+lease grant into a locality hit instead of a cold re-exploration.
+
+:class:`AffinityPolicy` therefore tracks a *home shard* per tenant —
+assigned at placement time, which keeps the ordering a pure function of
+the placement history (never of execution timing) — and produces the
+final placement order:
+
+1. the tenant's home shard, when it is alive and below the saturation
+   high-water mark (warm PTT beats ring order);
+2. the remaining live, unsaturated shards in ring-preference order;
+3. saturated-but-alive shards in ring-preference order (a saturated
+   shard beats a rejection).
+
+Dead shards never appear; a shard death erases every home pointing at it
+(the PTT warmth died with the shard).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["AffinityPolicy"]
+
+
+class AffinityPolicy:
+    """Warm-PTT home tracking plus the saturation-aware placement order."""
+
+    def __init__(self) -> None:
+        self._home: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def home_of(self, tenant: str) -> str | None:
+        """The shard holding the tenant's warm PTT state, if any."""
+        return self._home.get(tenant)
+
+    def note_placement(self, tenant: str, shard_id: str) -> None:
+        """The tenant was placed on ``shard_id``: its PTT warms up there."""
+        self._home[tenant] = shard_id
+
+    def forget_shard(self, shard_id: str) -> list[str]:
+        """A shard died: every tenant homed there goes cold.
+
+        Returns the affected tenants (sorted, for deterministic reports).
+        """
+        orphaned = sorted(t for t, s in self._home.items() if s == shard_id)
+        for tenant in orphaned:
+            del self._home[tenant]
+        return orphaned
+
+    def homes(self) -> dict[str, str]:
+        """Snapshot of every tenant→home assignment (JSON-able)."""
+        return dict(sorted(self._home.items()))
+
+    # ------------------------------------------------------------------
+    def order(
+        self,
+        tenant: str,
+        ring_preference: Sequence[str],
+        *,
+        alive: Iterable[str],
+        saturated: Iterable[str] = (),
+    ) -> list[str]:
+        """The placement order for one submission.
+
+        ``ring_preference`` is the ring's clockwise walk for the tenant;
+        ``alive`` filters dead shards out entirely; ``saturated`` demotes
+        shards at/over the admission high-water mark behind every
+        unsaturated one.  The home shard (when alive and unsaturated)
+        jumps to the front.
+        """
+        alive_set = set(alive)
+        saturated_set = set(saturated)
+        home = self._home.get(tenant)
+        preferred: list[str] = []
+        demoted: list[str] = []
+        if home is not None and home in alive_set and home not in saturated_set:
+            preferred.append(home)
+        for shard_id in ring_preference:
+            if shard_id not in alive_set or shard_id == home:
+                continue
+            if shard_id in saturated_set:
+                demoted.append(shard_id)
+            else:
+                preferred.append(shard_id)
+        if home is not None and home in alive_set and home in saturated_set:
+            demoted.insert(0, home)
+        return preferred + demoted

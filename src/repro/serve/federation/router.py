@@ -1,0 +1,393 @@
+"""The federation router: topology-aware placement across N shards.
+
+:class:`FederationRouter` is the tier above N in-process
+:class:`~repro.serve.server.SchedulingService` shards.  Per submission it
+
+1. computes the tenant's deterministic ring preference
+   (:class:`~repro.serve.federation.ring.ConsistentHashRing`, seeded
+   virtual nodes),
+2. re-orders it by warm-PTT affinity and saturation
+   (:class:`~repro.serve.federation.affinity.AffinityPolicy`),
+3. places the job on the first shard that admits it (failing over past
+   ``queue_full`` rejections), and
+4. applies the consequences: a seeded shard crash due at this placement
+   count kills the shard (leases reclaimed, every non-terminal job
+   requeued through the router onto the next-preferred survivor), and a
+   shard past the admission high-water mark sheds its *youngest* waiting
+   jobs onto the ring's next choice.
+
+Job identity is two-level: clients see stable federation ids
+(``fed-00001``); each placement maps the fed id to the current
+``(shard, local job id)`` pair, and migration or shard death re-points
+the mapping without the client ever noticing.  The strict-FIFO
+no-starvation invariant holds *per shard* throughout: rebalance only
+ever removes queue tails, never overtakes a head-of-line waiter.
+
+Everything the router decides is a pure function of the submission
+sequence plus the seeds — placement order, crash points and migration
+targets never consult the wall clock — which is what makes a federated
+chaos run byte-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.serve.federation.affinity import AffinityPolicy
+from repro.serve.federation.faults import SHARD_CRASH, ShardFaultPlan
+from repro.serve.federation.ring import ConsistentHashRing
+from repro.serve.federation.shard import ShardHandle
+from repro.serve.protocol import (
+    AdmissionRejected,
+    JobRequest,
+    ProtocolError,
+)
+
+__all__ = ["FederatedJob", "FederationRouter"]
+
+
+@dataclass
+class FederatedJob:
+    """Router-side record of one submission: stable id, mobile placement."""
+
+    fed_id: str
+    tenant: str
+    shard_id: str
+    local_job_id: str
+    #: Every shard that ever held the job, in placement order (the first
+    #: entry is the initial placement; later entries are migrations or
+    #: post-crash requeues).
+    placements: list[str] = field(default_factory=list)
+
+    @property
+    def migrations(self) -> int:
+        return len(self.placements) - 1
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "fed_id": self.fed_id,
+            "tenant": self.tenant,
+            "shard": self.shard_id,
+            "local_job_id": self.local_job_id,
+            "placements": list(self.placements),
+            "migrations": self.migrations,
+        }
+
+
+class FederationRouter:
+    """Consistent-hash + affinity placement over a fleet of shards."""
+
+    def __init__(
+        self,
+        shards: Sequence[ShardHandle],
+        *,
+        seed: int = 0,
+        vnodes: int = 64,
+        high_water: int | None = None,
+        shard_fault_plan: ShardFaultPlan | None = None,
+    ):
+        if not shards:
+            raise ProtocolError("a federation needs at least one shard")
+        ids = [s.shard_id for s in shards]
+        if len(set(ids)) != len(ids):
+            raise ProtocolError(f"duplicate shard ids: {ids}")
+        if high_water is not None and high_water < 1:
+            raise ProtocolError(
+                f"high_water must be a positive queue depth, got {high_water}"
+            )
+        self.shards: dict[str, ShardHandle] = {s.shard_id: s for s in shards}
+        self.ring = ConsistentHashRing(ids, seed=seed, vnodes=vnodes)
+        self.affinity = AffinityPolicy()
+        self.high_water = high_water
+        self.shard_fault_plan = shard_fault_plan
+        self.jobs: dict[str, FederatedJob] = {}
+        self._local_index: dict[tuple[str, str], str] = {}
+        self._fed_counter = 0
+        # router-level counters (the federated snapshot's `router` section)
+        self.placements = 0
+        self.failover_placements = 0
+        self.migrations = 0
+        self.shard_deaths = 0
+        self.rebalanced_tenants = 0
+        self.requeued_jobs = 0
+
+    # ------------------------------------------------------------------
+    # shard roster
+    # ------------------------------------------------------------------
+    @property
+    def live_shards(self) -> list[ShardHandle]:
+        """Alive shards in deterministic (id-sorted) order."""
+        return [self.shards[k] for k in sorted(self.shards) if self.shards[k].alive]
+
+    def _saturated_ids(self) -> set[str]:
+        if self.high_water is None:
+            return set()
+        return {s.shard_id for s in self.live_shards if s.depth >= self.high_water}
+
+    def _placement_order(self, tenant: str) -> list[ShardHandle]:
+        order = self.affinity.order(
+            tenant,
+            self.ring.preference(tenant),
+            alive={s.shard_id for s in self.live_shards},
+            saturated=self._saturated_ids(),
+        )
+        return [self.shards[sid] for sid in order]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, *, expose_shards: bool = False, host: str = "127.0.0.1") -> None:
+        """Start every shard's worker pool (and listeners when exposed)."""
+        for shard in self.live_shards:
+            await shard.start(expose=expose_shards, host=host)
+
+    async def drain(self) -> dict[str, Any]:
+        """Gracefully drain every live shard; returns the federated snapshot."""
+        for shard in self.live_shards:
+            await shard.service.drain()
+        return self.metrics_snapshot()
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    async def submit(self, request: JobRequest) -> FederatedJob:
+        """Place one tenant job on the fleet; apply any due consequences.
+
+        Raises :class:`ProtocolError` for requests no shard can ever run
+        and :class:`AdmissionRejected` when every live shard's admission
+        queue refuses the job (fleet-wide backpressure).
+        """
+        order = self._placement_order(request.tenant)
+        if not order:
+            raise AdmissionRejected(
+                "draining", "the federation has no live shards"
+            )
+        rejections: list[AdmissionRejected] = []
+        placed: ShardHandle | None = None
+        record = None
+        for rank, shard in enumerate(order):
+            try:
+                record = shard.service.submit(request)
+            except AdmissionRejected as exc:
+                rejections.append(exc)
+                continue
+            placed = shard
+            if rank > 0:
+                self.failover_placements += 1
+            break
+        if placed is None or record is None:
+            assert rejections
+            if all(exc.code == "draining" for exc in rejections):
+                raise AdmissionRejected(
+                    "draining", "every live shard is draining"
+                )
+            raise AdmissionRejected(
+                "queue_full",
+                "every live shard's admission queue is saturated "
+                f"({len(order)} shard(s) tried)",
+                depth=sum(s.depth for s in order),
+                capacity=sum(s.service.admission.capacity for s in order),
+            )
+
+        self._fed_counter += 1
+        job = FederatedJob(
+            fed_id=f"fed-{self._fed_counter:05d}",
+            tenant=request.tenant,
+            shard_id=placed.shard_id,
+            local_job_id=record.job_id,
+            placements=[placed.shard_id],
+        )
+        self.jobs[job.fed_id] = job
+        self._local_index[(placed.shard_id, record.job_id)] = job.fed_id
+        self.affinity.note_placement(request.tenant, placed.shard_id)
+        self.placements += 1
+        placed.placements += 1
+
+        await self._apply_consequences(placed)
+        return job
+
+    async def _apply_consequences(self, shard: ShardHandle) -> None:
+        """Seeded crash + saturation rebalance due after a placement.
+
+        Requeueing a crashed shard's orphans counts as placements on the
+        adopting shards, so one death can (deterministically) trigger the
+        next — the worklist runs until the fleet is quiescent.  The last
+        live shard never crashes: a federation with work in flight must
+        keep at least one machine to conserve its jobs on.
+        """
+        worklist: list[ShardHandle] = [shard]
+        while worklist:
+            current = worklist.pop(0)
+            if not current.alive:
+                continue
+            plan = self.shard_fault_plan
+            if (
+                plan is not None
+                and plan.should_crash(current.shard_id, current.placements)
+                and len(self.live_shards) > 1
+            ):
+                touched = await self._kill_shard(current)
+                worklist.extend(touched)
+        if self.high_water is not None:
+            # scan the whole fleet, not just the placed shard: an adoption
+            # burst can leave a *different* shard over the mark, and it
+            # would otherwise keep its backlog while relief shards idle
+            for candidate in self.live_shards:
+                if candidate.depth > self.high_water:
+                    self._rebalance(candidate)
+
+    # ------------------------------------------------------------------
+    # shard death
+    # ------------------------------------------------------------------
+    async def _kill_shard(self, shard: ShardHandle) -> list[ShardHandle]:
+        """Apply a due shard crash; returns the shards that adopted work."""
+        if self.shard_fault_plan is not None:
+            self.shard_fault_plan.record_crash(shard.shard_id)
+        self.shard_deaths += 1
+        orphans = await shard.kill()
+        self.ring.remove(shard.shard_id)
+        cold_tenants = set(self.affinity.forget_shard(shard.shard_id))
+        adopted: list[ShardHandle] = []
+        # requeue in fed-submission order so replays adopt identically
+        fed_order = sorted(
+            (self._local_index[(shard.shard_id, r.job_id)], r) for r in orphans
+        )
+        for fed_id, orphan in fed_order:
+            target = self._adopt(self.jobs[fed_id], orphan.request)
+            cold_tenants.add(orphan.request.tenant)
+            if target not in adopted:
+                adopted.append(target)
+        self.rebalanced_tenants += len(cold_tenants)
+        return adopted
+
+    def _adopt(self, job: FederatedJob, request: JobRequest) -> ShardHandle:
+        """Re-place one orphaned/evicted job on the best surviving shard."""
+        order = self._placement_order(request.tenant)
+        assert order, "guarded: the last live shard is never killed"
+        target = order[0]
+        record = target.service.adopt(request)
+        del self._local_index[(job.shard_id, job.local_job_id)]
+        job.shard_id = target.shard_id
+        job.local_job_id = record.job_id
+        job.placements.append(target.shard_id)
+        self._local_index[(target.shard_id, record.job_id)] = job.fed_id
+        self.affinity.note_placement(request.tenant, target.shard_id)
+        self.requeued_jobs += 1
+        target.placements += 1
+        return target
+
+    # ------------------------------------------------------------------
+    # saturation rebalance
+    # ------------------------------------------------------------------
+    def _rebalance(self, shard: ShardHandle) -> None:
+        """Shed the youngest waiting jobs of a shard over the high-water mark.
+
+        Only runs when another live shard sits *below* the mark — moving
+        saturation around the ring would be churn, not relief.  Evicted
+        jobs re-enter through the normal affinity order (minus the shard
+        they just left), so a warm tenant still lands as close to its
+        history as the fleet allows.
+        """
+        assert self.high_water is not None
+        excess = shard.depth - self.high_water
+        if excess <= 0:
+            return
+        relief = [
+            s for s in self.live_shards
+            if s.shard_id != shard.shard_id and s.depth < self.high_water
+        ]
+        if not relief:
+            return
+        evicted = shard.service.evict_queued(excess)
+        moved_tenants: set[str] = set()
+        for record in evicted:
+            fed_id = self._local_index[(shard.shard_id, record.job_id)]
+            job = self.jobs[fed_id]
+            # never bounce a job straight back: drop the source from its
+            # home so the affinity order starts at the ring's next choice
+            if self.affinity.home_of(record.request.tenant) == shard.shard_id:
+                self.affinity.note_placement(
+                    record.request.tenant,
+                    self._next_preferred(record.request.tenant, shard.shard_id),
+                )
+            self._adopt(job, record.request)
+            self.migrations += 1
+            moved_tenants.add(record.request.tenant)
+        self.rebalanced_tenants += len(moved_tenants)
+
+    def _next_preferred(self, tenant: str, excluding: str) -> str:
+        for shard_id in self.ring.preference(tenant):
+            if shard_id != excluding and self.shards[shard_id].alive:
+                return shard_id
+        return excluding  # single-shard fleet: nowhere else to point
+
+    # ------------------------------------------------------------------
+    # lookup & metrics
+    # ------------------------------------------------------------------
+    def status(self, fed_id: str) -> dict[str, Any]:
+        """The job's wire record, with federation identity spliced in."""
+        job = self.jobs.get(fed_id)
+        if job is None:
+            raise ProtocolError(f"unknown job {fed_id!r}")
+        record = self.shards[job.shard_id].service.status(job.local_job_id)
+        wire = record.to_wire()
+        wire["job_id"] = job.fed_id
+        wire["shard"] = job.shard_id
+        wire["placements"] = list(job.placements)
+        wire["migrations"] = job.migrations
+        return wire
+
+    def job_states(self) -> dict[str, int]:
+        """Fed-level state tally (the conservation the smoke asserts)."""
+        tally = {"queued": 0, "running": 0, "completed": 0, "failed": 0}
+        for job in self.jobs.values():
+            record = self.shards[job.shard_id].service.records.get(job.local_job_id)
+            if record is not None:
+                tally[record.state.value] += 1
+        return tally
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Router counters + ring + every shard's own snapshot."""
+        states = self.job_states()
+        return {
+            "router": {
+                "submitted": self._fed_counter,
+                "placements": self.placements,
+                "failover_placements": self.failover_placements,
+                "migrations": self.migrations,
+                "shard_deaths": self.shard_deaths,
+                "rebalanced_tenants": self.rebalanced_tenants,
+                "requeued_jobs": self.requeued_jobs,
+                "high_water": self.high_water,
+                "job_states": states,
+                "ring": self.ring.describe(),
+                "tenant_homes": self.affinity.homes(),
+                "shard_fault_plan": (
+                    self.shard_fault_plan.to_wire()
+                    if self.shard_fault_plan is not None
+                    else None
+                ),
+            },
+            "fleet": {
+                "shards": len(self.shards),
+                "alive": [s.shard_id for s in self.live_shards],
+                "dead": sorted(
+                    sid for sid, s in self.shards.items() if not s.alive
+                ),
+            },
+            "shards": {
+                sid: self.shards[sid].service.metrics_snapshot()
+                for sid in sorted(self.shards)
+            },
+            "jobs": {
+                fed_id: self._job_wire(job)
+                for fed_id, job in sorted(self.jobs.items())
+            },
+        }
+
+    def _job_wire(self, job: FederatedJob) -> dict[str, Any]:
+        wire = job.to_wire()
+        record = self.shards[job.shard_id].service.records.get(job.local_job_id)
+        wire["state"] = record.state.value if record is not None else None
+        return wire

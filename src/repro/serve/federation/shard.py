@@ -1,0 +1,132 @@
+"""One federation shard: a whole :class:`SchedulingService` as a unit.
+
+A shard owns everything the single-machine service owns — its *own*
+simulated topology, :class:`~repro.serve.arbiter.NodeArbiter`,
+admission queue, worker pool, metrics registry, and (optionally) its own
+seeded job-level :class:`~repro.serve.faults.FaultPlan` — plus the
+fleet-level identity and lifecycle the router needs: an id, an
+alive/dead flag, a router-side placement counter (the logical clock that
+triggers seeded shard crashes), and an optional TCP listener so the load
+generator can drive an individual shard next to the router in the same
+sweep.
+
+Per-shard fault seeds are derived from the fleet fault seed through the
+substream discipline (``stream(seed, "fed.shardseed", shard_id)``), so
+two shards never share fault decisions even though their local job ids
+(``job-00001`` …) collide.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import ServeError
+from repro.exp.runner import ExperimentConfig
+from repro.serve.faults import FaultKind, FaultPlan
+from repro.serve.protocol import JobRecord
+from repro.serve.server import SchedulingService
+from repro.sim.rng import stream
+from repro.topology.machine import MachineTopology
+
+__all__ = ["ShardHandle", "build_shards", "shard_fault_seed"]
+
+
+def shard_fault_seed(seed: int, shard_id: str) -> int:
+    """A per-shard fault-plan seed derived from the fleet seed."""
+    return int(stream(seed, "fed.shardseed", shard_id).integers(0, 2**31))
+
+
+class ShardHandle:
+    """Identity + lifecycle wrapper around one in-process service."""
+
+    def __init__(self, shard_id: str, service: SchedulingService):
+        if not shard_id:
+            raise ServeError("a shard needs a non-empty id")
+        self.shard_id = shard_id
+        self.service = service
+        self.alive = True
+        #: Router placements absorbed (initial + adopted); the logical
+        #: clock the seeded shard-crash schedule counts in.
+        self.placements = 0
+        self.host: str | None = None
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self, *, expose: bool = False, host: str = "127.0.0.1") -> None:
+        """Start the worker pool; with ``expose``, also a TCP listener."""
+        if expose:
+            self.host, self.port = await self.service.start(host, 0)
+        else:
+            self.service.start_workers()
+
+    async def kill(self) -> list[JobRecord]:
+        """Die: mark dead, hard-stop the service, return the orphans."""
+        self.alive = False
+        return await self.service.kill()
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Jobs admitted here but not yet taken by a worker."""
+        return self.service.admission.depth
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "shard_id": self.shard_id,
+            "alive": self.alive,
+            "machine": self.service.topology.describe(),
+            "placements": self.placements,
+            "queue_depth": self.depth,
+            "endpoint": (
+                f"{self.host}:{self.port}" if self.port is not None else None
+            ),
+        }
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"ShardHandle({self.shard_id!r}, {state}, placements={self.placements})"
+
+
+def build_shards(
+    count: int,
+    topology_factory: Callable[[], MachineTopology],
+    *,
+    config: ExperimentConfig | None = None,
+    queue_capacity: int = 16,
+    workers: int | None = None,
+    max_attempts: int = 3,
+    default_deadline_s: float | None = None,
+    fault_probabilities: Mapping[FaultKind | str, float] | None = None,
+    fault_seed: int = 0,
+    fault_attempts: int = 1,
+) -> list[ShardHandle]:
+    """Construct ``count`` identical-but-independent shards.
+
+    Each shard gets a *fresh* topology from ``topology_factory`` (never a
+    shared instance — the ledgers must not alias) and, when
+    ``fault_probabilities`` is given, its own job-level
+    :class:`~repro.serve.faults.FaultPlan` seeded per shard id.
+    """
+    if count < 1:
+        raise ServeError(f"a federation needs at least one shard, got {count}")
+    shards: list[ShardHandle] = []
+    for i in range(count):
+        shard_id = f"shard-{i}"
+        plan = None
+        if fault_probabilities is not None:
+            plan = FaultPlan(
+                fault_probabilities,
+                seed=shard_fault_seed(fault_seed, shard_id),
+                fault_attempts=fault_attempts,
+            )
+        service = SchedulingService(
+            topology_factory(),
+            config=config,
+            queue_capacity=queue_capacity,
+            workers=workers,
+            fault_plan=plan,
+            max_attempts=max_attempts,
+            default_deadline_s=default_deadline_s,
+        )
+        shards.append(ShardHandle(shard_id, service))
+    return shards

@@ -60,6 +60,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7077)
     parser.add_argument(
+        "--connect",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="endpoint to drive; repeat to spread clients round-robin over "
+        "several servers (or federation routers); overrides --host/--port",
+    )
+    parser.add_argument(
         "--self-host",
         action="store_true",
         help="start an in-process service on an ephemeral port and drive that",
@@ -104,6 +112,29 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_endpoints(args: argparse.Namespace) -> list[tuple[str, int]]:
+    """The endpoints to drive: ``--connect`` list or the single host/port."""
+    if not args.connect:
+        return [(args.host, args.port)]
+    if args.self_host:
+        raise SystemExit(
+            "--connect and --self-host are mutually exclusive: --connect "
+            "drives already-running servers, --self-host starts its own"
+        )
+    endpoints: list[tuple[str, int]] = []
+    for spec in args.connect:
+        host, sep, port_text = spec.rpartition(":")
+        if not sep or not host:
+            raise SystemExit(f"--connect wants HOST:PORT, got {spec!r}")
+        try:
+            endpoints.append((host, int(port_text)))
+        except ValueError:
+            raise SystemExit(
+                f"--connect port must be an integer, got {port_text!r}"
+            ) from None
+    return endpoints
+
+
 def _request(args: argparse.Namespace, tenant: str) -> JobRequest:
     return JobRequest(
         benchmark=args.benchmark,
@@ -138,12 +169,21 @@ async def _await_job(
     return await client.wait(job_id)
 
 
+def _record(out: dict, endpoint: str, latency: float, state: str) -> None:
+    out["latencies"].append(latency)
+    out["states"].append(state)
+    per = out["by_endpoint"][endpoint]
+    per["latencies"].append(latency)
+    per["states"].append(state)
+
+
 async def _closed_client(
     args: argparse.Namespace, host: str, port: int, tenant: str, out: dict,
     plan: FaultPlan | None,
 ) -> None:
     """One tenant: submit, wait for completion, repeat."""
     rng = pyrandom(args.seed, "serve.loadgen.retry", tenant)
+    endpoint = f"{host}:{port}"
     async with await ServiceClient.connect(host, port) as client:
         for _ in range(args.jobs_per_client):
             t0 = time.monotonic()
@@ -153,36 +193,45 @@ async def _closed_client(
                 out["rejected"].append(exc.code)
                 continue
             job = await _await_job(client, job_id, plan, out)
-            out["latencies"].append(time.monotonic() - t0)
-            out["states"].append(job["state"])
+            _record(out, endpoint, time.monotonic() - t0, job["state"])
 
 
 async def _open_loop(
-    args: argparse.Namespace, host: str, port: int, out: dict,
+    args: argparse.Namespace, endpoints: list[tuple[str, int]], out: dict,
     plan: FaultPlan | None,
 ) -> None:
-    """Poisson arrivals at --rate; completions tracked in the background."""
+    """Poisson arrivals at --rate, round-robin across the endpoints."""
     rng = stream(args.seed, "serve.loadgen", "arrivals")
     retry_rng = pyrandom(args.seed, "serve.loadgen.retry", "open")
     total = args.clients * args.jobs_per_client
     waiters: list[asyncio.Task] = []
 
-    async def _track(job_id: str, t0: float) -> None:
+    async def _track(host: str, port: int, job_id: str, t0: float) -> None:
         async with await ServiceClient.connect(host, port) as poller:
             job = await _await_job(poller, job_id, plan, out)
-            out["latencies"].append(time.monotonic() - t0)
-            out["states"].append(job["state"])
+            _record(out, f"{host}:{port}", time.monotonic() - t0, job["state"])
 
-    async with await ServiceClient.connect(host, port) as submitter:
+    submitters = [
+        await ServiceClient.connect(host, port) for host, port in endpoints
+    ]
+    try:
         for i in range(total):
             tenant = f"tenant-{i % args.clients}"
+            host, port = endpoints[i % len(endpoints)]
             try:
                 t0 = time.monotonic()
-                job_id = await _submit(submitter, args, tenant, retry_rng)
-                waiters.append(asyncio.create_task(_track(job_id, t0)))
+                job_id = await _submit(
+                    submitters[i % len(endpoints)], args, tenant, retry_rng
+                )
+                waiters.append(
+                    asyncio.create_task(_track(host, port, job_id, t0))
+                )
             except AdmissionRejected as exc:
                 out["rejected"].append(exc.code)
             await asyncio.sleep(float(rng.exponential(1.0 / args.rate)))
+    finally:
+        for submitter in submitters:
+            await submitter.close()
     if waiters:
         await asyncio.gather(*waiters)
 
@@ -206,7 +255,7 @@ def _build_plan(args: argparse.Namespace) -> FaultPlan | None:
 async def _run(args: argparse.Namespace) -> dict:
     plan = _build_plan(args)
     service = None
-    host, port = args.host, args.port
+    endpoints = _parse_endpoints(args)
     if args.self_host:
         from repro.exp.cliopts import resolve_machine
         from repro.exp.runner import ExperimentConfig
@@ -220,25 +269,37 @@ async def _run(args: argparse.Namespace) -> dict:
             max_attempts=args.max_attempts,
             default_deadline_s=args.deadline_s,
         )
-        host, port = await service.start(args.host, 0)
+        endpoints = [await service.start(args.host, 0)]
 
-    out: dict = {"latencies": [], "states": [], "rejected": [], "disconnects": 0}
+    labels = [f"{host}:{port}" for host, port in endpoints]
+    out: dict = {
+        "latencies": [],
+        "states": [],
+        "rejected": [],
+        "disconnects": 0,
+        "by_endpoint": {label: {"latencies": [], "states": []} for label in labels},
+    }
     t0 = time.monotonic()
     if args.mode == "closed":
+        # clients round-robin over the endpoints, tenant i -> endpoint i % N
         await asyncio.gather(
             *(
-                _closed_client(args, host, port, f"tenant-{i}", out, plan)
+                _closed_client(
+                    args, *endpoints[i % len(endpoints)], f"tenant-{i}", out, plan
+                )
                 for i in range(args.clients)
             )
         )
     else:
-        await _open_loop(args, host, port, out, plan)
+        await _open_loop(args, endpoints, out, plan)
     wall = time.monotonic() - t0
 
-    async with await ServiceClient.connect(host, port) as client:
-        server_metrics = await client.metrics()
+    servers: list[dict] = []
+    for host, port in endpoints:
+        async with await ServiceClient.connect(host, port) as client:
+            servers.append(await client.metrics())
     if service is not None:
-        server_metrics = await service.drain()
+        servers = [await service.drain()]
 
     lat = out["latencies"]
     summary = {
@@ -255,7 +316,12 @@ async def _run(args: argparse.Namespace) -> dict:
             "p95": percentile(lat, 95) if lat else None,
             "p99": percentile(lat, 99) if lat else None,
         },
-        "server": server_metrics,
+        "endpoints": [
+            _endpoint_summary(label, out["by_endpoint"][label]) for label in labels
+        ],
+        # back-compat: `server` stays the (first) endpoint's own snapshot
+        "server": servers[0],
+        "servers": servers,
     }
     if plan is not None:
         summary["faults"] = {
@@ -265,6 +331,20 @@ async def _run(args: argparse.Namespace) -> dict:
             "client_disconnects": out["disconnects"],
         }
     return summary
+
+
+def _endpoint_summary(label: str, per: dict) -> dict:
+    lat = per["latencies"]
+    return {
+        "endpoint": label,
+        "finished": len(lat),
+        "completed": sum(1 for s in per["states"] if s == "completed"),
+        "failed": sum(1 for s in per["states"] if s == "failed"),
+        "latency_s": {
+            "p50": percentile(lat, 50) if lat else None,
+            "p99": percentile(lat, 99) if lat else None,
+        },
+    }
 
 
 def _print_text(summary: dict) -> None:
@@ -280,6 +360,15 @@ def _print_text(summary: dict) -> None:
             f"client latency: p50 {lat['p50']*1e3:.1f} ms, "
             f"p95 {lat['p95']*1e3:.1f} ms, p99 {lat['p99']*1e3:.1f} ms"
         )
+    if len(summary["endpoints"]) > 1:
+        for ep in summary["endpoints"]:
+            ep_lat = ep["latency_s"]
+            p50 = f"{ep_lat['p50']*1e3:.1f} ms" if ep_lat["p50"] is not None else "-"
+            p99 = f"{ep_lat['p99']*1e3:.1f} ms" if ep_lat["p99"] is not None else "-"
+            print(
+                f"  {ep['endpoint']}: {ep['completed']} completed, "
+                f"{ep['failed']} failed, p50 {p50}, p99 {p99}"
+            )
     if "faults" in summary:
         faults = summary["faults"]
         recovery = summary["server"].get("recovery", {})
@@ -294,9 +383,25 @@ def _print_text(summary: dict) -> None:
             f"{recovery.get('deadline_exceeded', 0)} deadline-exceeded, "
             f"{recovery.get('leases_reclaimed', 0)} lease(s) reclaimed"
         )
-    nodes = summary["server"]["nodes"]
+    for metrics in summary["servers"]:
+        _print_server(metrics)
+
+
+def _print_server(metrics: dict) -> None:
+    if "router" in metrics:  # a federation router's aggregated snapshot
+        router = metrics["router"]
+        fleet = metrics["fleet"]
+        print(
+            f"federation totals: {router['submitted']} submitted, "
+            f"{router['job_states']['completed']} completed, "
+            f"{router['migrations']} migration(s), "
+            f"{router['shard_deaths']} shard death(s), "
+            f"{len(fleet['alive'])}/{fleet['shards']} shard(s) alive"
+        )
+        return
+    nodes = metrics["nodes"]
     print(f"server lease map at end: {nodes['leases']}")
-    jobs = summary["server"]["jobs"]
+    jobs = metrics["jobs"]
     print(
         f"server totals: {jobs['submitted']} submitted, {jobs['completed']} "
         f"completed, {jobs['rejected_total']} rejected, "
@@ -304,17 +409,43 @@ def _print_text(summary: dict) -> None:
     )
 
 
-def _exit_code(summary: dict) -> int:
-    jobs = summary["server"]["jobs"]
-    conserved = jobs["submitted"] == (
-        jobs["completed"] + jobs["failed"] + jobs["active"] + jobs["queued"]
+def _jobs_conserved(jobs: dict) -> bool:
+    return jobs["submitted"] == (
+        jobs["completed"]
+        + jobs["failed"]
+        + jobs["active"]
+        + jobs["queued"]
+        + jobs.get("evicted", 0)
     )
+
+
+def _server_conserved(metrics: dict) -> bool:
+    """Job conservation for either snapshot shape (single server / federation)."""
+    if "router" in metrics:
+        return all(
+            _jobs_conserved(shard["jobs"]) for shard in metrics["shards"].values()
+        )
+    return _jobs_conserved(metrics["jobs"])
+
+
+def _server_leaked(metrics: dict) -> bool:
+    """Any node lease still owned after drain (either snapshot shape)."""
+    if "router" in metrics:
+        return any(
+            shard["service"]["draining"]
+            and any(owner is not None for owner in shard["nodes"]["leases"].values())
+            for shard in metrics["shards"].values()
+        )
+    if not metrics["service"]["draining"]:
+        return False  # snapshot predates the drain: leases may be live
+    return any(owner is not None for owner in metrics["nodes"]["leases"].values())
+
+
+def _exit_code(summary: dict) -> int:
+    conserved = all(_server_conserved(metrics) for metrics in summary["servers"])
     if "faults" in summary:
         # under chaos, failures are expected; the recovery invariants are not
-        leaked = False
-        if summary["server"]["service"]["draining"]:  # snapshot is post-drain
-            leases = summary["server"]["nodes"]["leases"]
-            leaked = any(owner is not None for owner in leases.values())
+        leaked = any(_server_leaked(metrics) for metrics in summary["servers"])
         return 0 if conserved and not leaked else 1
     return 0 if summary["failed"] == 0 and conserved else 1
 

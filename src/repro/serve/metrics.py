@@ -120,6 +120,9 @@ class ServiceMetrics:
         self.submitted = 0
         self.completed = 0
         self.failed = 0
+        #: Jobs taken away by the federation tier (saturation rebalance or
+        #: shard death) — admitted here, finished elsewhere.
+        self.evicted = 0
         self.rejected: Counter[str] = Counter()
         # recovery counters: every fault the service absorbed
         self.retried = 0
@@ -144,6 +147,10 @@ class ServiceMetrics:
     def record_failed(self, latency: float) -> None:
         self.failed += 1
         self._latencies.add(latency)
+
+    def record_evicted(self) -> None:
+        """A job left for another shard (migration or shard death)."""
+        self.evicted += 1
 
     def record_retried(self) -> None:
         """A job was re-admitted after a transient execution error."""
@@ -197,8 +204,10 @@ class ServiceMetrics:
 
         Conservation invariant (checked by the service and chaos tests):
         every submitted job is accounted for —
-        ``submitted == completed + failed + active + queued``, with
-        rejected submissions counted separately (they were never admitted).
+        ``submitted == completed + failed + active + queued + evicted``,
+        with rejected submissions counted separately (they were never
+        admitted).  ``evicted`` is zero outside a federation: only the
+        router moves admitted jobs to another shard.
         Retries and requeues re-admit an *already submitted* job, so they
         never perturb the invariant; they are tallied under ``recovery``.
         """
@@ -215,6 +224,7 @@ class ServiceMetrics:
                 "submitted": self.submitted,
                 "completed": self.completed,
                 "failed": self.failed,
+                "evicted": self.evicted,
                 "rejected": dict(self.rejected),
                 "rejected_total": self.rejected_total,
                 "active": active,

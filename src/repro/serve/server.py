@@ -257,6 +257,81 @@ class SchedulingService:
                     "(the whole machine) to run it exclusively"
                 )
 
+    def adopt(self, request: JobRequest) -> JobRecord:
+        """Federation re-admission: accept a job evicted from another shard.
+
+        Like :meth:`submit` but routed through the recovery-re-admission
+        path, so it bypasses the capacity bound and the draining
+        rejection — the job was already admitted once (on the shard that
+        saturated or died), and the federation's conservation invariant
+        requires it to land *somewhere*.  Only the router calls this;
+        client submissions keep the full backpressure contract.
+        """
+        self._validate(request)
+        self._job_counter += 1
+        record = JobRecord(
+            job_id=f"job-{self._job_counter:05d}",
+            request=request,
+            submitted_at=self.clock(),
+        )
+        self.admission.requeue(record)
+        self.records[record.job_id] = record
+        self.metrics.record_submitted()
+        return record
+
+    def evict_queued(self, count: int) -> list[JobRecord]:
+        """Give up the ``count`` youngest *waiting* jobs (federation rebalance).
+
+        The evicted records leave this shard entirely — dropped from the
+        record table, tallied under ``evicted`` — and the caller re-admits
+        them elsewhere.  Running jobs are never evicted (their lease and
+        executor thread live here), and the FIFO head is never touched,
+        so per-shard no-starvation ordering survives the rebalance.
+        """
+        evicted = self.admission.evict_newest(count)
+        for record in evicted:
+            del self.records[record.job_id]
+            self.metrics.record_evicted()
+        return evicted
+
+    async def kill(self) -> list[JobRecord]:
+        """Shard death: stop everything, reclaim every lease, orphan all
+        non-terminal jobs.
+
+        The federation's coarse failure domain — the whole service dies
+        at once.  Worker coroutines are cancelled (their executor
+        threads, if any, are abandoned and their results dropped), every
+        lease is reclaimed back into the ledger, the admission queue is
+        emptied, and every job not yet terminal is returned for the
+        router to requeue on a surviving shard.  The dead service's
+        metrics stay readable and conservation-consistent: orphans are
+        tallied as ``evicted``.
+        """
+        for task in self._worker_tasks:
+            task.cancel()
+        if self._worker_tasks:
+            await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        self._worker_tasks.clear()
+        self.admission.clear()
+        self.admission.start_drain()  # anything submitted post-mortem bounces
+        orphans = sorted(
+            (r for r in self.records.values() if not r.state.terminal),
+            key=lambda r: r.job_id,
+        )
+        for record in orphans:
+            await self.arbiter.reclaim(record.job_id)
+            del self.records[record.job_id]
+            self.metrics.record_evicted()
+        # defensive sweep: a lease whose record already went terminal would
+        # be a bug elsewhere, but a dead shard must never pin nodes
+        for job_id in list(self.arbiter.ledger.leases()):
+            await self.arbiter.reclaim(job_id)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        return orphans
+
     def status(self, job_id: str) -> JobRecord:
         record = self.records.get(job_id)
         if record is None:

@@ -112,6 +112,19 @@ class TestPackageScoping:
         assert mod.repro_package is None
         assert not mod.in_packages(("sim",))
 
+    def test_dotted_entries_scope_to_sub_packages(self):
+        fed = Module("src/repro/serve/federation/router.py", "", ast.parse(""))
+        serve = Module("src/repro/serve/server.py", "", ast.parse(""))
+        assert fed.in_packages(("serve.federation",))
+        assert not serve.in_packages(("serve.federation",))
+        # a plain package entry still covers its sub-packages
+        assert fed.in_packages(("serve",))
+        assert serve.in_packages(("serve",))
+        # a dotted prefix must match whole components, not substrings
+        assert not Module(
+            "src/repro/serve/federation2/x.py", "", ast.parse("")
+        ).in_packages(("serve.federation",))
+
 
 class TestOutputContract:
     def test_findings_sorted_and_deduplicated(self):
