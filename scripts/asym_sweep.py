@@ -1,0 +1,146 @@
+"""Asymmetry sweep: ILAN with re-exploration vs frozen-PTT ILAN vs baselines.
+
+Runs the synthetic campaign under the two tuned asymmetry patterns —
+a persistent single-node DVFS step and transient core-offline outages —
+for every scheduler, over a fixed seed range, and emits the markdown
+section committed to EXPERIMENTS.md.  All schedulers in a given (pattern,
+seed) cell see the *same* timeline (same ``asym_seed``), so the
+comparison is fair: only the scheduling policy differs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/asym_sweep.py             # print section
+    PYTHONPATH=src python scripts/asym_sweep.py --write     # update EXPERIMENTS.md
+    PYTHONPATH=src python scripts/asym_sweep.py --seeds 4   # quicker look
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.interference.timeline import AsymmetrySpec
+from repro.ioutil import atomic_write
+from repro.runtime.runtime import OpenMPRuntime
+from repro.topology.presets import dual_socket_small
+from repro.workloads.synthetic import make_synthetic
+
+PATTERNS = {
+    # a core's DVFS governor drops one node to a deep P-state and leaves it
+    # there: the canonical persistent regime shift re-exploration targets
+    "dvfs-step": AsymmetrySpec(dvfs_interval=0.05, dvfs_duration=1000.0,
+                               dvfs_low=0.15, dvfs_high=0.2,
+                               dvfs_max_nodes=1),
+    # cores drop out for ~1s outages (hotplug, kernel isolation, crashes);
+    # up to 20% of the machine may be gone at once
+    "core-offline": AsymmetrySpec(offline_interval=0.3, offline_duration=1.0,
+                                  max_offline_fraction=0.2),
+}
+SCHEDULERS = ("baseline", "worksharing", "ilan-nomold", "ilan",
+              "ilan-adaptive")
+BEGIN = "<!-- asym-sweep:begin -->"
+END = "<!-- asym-sweep:end -->"
+
+
+def run_one(scheduler: str, spec: AsymmetrySpec, seed: int,
+            timesteps: int) -> tuple[float, int]:
+    app = make_synthetic(work_seconds=0.05, mem_frac=0.6, gamma=0.8,
+                         num_tasks=32, total_iters=128, region_mib=32,
+                         timesteps=timesteps)
+    runtime = OpenMPRuntime(dual_socket_small(), scheduler, seed=seed,
+                            asym=spec, asym_seed=100 + seed)
+    result = runtime.run_application(app)
+    reexplorations = 0
+    if hasattr(runtime.scheduler, "_controllers"):
+        reexplorations = sum(getattr(c, "reexplorations", 0)
+                             for c in runtime.scheduler._controllers.values())
+    return result.total_time, reexplorations
+
+
+def sweep(seeds: int, timesteps: int) -> str:
+    lines = [
+        BEGIN,
+        "## Asymmetry sweep — re-exploration under dynamic misbehavior",
+        "",
+        "Synthetic campaign (32 tasks, %d timesteps, dual-socket 16-core"
+        % timesteps,
+        "machine) under seeded speed-misbehavior timelines, %d seeds per"
+        % seeds,
+        "cell; every scheduler in a cell replays the *same* timeline.",
+        "`ilan` trusts its settled PTT forever; `ilan-adaptive` invalidates",
+        "and re-explores when measured times drift >30% from the table for",
+        "two consecutive settled encounters.",
+        "",
+    ]
+    summary = {}
+    for pattern, spec in PATTERNS.items():
+        lines += [
+            f"### {pattern} (`{spec.describe()}`)",
+            "",
+            "| scheduler | mean makespan [s] | vs frozen ilan |",
+            "|---|---|---|",
+        ]
+        means = {}
+        reex_total = 0
+        for scheduler in SCHEDULERS:
+            total = 0.0
+            for seed in range(seeds):
+                elapsed, reexplorations = run_one(scheduler, spec, seed,
+                                                  timesteps)
+                total += elapsed
+                if scheduler == "ilan-adaptive":
+                    reex_total += reexplorations
+            means[scheduler] = total / seeds
+            print(f"[{pattern}] {scheduler}: mean {means[scheduler]:.4f}s",
+                  file=sys.stderr)
+        frozen = means["ilan"]
+        for scheduler in SCHEDULERS:
+            gain = 100.0 * (frozen - means[scheduler]) / frozen
+            mark = " **" if scheduler == "ilan-adaptive" else " "
+            lines.append(f"| {scheduler} | {means[scheduler]:.4f} |"
+                         f"{mark}{gain:+.1f}%{mark.strip()} |")
+        gain = 100.0 * (frozen - means["ilan-adaptive"]) / frozen
+        summary[pattern] = gain
+        lines += [
+            "",
+            f"Adaptive re-exploration fired {reex_total} times across the "
+            f"{seeds} seeds and beats frozen-PTT ILAN by "
+            f"**{gain:+.1f}%** mean makespan.",
+            "",
+        ]
+    lines += [
+        "Regenerate with `PYTHONPATH=src python scripts/asym_sweep.py "
+        "--write`; `scripts/asym_smoke.py` asserts the gap in CI on "
+        "pinned seeds.",
+        END,
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=10)
+    parser.add_argument("--timesteps", type=int, default=60)
+    parser.add_argument("--write", action="store_true",
+                        help="splice the section into EXPERIMENTS.md")
+    args = parser.parse_args(argv)
+
+    section = sweep(args.seeds, args.timesteps)
+    if not args.write:
+        print(section)
+        return 0
+
+    path = Path("EXPERIMENTS.md")
+    text = path.read_text()
+    if BEGIN in text:
+        head, rest = text.split(BEGIN, 1)
+        _, tail = rest.split(END, 1)
+        text = head + section.rstrip("\n") + tail
+    else:
+        text = text.rstrip("\n") + "\n\n" + section
+    atomic_write(path, text)
+    print(f"EXPERIMENTS.md updated ({len(section.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,7 @@ Quickstart::
     print(f"speedup: {base.total_time / ilan.total_time:.3f}")
 """
 
-from repro.core import IlanNoMoldScheduler, IlanScheduler
+from repro.core import IlanAdaptiveScheduler, IlanNoMoldScheduler, IlanScheduler
 from repro.counters import CounterBoard, TaskloopCounters
 from repro.energy import EnergyModel
 from repro.errors import (
@@ -55,6 +55,7 @@ from repro.topology import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "IlanAdaptiveScheduler",
     "IlanNoMoldScheduler",
     "IlanScheduler",
     "CounterBoard",

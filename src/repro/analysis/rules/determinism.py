@@ -24,7 +24,7 @@ __all__ = ["Det001WallClock", "Det002AmbientRng", "Det003TimeEquality",
 #: counted in logical placements, never seconds — a dotted entry, so the
 #: rest of ``serve`` keeps its real wall clock).
 DETERMINISTIC_PACKAGES = ("sim", "core", "runtime", "exp", "bench",
-                          "serve.federation")
+                          "interference", "serve.federation")
 
 #: DET002/SEED001 additionally cover the serving layer: its *wall time* is
 #: real (latency measurement), but its randomness must still replay.

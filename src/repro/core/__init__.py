@@ -11,7 +11,11 @@ from repro.core.distribution import DEFAULT_STRICT_FRACTION, distribute_chunks
 from repro.core.moldability import MoldabilityController, Phase
 from repro.core.node_mask import get_numa_mask, nodes_needed, worker_cores_for_mask
 from repro.core.ptt import ExecStats, PerformanceTraceTable, TaskloopPTT
-from repro.core.scheduler import IlanNoMoldScheduler, IlanScheduler
+from repro.core.scheduler import (
+    IlanAdaptiveScheduler,
+    IlanNoMoldScheduler,
+    IlanScheduler,
+)
 from repro.core.selection import (
     SelectionResult,
     initial_threads,
@@ -33,6 +37,7 @@ __all__ = [
     "ExecStats",
     "PerformanceTraceTable",
     "TaskloopPTT",
+    "IlanAdaptiveScheduler",
     "IlanNoMoldScheduler",
     "IlanScheduler",
     "SelectionResult",

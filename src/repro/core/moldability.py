@@ -30,7 +30,7 @@ from enum import Enum
 
 from repro.core.config import StealPolicyMode, TaskloopConfig
 from repro.core.node_mask import get_numa_mask
-from repro.core.ptt import TaskloopPTT
+from repro.core.ptt import ConfigKey, TaskloopPTT
 from repro.core.selection import initial_threads, select_next_threads
 from repro.core.steal_eval import evaluate_steal_policy
 from repro.errors import ConfigurationError
@@ -73,6 +73,18 @@ class MoldabilityController:
     # the second recorded execution, the thread-count search is skipped and
     # the full machine goes straight to the steal-policy trial
     skip_search: bool = False
+    # drift-triggered re-exploration (dynamic asymmetry): once settled,
+    # compare each measured time against the PTT mean for the settled
+    # configuration; `drift_window` consecutive measurements more than
+    # `drift_threshold` (relative) away — slower *or* faster, so the
+    # machine recovering also re-learns — invalidate the table and restart
+    # the lifecycle at BOOTSTRAP.  Off by default: the stock ILAN
+    # scheduler keeps the paper's frozen-PTT behaviour.
+    reexplore: bool = False
+    drift_threshold: float = 0.3
+    drift_window: int = 2
+    drift_count: int = field(default=0, init=False)
+    reexplorations: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.allowed_nodes is not None:
@@ -91,6 +103,10 @@ class MoldabilityController:
             raise ConfigurationError(
                 f"machine size {m_max} must be a multiple of granularity {g}"
             )
+        if self.drift_threshold <= 0:
+            raise ConfigurationError("drift_threshold must be positive")
+        if self.drift_window < 1:
+            raise ConfigurationError("drift_window must be >= 1")
 
     # ------------------------------------------------------------------
     @property
@@ -165,6 +181,46 @@ class MoldabilityController:
             self.phase = Phase.BOOTSTRAP
         elif self.phase is Phase.CONFIRM:
             self.phase = Phase.TRIAL
+
+    def note_settled_time(
+        self, ptt: TaskloopPTT, key: ConfigKey, elapsed: float
+    ) -> bool:
+        """Drift check for one settled-phase measurement; True = re-explore.
+
+        Called *before* the measurement is recorded, so a drifting machine
+        cannot drag the settled mean along with it and mask its own drift.
+        When ``drift_window`` consecutive measurements deviate from the
+        PTT mean by more than ``drift_threshold`` (relative, either
+        direction), the table is invalidated and the lifecycle restarts at
+        BOOTSTRAP (the application is warm; no second WARMUP).  The
+        triggering measurement is deliberately not recorded: it describes
+        the machine the invalidation just declared dead.
+        """
+        if not self.reexplore or self.phase is not Phase.SETTLED:
+            return False
+        mean = ptt.mean_time(key)
+        if mean is None or mean <= 0:
+            return False
+        if abs(elapsed - mean) / mean > self.drift_threshold:
+            self.drift_count += 1
+            if self.drift_count >= self.drift_window:
+                self._reexplore(ptt)
+                return True
+        else:
+            self.drift_count = 0
+        return False
+
+    def _reexplore(self, ptt: TaskloopPTT) -> None:
+        """Invalidate the PTT and restart the exploration lifecycle."""
+        ptt.invalidate()
+        self.phase = Phase.BOOTSTRAP
+        self.k = 0
+        self.cur_threads = 0
+        self.best_threads = 0
+        self.settled_config = None
+        self.skip_search = False
+        self.drift_count = 0
+        self.reexplorations += 1
 
     def finish_trial(self, ptt: TaskloopPTT) -> None:
         """After the full-stealing trial: fix the final configuration."""

@@ -61,6 +61,9 @@ class TaskloopPTT:
     node_perf: np.ndarray | None = None
     executions: int = 0
     node_perf_alpha: float = 0.5
+    #: bumped by :meth:`invalidate`; lets tests and diagnostics tell a
+    #: re-learned entry from a resurrected one
+    generation: int = 0
 
     def __post_init__(self) -> None:
         if self.node_perf is None:
@@ -126,6 +129,18 @@ class TaskloopPTT:
     def mean_time(self, key: ConfigKey) -> float | None:
         stats = self.entries.get(key)
         return stats.mean if stats is not None and stats.count else None
+
+    def invalidate(self) -> None:
+        """Drop every timing entry; the machine they describe is gone.
+
+        Called by drift-triggered re-exploration (see
+        :meth:`repro.core.moldability.MoldabilityController.note_settled_time`).
+        The node-performance EMA is deliberately *kept*: it already adapts
+        exponentially and seeds the re-exploration's node choice, whereas
+        stale timing means would anchor Algorithm 1 to dead data.
+        """
+        self.entries.clear()
+        self.generation += 1
 
     def fastest_node(self) -> int:
         """Node with the best observed throughput (falls back to node 0)."""

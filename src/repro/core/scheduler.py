@@ -32,7 +32,7 @@ from repro.topology.affinity import NodeMask
 if TYPE_CHECKING:  # pragma: no cover - import for type hints only
     from repro.energy.model import EnergyModel
 
-__all__ = ["IlanScheduler", "IlanNoMoldScheduler"]
+__all__ = ["IlanScheduler", "IlanAdaptiveScheduler", "IlanNoMoldScheduler"]
 
 
 class IlanScheduler(Scheduler):
@@ -64,6 +64,11 @@ class IlanScheduler(Scheduler):
         configuration — thread counts, node masks, worker cores — stays
         inside this mask, so ILAN molds the taskloops as if the lease were
         the whole machine.  ``None`` (the default) uses all nodes.
+    reexplore / drift_threshold / drift_window:
+        Drift-triggered PTT re-exploration for dynamically asymmetric
+        machines (see :meth:`MoldabilityController.note_settled_time`).
+        Off by default — stock ILAN keeps the paper's frozen-PTT
+        behaviour; :class:`IlanAdaptiveScheduler` turns it on.
     """
 
     name = "ilan"
@@ -78,6 +83,9 @@ class IlanScheduler(Scheduler):
         objective: str = "time",
         energy_model: "EnergyModel | None" = None,
         allowed_nodes: NodeMask | None = None,
+        reexplore: bool = False,
+        drift_threshold: float = 0.3,
+        drift_window: int = 2,
     ):
         if objective not in self.OBJECTIVES:
             raise ConfigurationError(
@@ -88,6 +96,9 @@ class IlanScheduler(Scheduler):
         self.use_counters = use_counters
         self.objective = objective
         self.allowed_nodes = allowed_nodes
+        self.reexplore = reexplore
+        self.drift_threshold = drift_threshold
+        self.drift_window = drift_window
         if objective != "time" and energy_model is None:
             from repro.energy.model import EnergyModel
 
@@ -129,6 +140,9 @@ class IlanScheduler(Scheduler):
                 distances=ctx.distances,
                 granularity=g,
                 allowed_nodes=self.allowed_nodes,
+                reexplore=self.reexplore,
+                drift_threshold=self.drift_threshold,
+                drift_window=self.drift_window,
             )
             self._controllers[work.uid] = ctrl
         table = ptt_all.table(work.uid)
@@ -161,9 +175,19 @@ class IlanScheduler(Scheduler):
         cfg, phase_at_plan, recorded = self._inflight.pop(work.uid)
         ctrl = self._controllers[work.uid]
         table = self.ptt.table(work.uid)
+        cost = self._cost(result)
+        if (
+            phase_at_plan is Phase.SETTLED
+            and recorded
+            and ctrl.note_settled_time(table, cfg.key, cost)
+        ):
+            # drift tripped: the table was invalidated and the lifecycle
+            # restarted; the triggering sample describes the old machine,
+            # so it is neither recorded nor counted as an observation
+            return
         k_before = ctrl.k
         if recorded:
-            table.record(cfg.key, self._cost(result), result.node_perf)
+            table.record(cfg.key, cost, result.node_perf)
         ctrl.observe(recorded)
         if (
             self.use_counters
@@ -187,6 +211,44 @@ class IlanScheduler(Scheduler):
         if self.objective == "energy":
             return self.energy_model.taskloop_energy(result)
         return self.energy_model.taskloop_edp(result)
+
+
+class IlanAdaptiveScheduler(IlanScheduler):
+    """ILAN with drift-triggered PTT re-exploration enabled.
+
+    Identical to :class:`IlanScheduler` until a settled taskloop's
+    measured times drift beyond ``drift_threshold`` for ``drift_window``
+    consecutive encounters — then the stale PTT is invalidated and the
+    thread-count search re-runs against the machine as it now is.  This is
+    the scheduler to compare against frozen-PTT ILAN under dynamic
+    asymmetry (``--asym-spec``).
+    """
+
+    name = "ilan-adaptive"
+
+    def __init__(
+        self,
+        granularity: int | None = None,
+        strict_fraction: float = DEFAULT_STRICT_FRACTION,
+        use_counters: bool = False,
+        objective: str = "time",
+        energy_model: "EnergyModel | None" = None,
+        allowed_nodes: NodeMask | None = None,
+        reexplore: bool = True,
+        drift_threshold: float = 0.3,
+        drift_window: int = 2,
+    ):
+        super().__init__(
+            granularity=granularity,
+            strict_fraction=strict_fraction,
+            use_counters=use_counters,
+            objective=objective,
+            energy_model=energy_model,
+            allowed_nodes=allowed_nodes,
+            reexplore=reexplore,
+            drift_threshold=drift_threshold,
+            drift_window=drift_window,
+        )
 
 
 class IlanNoMoldScheduler(Scheduler):
@@ -225,4 +287,5 @@ class IlanNoMoldScheduler(Scheduler):
 
 
 register_scheduler("ilan", IlanScheduler)
+register_scheduler("ilan-adaptive", IlanAdaptiveScheduler)
 register_scheduler("ilan-nomold", IlanNoMoldScheduler)

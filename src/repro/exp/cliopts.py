@@ -86,6 +86,23 @@ def add_campaign_arguments(parser: argparse.ArgumentParser) -> argparse.Argument
         help="slowdown recompute engine (default: $REPRO_ENGINE or "
         "'reference'); 'incremental' is byte-identical and faster",
     )
+    parser.add_argument(
+        "--asym-spec",
+        metavar="SPEC",
+        default=None,
+        help="dynamic-asymmetry timeline: a preset (dvfs, throttle, "
+        "cotenant, offline, mix, harsh), 'preset:key=value,...' overrides, "
+        "or raw 'key=value,...' fields; 'none' disables (default: "
+        "$REPRO_ASYM_SPEC or no asymmetry)",
+    )
+    parser.add_argument(
+        "--asym-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="dedicated seed for the asymmetry timeline (default: "
+        "$REPRO_ASYM_SEED or derived from each run's seed)",
+    )
     return parser
 
 
@@ -183,6 +200,12 @@ def config_from_args(
         jobs=args.jobs if args.jobs is not None else env_cfg.jobs,
         cache_dir=cache_dir,
         engine=getattr(args, "engine", None) or env_cfg.engine,
+        asym_spec=getattr(args, "asym_spec", None) or env_cfg.asym_spec,
+        asym_seed=(
+            args.asym_seed
+            if getattr(args, "asym_seed", None) is not None
+            else env_cfg.asym_seed
+        ),
     )
 
 

@@ -26,7 +26,11 @@ environment:
 * ``REPRO_JOBS`` — worker processes (default 1 = in-process);
 * ``REPRO_CACHE_DIR`` — persistent run-cache directory (default: none);
 * ``REPRO_ENGINE`` — slowdown recompute engine (``reference`` |
-  ``incremental``); orthogonal to scale, results are byte-identical.
+  ``incremental``); orthogonal to scale, results are byte-identical;
+* ``REPRO_ASYM_SPEC`` — dynamic-asymmetry timeline spec (see
+  :meth:`repro.interference.AsymmetrySpec.parse`; default: disabled);
+* ``REPRO_ASYM_SEED`` — seed for the asymmetry timeline, decoupling the
+  machine's misbehaviour from the run seed (default: the run seed).
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ from repro.exp.cache import ResultCache, run_key, topology_fingerprint
 from repro.exp.journal import CampaignJournal
 from repro.exp.stats import Summary, summarize
 from repro.interference.noise import NoiseParams
+from repro.interference.timeline import AsymmetrySpec
 from repro.runtime.context import ENGINES
 from repro.runtime.results import AppRunResult
 from repro.runtime.runtime import OpenMPRuntime
@@ -90,12 +95,24 @@ class ExperimentConfig:
     jobs: int = 1
     cache_dir: str | None = None
     engine: str = "reference"
+    asym_spec: str | None = None
+    asym_seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise ExperimentError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINES}"
             )
+        if self.asym_spec is not None:
+            # fail fast on an unparsable spec, not mid-campaign
+            AsymmetrySpec.parse(self.asym_spec)
+
+    def parsed_asym(self) -> AsymmetrySpec | None:
+        """The parsed asymmetry timeline spec; ``None`` when disabled."""
+        if self.asym_spec is None:
+            return None
+        spec = AsymmetrySpec.parse(self.asym_spec)
+        return spec if spec.enabled else None
 
     @staticmethod
     def from_env(*, default_seeds: int = 30) -> "ExperimentConfig":
@@ -111,8 +128,14 @@ class ExperimentConfig:
         jobs = int(os.environ.get("REPRO_JOBS", "1"))
         cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
         engine = os.environ.get("REPRO_ENGINE") or "reference"
+        asym_spec = os.environ.get("REPRO_ASYM_SPEC") or None
+        asym_env = os.environ.get("REPRO_ASYM_SEED")
+        asym_seed = int(asym_env) if asym_env else None
         if os.environ.get("REPRO_FULL") == "1":
-            return ExperimentConfig(jobs=jobs, cache_dir=cache_dir, engine=engine)
+            return ExperimentConfig(
+                jobs=jobs, cache_dir=cache_dir, engine=engine,
+                asym_spec=asym_spec, asym_seed=asym_seed,
+            )
         seeds = int(os.environ.get("REPRO_SEEDS", str(default_seeds)))
         iters = os.environ.get("REPRO_ITERS")
         return ExperimentConfig(
@@ -121,6 +144,8 @@ class ExperimentConfig:
             jobs=jobs,
             cache_dir=cache_dir,
             engine=engine,
+            asym_spec=asym_spec,
+            asym_seed=asym_seed,
         )
 
 
@@ -159,6 +184,12 @@ class RunSpec:
     cache entry could masquerade as a reference result).  ``"reference"``
     leaves the key bit-identical to the pre-engine format, so existing
     caches stay valid.
+
+    ``asym``/``asym_seed`` attach a dynamic-asymmetry timeline to the
+    run.  An enabled spec enters the cache key in its canonical
+    ``describe()`` form (stable across parse spellings); a disabled or
+    absent one — and an unset ``asym_seed`` — leave the key bit-identical
+    to the pre-asymmetry format.
     """
 
     benchmark: str
@@ -169,6 +200,8 @@ class RunSpec:
     topology: MachineTopology
     lease_bits: int | None = None
     engine: str = "reference"
+    asym: AsymmetrySpec | None = None
+    asym_seed: int | None = None
 
     def key(self, topology_fp: str | None = None) -> str:
         params: dict[str, object] = {}
@@ -176,6 +209,10 @@ class RunSpec:
             params["lease"] = self.lease_bits
         if self.engine != "reference":
             params["engine"] = self.engine
+        if self.asym is not None and self.asym.enabled:
+            params["asym"] = self.asym.describe()
+        if self.asym_seed is not None:
+            params["asym_seed"] = self.asym_seed
         return run_key(
             benchmark=self.benchmark,
             scheduler=self.scheduler,
@@ -188,7 +225,7 @@ class RunSpec:
 
 
 #: Schedulers that understand a NUMA-node lease (``allowed_nodes``).
-LEASE_SCHEDULERS = frozenset({"ilan"})
+LEASE_SCHEDULERS = frozenset({"ilan", "ilan-adaptive"})
 
 
 def _make_scheduler(spec: RunSpec):
@@ -217,6 +254,8 @@ def execute_spec(spec: RunSpec) -> AppRunResult:
         scheduler=_make_scheduler(spec),
         seed=spec.seed,
         noise=spec.noise,
+        asym=spec.asym,
+        asym_seed=spec.asym_seed,
         engine=spec.engine,
     )
     return runtime.run_application(app)
@@ -300,6 +339,7 @@ class Runner:
         if cfg.seeds < 1:
             raise ExperimentError(f"need at least one seed, got {cfg.seeds}")
         noise = default_noise() if cfg.with_noise else None
+        asym = cfg.parsed_asym()
         return [
             RunSpec(
                 benchmark=benchmark,
@@ -309,6 +349,8 @@ class Runner:
                 noise=noise,
                 topology=self.topology,
                 engine=cfg.engine,
+                asym=asym,
+                asym_seed=cfg.asym_seed,
             )
             for index in range(cfg.seeds)
         ]
@@ -419,6 +461,7 @@ class Runner:
         if n < 1:
             raise ExperimentError(f"need at least one seed, got {n}")
         noise = default_noise() if cfg.with_noise else None
+        asym = cfg.parsed_asym()
         return [
             RunSpec(
                 benchmark=benchmark,
@@ -429,6 +472,8 @@ class Runner:
                 topology=self.topology,
                 lease_bits=lease_bits,
                 engine=cfg.engine,
+                asym=asym,
+                asym_seed=cfg.asym_seed,
             )
             for index in range(n)
         ]

@@ -32,6 +32,7 @@ from typing import Callable, Mapping
 from repro.errors import ExperimentError
 from repro.exp.stats import Summary, summarize
 from repro.interference.noise import NoiseParams
+from repro.interference.timeline import AsymmetrySpec
 from repro.runtime.runtime import OpenMPRuntime
 from repro.runtime.schedulers.base import Scheduler
 from repro.topology.machine import MachineTopology
@@ -57,13 +58,17 @@ def _run_point(
         Scheduler | str,
         MachineTopology,
         NoiseParams | None,
+        AsymmetrySpec | None,
+        int | None,
         int,
     ],
 ) -> tuple[float, float, float]:
     """One (variant, seed) run — the worker-process entry point."""
-    app_factory, sched, topo, noise, seed = args
+    app_factory, sched, topo, noise, asym, asym_seed, seed = args
     app = app_factory()
-    runtime = OpenMPRuntime(topo, scheduler=sched, seed=seed, noise=noise)
+    runtime = OpenMPRuntime(
+        topo, scheduler=sched, seed=seed, noise=noise, asym=asym, asym_seed=asym_seed
+    )
     result = runtime.run_application(app)
     return result.total_time, result.weighted_avg_threads, result.total_overhead
 
@@ -84,15 +89,19 @@ def sweep(
     seeds: int = 3,
     topology: MachineTopology | None = None,
     noise: NoiseParams | None = None,
+    asym: AsymmetrySpec | None = None,
+    asym_seed: int | None = None,
     jobs: int = 1,
 ) -> list[SweepRow]:
     """Run ``app_factory()`` under every scheduler variant.
 
     ``schedulers`` maps row labels to scheduler instances or registry
     names.  A fresh application model is built per cell so no state leaks
-    between variants.  ``jobs`` > 1 distributes the (variant, seed) runs
-    over worker processes when the factory and schedulers are picklable,
-    with identical results either way.
+    between variants.  ``asym``/``asym_seed`` inject a dynamic-asymmetry
+    timeline into every run (same timeline across variants for a fair
+    comparison).  ``jobs`` > 1 distributes the (variant, seed) runs over
+    worker processes when the factory and schedulers are picklable, with
+    identical results either way.
     """
     if seeds < 1:
         raise ExperimentError(f"need at least one seed, got {seeds}")
@@ -100,7 +109,7 @@ def sweep(
         raise ExperimentError("sweep needs at least one scheduler variant")
     topo = topology or zen4_9354()
     points = [
-        (app_factory, sched, topo, noise, seed)
+        (app_factory, sched, topo, noise, asym, asym_seed, seed)
         for sched in schedulers.values()
         for seed in range(seeds)
     ]

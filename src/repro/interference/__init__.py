@@ -1,6 +1,19 @@
-"""Interference layer: slowdown computation and external noise injection."""
+"""Interference layer: slowdown computation, external noise, and seeded
+dynamic-asymmetry timelines."""
 
 from repro.interference.model import InterferenceModel
 from repro.interference.noise import NoiseParams, NoiseProcess
+from repro.interference.timeline import (
+    ASYMMETRY_PRESETS,
+    AsymmetrySpec,
+    AsymmetryTimeline,
+)
 
-__all__ = ["InterferenceModel", "NoiseParams", "NoiseProcess"]
+__all__ = [
+    "InterferenceModel",
+    "NoiseParams",
+    "NoiseProcess",
+    "AsymmetrySpec",
+    "AsymmetryTimeline",
+    "ASYMMETRY_PRESETS",
+]

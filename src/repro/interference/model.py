@@ -58,8 +58,16 @@ class InterferenceModel:
 
     # ------------------------------------------------------------------
     def node_demand(self, states: CoreStates) -> np.ndarray:
-        """Aggregate demanded bandwidth per node, bytes/s."""
+        """Aggregate demanded bandwidth per node, bytes/s.
+
+        An offline core's task is frozen — it issues no memory traffic —
+        so offline cores are excluded from demand.  Their *slowdown* rows
+        are still computed like any active core's (they are meaningless
+        while frozen: the executor pins their completion time to ``inf``).
+        """
         a = states.active
+        if states.any_offline:
+            a = a & states.online
         if not a.any():
             return np.zeros(self._num_nodes)
         w = states.weights[a]

@@ -108,7 +108,7 @@ class NoiseProcess:
         self._apply()
 
     def _apply(self) -> None:
-        self.states.set_noise(self._factors)
+        self.states.set_speed_layer("noise", self._factors)
 
     @property
     def factors(self) -> np.ndarray:

@@ -15,6 +15,7 @@ from repro.counters.metrics import CounterBoard
 from repro.errors import SimulationError
 from repro.interference.model import InterferenceModel
 from repro.interference.noise import NoiseParams, NoiseProcess
+from repro.interference.timeline import AsymmetrySpec, AsymmetryTimeline
 from repro.memory.allocator import MemoryMap
 from repro.memory.bandwidth import BandwidthModel
 from repro.memory.cache import CacheModel
@@ -54,6 +55,7 @@ class RunContext:
     params: OverheadParams
     noise: NoiseProcess
     seed: int
+    asym: AsymmetryTimeline | None = None
     engine: str = "reference"
     incremental: IncrementalInterference | None = None
     _rngs: dict[tuple[str, ...], np.random.Generator] = field(default_factory=dict)
@@ -67,6 +69,8 @@ class RunContext:
         bandwidth: BandwidthModel | None = None,
         params: OverheadParams | None = None,
         noise_params: NoiseParams | None = None,
+        asym_params: AsymmetrySpec | None = None,
+        asym_seed: int | None = None,
         trace: bool = False,
         counters: bool = True,
         page_bytes: int = DEFAULT_PAGE_BYTES,
@@ -75,11 +79,13 @@ class RunContext:
         """Build a fresh run context for ``topology``.
 
         Distances, bandwidth and overhead parameters default to the
-        Zen 4-calibrated models; noise defaults to disabled.  ``engine``
-        selects how per-step slowdowns are computed: ``"reference"``
-        recomputes from scratch, ``"incremental"`` refreshes only cores
-        whose node contention state changed — byte-identical outputs by
-        contract.
+        Zen 4-calibrated models; noise and the asymmetry timeline default
+        to disabled (``asym_seed`` lets experiments vary the timeline
+        independently of the run seed; it defaults to ``seed``).
+        ``engine`` selects how per-step slowdowns are computed:
+        ``"reference"`` recomputes from scratch, ``"incremental"``
+        refreshes only cores whose node contention state changed —
+        byte-identical outputs by contract.
         """
         if engine not in ENGINES:
             raise SimulationError(
@@ -108,6 +114,13 @@ class RunContext:
                 sim, states, noise_params or NoiseParams(), stream(seed, "noise")
             ),
             seed=seed,
+            asym=AsymmetryTimeline(
+                sim,
+                states,
+                asym_params or AsymmetrySpec(),
+                stream(seed if asym_seed is None else asym_seed, "asym"),
+                interference.node_of_core,
+            ),
             engine=engine,
             incremental=(
                 IncrementalInterference(interference, states)
@@ -116,6 +129,8 @@ class RunContext:
             ),
         )
         ctx.noise.start()
+        assert ctx.asym is not None
+        ctx.asym.start()
         return ctx
 
     def rng(self, *names: str) -> np.random.Generator:

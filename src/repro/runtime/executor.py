@@ -163,7 +163,11 @@ class TaskloopExecutor:
         model = ctx.interference
         sample_counters = ctx.counters.enabled
         while executed < total_chunks:
-            if not states.any_active():
+            if not states.any_active() and not (
+                # offline cores with timed events pending: availability (or
+                # stealability) can still change, so wait instead of dying
+                states.any_offline and not ctx.sim.events.is_empty()
+            ):
                 ctx.counters.abort()
                 raise SimulationError(
                     f"deadlock: {total_chunks - executed} chunks of {work.uid!r} "
@@ -184,6 +188,7 @@ class TaskloopExecutor:
                 ctx.counters.step(
                     dt, saturation, int(states.active.sum()), plan.num_threads
                 )
+            online_epoch = states.online_epoch
             completed = states.advance(dt, slowdown)
             ctx.sim.clock.advance(dt)
             ctx.sim.run_due_events()
@@ -192,7 +197,10 @@ class TaskloopExecutor:
                 running.access.commit()
                 executed += 1
                 self._trace_task(running, core)
-            if completed:
+            if completed or states.online_epoch != online_epoch:
+                # cores freed by completions — or made eligible (returned
+                # online) / in need of replacement (went offline with queued
+                # work now only reachable by others) — get a dispatch pass
                 dispatched = self._dispatch_idle(work, plan, pool, rng, ledger)
                 steals_local += dispatched[0]
                 steals_remote += dispatched[1]
@@ -273,7 +281,11 @@ class TaskloopExecutor:
         rem[~active] = np.inf
         try:
             while executed < total_chunks:
-                if active_count == 0:
+                if active_count == 0 and not (
+                    # same wait condition as the reference loop: offline
+                    # cores plus pending events mean the machine can recover
+                    states.any_offline and not events.is_empty()
+                ):
                     counters.abort()
                     raise SimulationError(
                         f"deadlock: {total_chunks - executed} chunks of "
@@ -282,11 +294,19 @@ class TaskloopExecutor:
                 slowdown = inc.slowdowns()
                 if sample_counters:
                     mean_sat, max_sat = inc.saturation_scalars()
-                speed = states.speed  # noise rebinds this array; re-read
-                # completion times: (ov + rem * s) / speed, maskless
+                # noise/asymmetry rebind these arrays; re-read every step
+                speed = states.speed
+                speed_div = states.speed_div
+                any_offline = states.any_offline
+                offline = states.offline
+                # completion times: (ov + rem * s) / speed, maskless;
+                # offline lanes (speed_div = 1) are pinned to inf like the
+                # reference's completion_times
                 np.multiply(rem, slowdown, out=times)
                 np.add(ov, times, out=times)
-                np.divide(times, speed, out=times)
+                np.divide(times, speed_div, out=times)
+                if any_offline:
+                    np.copyto(times, np.inf, where=offline)
                 dt_complete = float(times.min())
                 dt_event = events.next_time() - clock.now
                 dt = min(dt_complete, max(dt_event, 0.0))
@@ -300,8 +320,11 @@ class TaskloopExecutor:
                 if dt != 0.0:
                     # fused CoreStates.advance: expression-identical on
                     # active lanes, exact no-op on idle lanes (ov = 0,
-                    # rem = inf, slowdown = 1)
-                    np.divide(ov, speed, out=ov_wall)
+                    # rem = inf, slowdown = 1) and on offline lanes (burn
+                    # covers the step at speed 0: nothing progresses)
+                    np.divide(ov, speed_div, out=ov_wall)
+                    if any_offline:
+                        np.copyto(ov_wall, np.inf, where=offline)
                     np.minimum(ov_wall, dt, out=burn)
                     np.multiply(burn, speed, out=tmp)
                     np.subtract(ov, tmp, out=ov)
@@ -326,6 +349,7 @@ class TaskloopExecutor:
                     )
                 else:
                     completed = []
+                online_epoch = states.online_epoch
                 clock.advance(dt)
                 sim.run_due_events()
                 for core in completed:
@@ -334,9 +358,10 @@ class TaskloopExecutor:
                     running.access.commit()
                     executed += 1
                     self._trace_task(running, core)
-                if completed:
-                    idle.extend(completed)
-                    idle.sort()
+                if completed or states.online_epoch != online_epoch:
+                    if completed:
+                        idle.extend(completed)
+                        idle.sort()
                     sl, sr, idle = self._dispatch_idle_incremental(
                         work, plan, pool, rng, ledger, idle
                     )
@@ -367,11 +392,14 @@ class TaskloopExecutor:
         steals_local = 0
         steals_remote = 0
         active = ctx.states.active
+        # stable within a dispatch pass: no simulated time elapses here, so
+        # no online/offline event can fire mid-scan
+        online = ctx.states.online
         progress = True
         while progress and pool.any_work():
             progress = False
             for worker in pool:
-                if active[worker.core_id]:
+                if active[worker.core_id] or not online[worker.core_id]:
                     continue
                 acq = plan.policy.acquire(worker, pool, rng, ctx.params, ledger)
                 if acq is None:
@@ -408,11 +436,17 @@ class TaskloopExecutor:
         policy = plan.policy
         params = ctx.params
         by_core = pool.by_core
+        online = ctx.states.online
         progress = True
         while progress and idle and pool.any_work():
             progress = False
             still_idle: list[int] = []
             for core in idle:
+                if not online[core]:
+                    # offline cores stay idle (and in the list) but make no
+                    # acquire call — mirroring the reference's skip
+                    still_idle.append(core)
+                    continue
                 worker = by_core[core]
                 acq = policy.acquire(worker, pool, rng, params, ledger)
                 if acq is None:

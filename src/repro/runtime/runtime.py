@@ -22,6 +22,7 @@ from typing import Iterable, Protocol
 
 from repro.errors import RuntimeModelError
 from repro.interference.noise import NoiseParams
+from repro.interference.timeline import AsymmetrySpec
 from repro.memory.bandwidth import BandwidthModel
 from repro.memory.pages import DEFAULT_PAGE_BYTES
 from repro.runtime.context import RunContext
@@ -60,6 +61,8 @@ class OpenMPRuntime:
         bandwidth: BandwidthModel | None = None,
         overhead: OverheadParams | None = None,
         noise: NoiseParams | None = None,
+        asym: AsymmetrySpec | None = None,
+        asym_seed: int | None = None,
         trace: bool = False,
         page_bytes: int = DEFAULT_PAGE_BYTES,
         engine: str = "reference",
@@ -73,6 +76,8 @@ class OpenMPRuntime:
         self._bandwidth = bandwidth
         self._overhead = overhead
         self._noise = noise
+        self._asym = asym
+        self._asym_seed = asym_seed
         self._trace = trace
         self._page_bytes = page_bytes
         self.engine = engine
@@ -88,6 +93,8 @@ class OpenMPRuntime:
             bandwidth=self._bandwidth,
             params=self._overhead,
             noise_params=self._noise,
+            asym_params=self._asym,
+            asym_seed=self._asym_seed,
             trace=self._trace,
             page_bytes=self._page_bytes,
             engine=self.engine,

@@ -3,9 +3,12 @@
 The reference engine (:meth:`repro.interference.model.InterferenceModel.
 slowdowns`) rebuilds every active core's slowdown from scratch on every
 simulation step.  Almost all of that work is redundant: slowdowns are a
-pure function of ``(active, mem_frac, gamma, weights)`` and those inputs
-change *only* when a core starts or finishes a task (noise transitions
-change core speed, which feeds completion times but never slowdowns).
+pure function of ``(active, mem_frac, gamma, weights, online)`` and those
+inputs change *only* when a core starts or finishes a task or flips its
+online state — all logged by the :class:`CoreStates` speed-mutation choke
+point (pure speed-factor transitions such as noise or DVFS change core
+speed, which feeds completion times but never slowdowns, so they stay out
+of the log).
 
 :class:`IncrementalInterference` therefore caches the slowdown vector and
 refreshes only what a consumed change log says is stale:
@@ -15,9 +18,12 @@ refreshes only what a consumed change log says is stale:
    every node's float sum;
 2. nodes whose saturation *ratio* changed (exact bitwise ``!=`` against
    the cached vector) form the dirty-node set;
-3. the rows refreshed are exactly (cores that started or finished) ∪
-   (active cores with a nonzero home-node weight on a dirty node) — a
-   superset of every core whose slowdown can have changed.
+3. the rows refreshed are exactly (cores that started, finished, or
+   flipped online state) ∪ (active cores with a nonzero home-node weight
+   on a dirty node) — a superset of every core whose slowdown can have
+   changed.  An offline core's frozen task issues no demand (the
+   reference compacts over ``active & online``), which the fast path
+   mirrors by zeroing the offline rows of its demand cache.
 
 Byte-identity with the reference engine is a design invariant, not an
 approximation: every refreshed quantity is recomputed with the *same
@@ -131,8 +137,9 @@ class IncrementalInterference:
             prod = self._prod
             mem_frac = states.mem_frac
             weights = states.weights
+            online = states.online
             for core in changed:
-                if a[core]:
+                if a[core] and online[core]:
                     prod[core] = mem_frac[core] * weights[core]
                 else:
                     prod[core] = 0.0

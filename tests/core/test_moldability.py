@@ -202,8 +202,6 @@ class TestConfirmPhase:
         ptt.record((24, 0b111, "strict"), 2.0)
         # wipe the exact strict key the settle-time mask would use by
         # making node 7 look fastest (mask will be {7,...}, not recorded)
-        import numpy as np
-
         perf = np.full(8, 1.0)
         perf[7] = 9.0
         ptt._update_node_perf(perf)
@@ -212,3 +210,97 @@ class TestConfirmPhase:
         assert cfg.steal_policy.value == "strict"
         assert cfg.num_threads == 16
         assert 7 in cfg.node_mask.indices()
+
+
+class TestDriftReexploration:
+    @pytest.fixture
+    def adaptive(self, zen4):
+        return MoldabilityController(
+            topology=zen4,
+            distances=default_distances(zen4),
+            granularity=8,
+            reexplore=True,
+            drift_threshold=0.3,
+            drift_window=2,
+        )
+
+    def settle(self, ctrl, ptt, base=2.0):
+        drive(ctrl, ptt, lambda cfg: base)
+        assert ctrl.phase is Phase.SETTLED
+        key = ctrl.settled_config.key
+        mean = ptt.mean_time(key)
+        assert mean is not None
+        return key, mean
+
+    def test_disabled_controller_never_reexplores(self, ctrl, ptt):
+        key, mean = self.settle(ctrl, ptt)
+        for _ in range(5):
+            assert not ctrl.note_settled_time(ptt, key, mean * 10.0)
+        assert ctrl.phase is Phase.SETTLED
+        assert ctrl.reexplorations == 0
+
+    def test_within_threshold_is_quiet(self, adaptive, ptt):
+        key, mean = self.settle(adaptive, ptt)
+        assert not adaptive.note_settled_time(ptt, key, mean * 1.2)
+        assert adaptive.drift_count == 0
+        assert adaptive.phase is Phase.SETTLED
+
+    def test_consecutive_drift_triggers(self, adaptive, ptt):
+        key, mean = self.settle(adaptive, ptt)
+        gen_before = ptt.generation
+        assert not adaptive.note_settled_time(ptt, key, mean * 2.0)
+        assert adaptive.drift_count == 1
+        assert adaptive.note_settled_time(ptt, key, mean * 2.0)
+        assert adaptive.phase is Phase.BOOTSTRAP
+        assert adaptive.k == 0
+        assert adaptive.settled_config is None
+        assert adaptive.reexplorations == 1
+        assert ptt.entries == {}
+        assert ptt.generation == gen_before + 1
+
+    def test_nonconsecutive_drift_resets_the_window(self, adaptive, ptt):
+        key, mean = self.settle(adaptive, ptt)
+        assert not adaptive.note_settled_time(ptt, key, mean * 2.0)
+        assert not adaptive.note_settled_time(ptt, key, mean)  # back in band
+        assert adaptive.drift_count == 0
+        assert not adaptive.note_settled_time(ptt, key, mean * 2.0)
+        assert adaptive.phase is Phase.SETTLED
+
+    def test_faster_drift_also_triggers(self, adaptive, ptt):
+        """Recovery (the machine speeding back up) must re-learn too."""
+        key, mean = self.settle(adaptive, ptt)
+        assert not adaptive.note_settled_time(ptt, key, mean * 0.4)
+        assert adaptive.note_settled_time(ptt, key, mean * 0.4)
+        assert adaptive.phase is Phase.BOOTSTRAP
+
+    def test_entries_relearned_not_resurrected(self, adaptive, ptt):
+        key, mean = self.settle(adaptive, ptt)
+        adaptive.note_settled_time(ptt, key, mean * 2.0)
+        adaptive.note_settled_time(ptt, key, mean * 2.0)
+        gen = ptt.generation
+        assert ptt.entries == {}
+        # node_perf EMA survives the invalidation (it adapts on its own)
+        assert not np.all(np.isnan(ptt.node_perf))
+        # second lifecycle: no WARMUP (k reset, but record_next stays on),
+        # the table repopulates from fresh measurements of the new regime
+        key2, mean2 = self.settle(adaptive, ptt, base=4.0)
+        assert ptt.generation == gen  # no further invalidation
+        assert mean2 == pytest.approx(4.0)
+        assert all(stats.count >= 1 for stats in ptt.entries.values())
+
+    def test_missing_mean_is_quiet(self, adaptive, ptt):
+        key, mean = self.settle(adaptive, ptt)
+        assert not adaptive.note_settled_time(ptt, ("no", 1, "such"), 99.0)
+        assert adaptive.drift_count == 0
+
+    def test_drift_param_validation(self, zen4):
+        with pytest.raises(ConfigurationError):
+            MoldabilityController(
+                topology=zen4, distances=default_distances(zen4),
+                granularity=8, drift_threshold=0.0,
+            )
+        with pytest.raises(ConfigurationError):
+            MoldabilityController(
+                topology=zen4, distances=default_distances(zen4),
+                granularity=8, drift_window=0,
+            )

@@ -91,6 +91,20 @@ class TestTaskloopPTT:
         with pytest.raises(ConfigurationError):
             t.record((2, 3, "strict"), 1.0, node_perf=np.array([1.0]))
 
+    def test_invalidate_drops_entries_keeps_node_perf(self):
+        t = TaskloopPTT(num_nodes=2)
+        t.record((2, 3, "strict"), 1.0, node_perf=np.array([1.0, 2.0]))
+        assert t.generation == 0
+        t.invalidate()
+        assert t.entries == {}
+        assert t.generation == 1
+        # the EMA adapts on its own; it seeds the re-exploration's mask
+        assert np.array_equal(t.node_perf, np.array([1.0, 2.0]))
+        # entries recorded afterwards are fresh, not resurrected
+        t.record((2, 3, "strict"), 5.0)
+        assert t.mean_time((2, 3, "strict")) == 5.0
+        assert t.entries[(2, 3, "strict")].count == 1
+
 
 class TestPerformanceTraceTable:
     def test_table_created_on_demand(self):

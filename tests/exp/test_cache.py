@@ -18,6 +18,7 @@ from repro.exp.cache import (
 )
 from repro.exp.runner import RunSpec, default_noise, execute_spec
 from repro.interference.noise import NoiseParams
+from repro.interference.timeline import AsymmetrySpec
 from repro.runtime.overhead import OverheadLedger
 from repro.runtime.results import AppRunResult, TaskloopResult
 from repro.topology.presets import single_node, tiny_two_node
@@ -94,6 +95,45 @@ class TestRunKey:
     def test_accepts_precomputed_fingerprint(self):
         fp = topology_fingerprint(tiny_two_node())
         assert run_key(**{**BASE_KEY_KWARGS, "topology": fp}) == run_key(**BASE_KEY_KWARGS)
+
+
+class TestAsymRunKey:
+    """The asymmetry axis enters the cache key only when non-default."""
+
+    def _spec(self, **kw):
+        return RunSpec(
+            benchmark="matmul", scheduler="ilan", seed=3, timesteps=2,
+            noise=None, topology=tiny_two_node(), **kw,
+        )
+
+    def test_default_keeps_pre_asymmetry_key(self):
+        """Back-compat: caches written before the asymmetry axis existed
+        stay valid — an absent or disabled spec leaves the key unchanged."""
+        base = self._spec().key()
+        assert self._spec(asym=None, asym_seed=None).key() == base
+        assert self._spec(asym=AsymmetrySpec()).key() == base
+
+    def test_enabled_spec_changes_key(self):
+        base = self._spec().key()
+        asym = self._spec(asym=AsymmetrySpec(dvfs_interval=0.2)).key()
+        assert asym != base
+
+    def test_different_specs_different_keys(self):
+        a = self._spec(asym=AsymmetrySpec(dvfs_interval=0.2)).key()
+        b = self._spec(asym=AsymmetrySpec(dvfs_interval=0.3)).key()
+        assert a != b
+
+    def test_spelling_invariant(self):
+        """Two parse spellings of the same timeline share one cache entry."""
+        a = self._spec(asym=AsymmetrySpec.parse("dvfs_interval=0.200")).key()
+        b = self._spec(asym=AsymmetrySpec.parse("dvfs_interval=0.2")).key()
+        assert a == b
+
+    def test_asym_seed_changes_key_only_when_set(self):
+        base = self._spec().key()
+        assert self._spec(asym_seed=None).key() == base
+        assert self._spec(asym_seed=7).key() != base
+        assert self._spec(asym_seed=7).key() != self._spec(asym_seed=8).key()
 
 
 class TestTopologyFingerprint:

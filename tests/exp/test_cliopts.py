@@ -115,6 +115,24 @@ def test_no_cache_disables_the_cache_entirely(tmp_path):
     assert cfg.cache_dir is None
 
 
+def test_asym_flags_parse_and_merge(monkeypatch):
+    monkeypatch.delenv("REPRO_ASYM_SPEC", raising=False)
+    monkeypatch.delenv("REPRO_ASYM_SEED", raising=False)
+    # off by default
+    cfg = config_from_args(parse([]))
+    assert cfg.asym_spec is None and cfg.asym_seed is None
+    # flags set both
+    cfg = config_from_args(parse(["--asym-spec", "dvfs", "--asym-seed", "9"]))
+    assert cfg.asym_spec == "dvfs" and cfg.asym_seed == 9
+    # environment fills unset flags; explicit flags win
+    monkeypatch.setenv("REPRO_ASYM_SPEC", "offline")
+    monkeypatch.setenv("REPRO_ASYM_SEED", "3")
+    assert config_from_args(parse([])).asym_spec == "offline"
+    assert config_from_args(parse([])).asym_seed == 3
+    cfg = config_from_args(parse(["--asym-spec", "mix"]))
+    assert cfg.asym_spec == "mix" and cfg.asym_seed == 3
+
+
 # ----------------------------------------------------------------------
 # journal flags
 # ----------------------------------------------------------------------

@@ -14,7 +14,7 @@ from repro.topology.presets import tiny_two_node
 @pytest.fixture(autouse=True)
 def clean_env(monkeypatch):
     for name in ("REPRO_SEEDS", "REPRO_ITERS", "REPRO_FULL", "REPRO_JOBS",
-                 "REPRO_CACHE_DIR"):
+                 "REPRO_CACHE_DIR", "REPRO_ASYM_SPEC", "REPRO_ASYM_SEED"):
         monkeypatch.delenv(name, raising=False)
 
 
@@ -104,3 +104,46 @@ class TestReadOnce:
         runner = Runner(topology=tiny_two_node())
         monkeypatch.setenv("REPRO_SEEDS", "1")
         assert len(runner.specs("matmul", "baseline")) == 3
+
+
+class TestAsymKnobs:
+    def test_defaults_off(self):
+        cfg = ExperimentConfig.from_env()
+        assert cfg.asym_spec is None
+        assert cfg.asym_seed is None
+        assert cfg.parsed_asym() is None
+
+    def test_env_spec_and_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ASYM_SPEC", "dvfs:dvfs_low=0.5")
+        monkeypatch.setenv("REPRO_ASYM_SEED", "7")
+        cfg = ExperimentConfig.from_env()
+        assert cfg.asym_spec == "dvfs:dvfs_low=0.5"
+        assert cfg.asym_seed == 7
+        spec = cfg.parsed_asym()
+        assert spec is not None and spec.dvfs_low == 0.5
+
+    def test_env_spec_survives_full_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        monkeypatch.setenv("REPRO_ASYM_SPEC", "offline")
+        cfg = ExperimentConfig.from_env()
+        assert cfg.asym_spec == "offline"
+
+    def test_empty_spec_means_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ASYM_SPEC", "")
+        assert ExperimentConfig.from_env().asym_spec is None
+
+    def test_bad_spec_fails_fast(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            ExperimentConfig(asym_spec="nosuchpreset")
+
+    def test_specs_carry_the_parsed_asym(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEEDS", "2")
+        monkeypatch.setenv("REPRO_ITERS", "1")
+        monkeypatch.setenv("REPRO_ASYM_SPEC", "dvfs")
+        monkeypatch.setenv("REPRO_ASYM_SEED", "5")
+        runner = Runner(topology=tiny_two_node())
+        for spec in runner.specs("matmul", "baseline"):
+            assert spec.asym is not None and spec.asym.enabled
+            assert spec.asym_seed == 5

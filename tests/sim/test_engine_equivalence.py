@@ -23,6 +23,7 @@ from hypothesis import strategies as st
 from repro.errors import TransientRunnerError
 from repro.exp.runner import ExperimentConfig, Runner, RunSpec, derive_run_seed, execute_spec
 from repro.interference.noise import NoiseParams
+from repro.interference.timeline import ASYMMETRY_PRESETS, AsymmetrySpec
 from repro.runtime.context import RunContext
 from repro.runtime.executor import TaskloopExecutor
 from repro.runtime.runtime import OpenMPRuntime
@@ -217,6 +218,99 @@ def test_campaign_byte_identical(params):
     ctx_inc, res_inc = _run_campaign("incremental", params)
     assert_results_identical(res_ref, res_inc)
     assert_contexts_identical(ctx_ref, ctx_inc)
+
+
+# ----------------------------------------------------------------------
+# suite 2b: dynamic-asymmetry campaigns (DVFS / throttle / co-tenant /
+# core-offline timelines through the speed-mutation choke point)
+# ----------------------------------------------------------------------
+@st.composite
+def asym_campaign_params(draw):
+    return dict(
+        preset=draw(st.sampled_from(sorted(PRESETS))),
+        scheduler=draw(st.sampled_from(SCHEDULERS + ("ilan-adaptive",))),
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+        num_tasks=draw(st.integers(min_value=4, max_value=24)),
+        timesteps=draw(st.integers(min_value=1, max_value=3)),
+        asym=draw(st.sampled_from(sorted(ASYMMETRY_PRESETS))),
+        asym_seed=draw(st.one_of(st.none(), st.integers(0, 100))),
+        noisy=draw(st.booleans()),
+    )
+
+
+def _run_asym_campaign(engine: str, params: dict):
+    app = make_synthetic(
+        work_seconds=0.05,
+        mem_frac=0.6,
+        gamma=0.8,
+        num_tasks=params["num_tasks"],
+        total_iters=params["num_tasks"] * 4,
+        region_mib=32,
+        timesteps=params["timesteps"],
+    )
+    runtime = OpenMPRuntime(
+        PRESETS[params["preset"]](),
+        params["scheduler"],
+        seed=params["seed"],
+        trace=True,
+        engine=engine,
+        noise=(
+            NoiseParams(mean_interval=0.01, mean_duration=0.004)
+            if params["noisy"]
+            else None
+        ),
+        asym=ASYMMETRY_PRESETS[params["asym"]],
+        asym_seed=params["asym_seed"],
+    )
+    result = runtime.run_application(app)
+    return runtime.last_ctx, result
+
+
+@settings(max_examples=60, deadline=None)
+@given(asym_campaign_params())
+def test_asym_campaign_byte_identical(params):
+    """Seeded asymmetry timelines — every preset, all schedulers (incl.
+    the drift-re-exploring one), noise on top: the incremental engine must
+    track every mid-run speed mutation and offline flip bit for bit."""
+    ctx_ref, res_ref = _run_asym_campaign("reference", params)
+    ctx_inc, res_inc = _run_asym_campaign("incremental", params)
+    assert_results_identical(res_ref, res_inc)
+    assert_contexts_identical(ctx_ref, ctx_inc)
+
+
+def test_offline_while_core_occupied_byte_identical():
+    """The hardest asymmetry case pinned explicitly: a core goes offline
+    *while running a task* (frozen in place, resumed on re-online), with
+    long outages relative to task length so the executor's wait path and
+    the incremental engine's zeroed demand rows are both exercised."""
+    spec = AsymmetrySpec(
+        offline_interval=0.02, offline_duration=0.5, max_offline_fraction=0.45
+    )
+    per_engine = []
+    for engine in ("reference", "incremental"):
+        app = make_synthetic(
+            work_seconds=0.2,
+            mem_frac=0.6,
+            gamma=0.8,
+            num_tasks=8,
+            total_iters=32,
+            region_mib=32,
+            timesteps=2,
+        )
+        runtime = OpenMPRuntime(
+            tiny_two_node(),
+            "baseline",  # keeps every core occupied: outages hit busy cores
+            seed=11,
+            trace=True,
+            engine=engine,
+            asym=spec,
+        )
+        result = runtime.run_application(app)
+        ctx = runtime.last_ctx
+        assert ctx.asym is not None and ctx.asym.offline_episodes >= 1
+        per_engine.append((ctx, result))
+    assert_results_identical(per_engine[0][1], per_engine[1][1])
+    assert_contexts_identical(per_engine[0][0], per_engine[1][0])
 
 
 # ----------------------------------------------------------------------
