@@ -15,6 +15,18 @@ EXC001    no bare ``except:``, no swallowed ``CancelledError``
 SEED001   public entry points that draw randomness accept a seed/rng
 ========  =============================================================
 
+``--project`` adds the two-pass whole-program analyzer: pass 1 reduces
+each file to a :class:`~repro.analysis.project.ModuleSummary` (cached by
+content hash under ``.repro-analysis-cache/``), pass 2 assembles the
+:class:`~repro.analysis.project.ProjectIndex` + call graph and runs the
+interprocedural rules:
+
+========  =============================================================
+LOCK002   no lock-order cycles across modules (lockdep-style)
+SEED002   an accepted seed/rng parameter must reach an RNG on some path
+WIRE002   protocol dataclasses and all their users agree on the schema
+========  =============================================================
+
 See DESIGN.md §6 for the full catalog, rationale and suppression policy
 (per-line ``# repro: noqa RULE -- justification``; grandfathered findings
 live in ``analysis-baseline.json``).
@@ -25,19 +37,34 @@ from __future__ import annotations
 from repro.analysis.engine import (
     Finding,
     Module,
+    ProjectRule,
     Rule,
     analyze_paths,
     analyze_source,
 )
-from repro.analysis.rules import ALL_RULES, rules_by_id, select_rules
+from repro.analysis.project import ModuleSummary, ProjectIndex, summarize_module
+from repro.analysis.rules import (
+    ALL_RULES,
+    PROJECT_RULES,
+    rules_by_id,
+    select_rules,
+)
+from repro.analysis.run import analyze_project_paths, analyze_project_source
 
 __all__ = [
     "Finding",
     "Module",
+    "ModuleSummary",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
     "ALL_RULES",
+    "PROJECT_RULES",
     "analyze_paths",
+    "analyze_project_paths",
+    "analyze_project_source",
     "analyze_source",
     "rules_by_id",
     "select_rules",
+    "summarize_module",
 ]

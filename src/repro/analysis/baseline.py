@@ -63,12 +63,21 @@ def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
 
 
 def partition_findings(
-    findings: Sequence[Finding], baseline: Counter[str]
-) -> tuple[list[Finding], list[Finding], list[str]]:
-    """Split findings into (new, baselined) and list stale baseline keys.
+    findings: Sequence[Finding],
+    baseline: Counter[str],
+    known_rules: set[str] | None = None,
+) -> tuple[list[Finding], list[Finding], list[str], list[str]]:
+    """Split findings into (new, baselined); list stale and retired keys.
 
     Matching is counted: a baseline entry with ``count: 2`` absorbs at
     most two identical findings; a third is new.
+
+    *Stale* keys matched no finding this run (informational: delete
+    them).  *Retired* keys name a rule id that no longer exists at all —
+    a renamed or removed rule would otherwise leave its grandfathered
+    entries lingering silently forever, so retired entries fail
+    ``--strict``.  With ``known_rules=None`` every id is considered
+    known (no retirement check).
     """
     remaining = Counter(baseline)
     new: list[Finding] = []
@@ -80,5 +89,14 @@ def partition_findings(
             grandfathered.append(finding)
         else:
             new.append(finding)
-    stale = sorted(key for key, count in remaining.items() if count > 0)
-    return new, grandfathered, stale
+    retired = sorted(
+        key for key in baseline
+        if known_rules is not None
+        and key.split("::", 1)[0] not in known_rules
+    )
+    retired_set = set(retired)
+    stale = sorted(
+        key for key, count in remaining.items()
+        if count > 0 and key not in retired_set
+    )
+    return new, grandfathered, stale, retired

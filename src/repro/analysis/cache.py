@@ -1,0 +1,164 @@
+"""Content-hash analysis cache: warm runs re-parse only changed files.
+
+One JSON entry per analyzed *path* (file name = SHA-256 of the posix
+path, so an edited file overwrites its own entry instead of growing the
+cache).  An entry stores everything pass 1 produced for the file — the
+per-file findings, the :class:`~repro.analysis.project.ModuleSummary`,
+and the ``# repro: noqa`` suppression table — keyed by
+
+* the SHA-256 of the file's *bytes* (content addressing), and
+* the analyzer fingerprint: a hash over the ``repro.analysis`` package's
+  own sources, the summary schema version, and the selected per-file
+  rule ids.
+
+The fingerprint is the cache-invalidation contract (DESIGN.md §6): edit
+any analyzer module, bump the summary schema, or change the rule
+selection and every entry misses; otherwise a hit is byte-equivalent to
+re-analyzing the file.  Corrupt or stale entries are treated as misses,
+never errors — the cache can always be deleted wholesale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.analysis.engine import Finding
+from repro.analysis.project import ModuleSummary
+
+__all__ = [
+    "CACHE_DIR_DEFAULT",
+    "CACHE_VERSION",
+    "AnalysisCache",
+    "CacheEntry",
+    "analyzer_fingerprint",
+    "content_digest",
+]
+
+CACHE_VERSION = 1
+
+#: Default cache location (hidden, so the file iterator skips it).
+CACHE_DIR_DEFAULT = ".repro-analysis-cache"
+
+
+def content_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def analyzer_fingerprint(rule_ids: Iterable[str]) -> str:
+    """Hash of the analyzer itself plus the active per-file rule set.
+
+    Hashing the package's own sources means any rule or engine edit
+    invalidates every entry without anyone remembering to bump a
+    version constant.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"cache-v{CACHE_VERSION}".encode("utf-8"))
+    package_dir = Path(__file__).resolve().parent
+    for source in sorted(package_dir.rglob("*.py")):
+        digest.update(source.relative_to(package_dir).as_posix().encode("utf-8"))
+        digest.update(source.read_bytes())
+    digest.update(repr(sorted(set(rule_ids))).encode("utf-8"))
+    return digest.hexdigest()[:32]
+
+
+@dataclass
+class CacheEntry:
+    """Everything pass 1 computed for one file."""
+
+    digest: str
+    findings: list[Finding]
+    summary: ModuleSummary
+    #: 1-based line → suppressed rule ids (empty set = suppress all),
+    #: same convention as :func:`repro.analysis.suppress.line_suppressions`.
+    suppressions: dict[int, frozenset[str]]
+
+    def to_json(self, fingerprint: str) -> dict[str, Any]:
+        return {
+            "version": CACHE_VERSION,
+            "fingerprint": fingerprint,
+            "digest": self.digest,
+            "findings": [f.to_json() for f in self.findings],
+            "summary": self.summary.to_json(),
+            "suppressions": {
+                str(line): sorted(rules)
+                for line, rules in self.suppressions.items()
+            },
+        }
+
+    @staticmethod
+    def from_json(data: Mapping[str, Any]) -> "CacheEntry":
+        return CacheEntry(
+            digest=str(data["digest"]),
+            findings=[
+                Finding(
+                    path=str(f["path"]), line=int(f["line"]),
+                    col=int(f["col"]), rule=str(f["rule"]),
+                    message=str(f["message"]),
+                )
+                for f in data["findings"]
+            ],
+            summary=ModuleSummary.from_json(data["summary"]),
+            suppressions={
+                int(line): frozenset(str(r) for r in rules)
+                for line, rules in data["suppressions"].items()
+            },
+        )
+
+
+class AnalysisCache:
+    """Per-file entries under one cache directory."""
+
+    def __init__(self, root: Path, fingerprint: str):
+        self.root = root
+        self.fingerprint = fingerprint
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _entry_path(self, path: str) -> Path:
+        name = hashlib.sha256(path.encode("utf-8")).hexdigest()
+        return self.root / f"{name}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, path: str, digest: str) -> CacheEntry | None:
+        """The cached entry for ``path`` at ``digest``, or ``None``."""
+        entry_path = self._entry_path(path)
+        try:
+            raw = entry_path.read_text(encoding="utf-8")
+            data = json.loads(raw)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        try:
+            if (
+                not isinstance(data, dict)
+                or data.get("version") != CACHE_VERSION
+                or data.get("fingerprint") != self.fingerprint
+                or data.get("digest") != digest
+            ):
+                self.misses += 1
+                return None
+            entry = CacheEntry.from_json(data)
+        except (KeyError, TypeError, ValueError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, path: str, entry: CacheEntry) -> None:
+        """Persist one entry (atomic rename; failures are non-fatal)."""
+        entry_path = self._entry_path(path)
+        payload = json.dumps(entry.to_json(self.fingerprint))
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = entry_path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(payload, encoding="utf-8")
+            os.replace(tmp, entry_path)
+        except OSError:
+            return  # a read-only checkout degrades to cold runs
+        self.stores += 1

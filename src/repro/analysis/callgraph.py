@@ -1,0 +1,222 @@
+"""Approximate whole-program call graph over :class:`ProjectIndex`.
+
+Resolves the three call shapes the interprocedural rules care about:
+
+* ``module.func(...)`` / ``from m import func; func(...)`` — dotted
+  targets through the import table, including ``Class(...)``
+  constructors (→ ``__init__``) and unbound ``Class.method(...)``;
+* ``self.method(...)`` — dispatch through the enclosing class and its
+  project-resolvable bases;
+* ``self.attr.method(...)`` — through the attribute types inferred from
+  ``self.attr = ClassName(...)`` assignments.
+
+Anything else (calls on local variables, higher-order calls, dynamic
+dispatch) resolves to ``None`` and the rules treat it conservatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.project import (
+    CallInfo,
+    FunctionInfo,
+    ModuleSummary,
+    ProjectIndex,
+)
+
+__all__ = ["CallGraph", "Resolution"]
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """A resolved call edge.
+
+    ``bound`` — the callee's first parameter (``self``) is supplied by
+    the binding, so the caller's positional arguments start at parameter
+    index 1.
+    """
+
+    key: str
+    bound: bool
+
+
+class CallGraph:
+    """Call-site resolution with memoized lookups."""
+
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        self._memo: dict[tuple[str, int, int], Resolution | None] = {}
+
+    # ------------------------------------------------------------------
+    def resolve_call(
+        self, summary: ModuleSummary, fn: FunctionInfo, call: CallInfo
+    ) -> Resolution | None:
+        """The function key a call site dispatches to, or ``None``."""
+        memo_key = (f"{summary.module}::{fn.qual}", call.lineno, call.col)
+        if memo_key in self._memo:
+            return self._memo[memo_key]
+        resolved = self._resolve_uncached(summary, fn, call)
+        self._memo[memo_key] = resolved
+        return resolved
+
+    def callee(self, key: str) -> tuple[ModuleSummary, FunctionInfo] | None:
+        return self.index.functions.get(key)
+
+    def describe(self, key: str) -> str:
+        """Human-readable ``path:line`` label for a function key."""
+        found = self.index.functions.get(key)
+        if found is None:
+            return key
+        summary, fn = found
+        return f"{fn.qual} ({summary.path}:{fn.lineno})"
+
+    # ------------------------------------------------------------------
+    def _resolve_uncached(
+        self, summary: ModuleSummary, fn: FunctionInfo, call: CallInfo
+    ) -> Resolution | None:
+        if call.scope == "self":
+            return self._resolve_self(summary, fn, call.target)
+        if call.scope == "selfattr":
+            return self._resolve_selfattr(summary, fn, call)
+        if call.scope == "name":
+            return self._resolve_name(summary, call.target)
+        return None
+
+    def _resolve_self(
+        self, summary: ModuleSummary, fn: FunctionInfo, method: str
+    ) -> Resolution | None:
+        cls_name = fn.cls
+        if cls_name is None:
+            return None
+        found_cls = self.index.classes.get(f"{summary.module}.{cls_name}")
+        if found_cls is None:
+            return None
+        resolved = self.index.find_method(found_cls[0], found_cls[1], method)
+        if resolved is None:
+            return None
+        mod_summary, target = resolved
+        return Resolution(key=f"{mod_summary.module}::{target.qual}", bound=True)
+
+    def _resolve_selfattr(
+        self, summary: ModuleSummary, fn: FunctionInfo, call: CallInfo
+    ) -> Resolution | None:
+        cls_name = fn.cls
+        if cls_name is None:
+            return None
+        found_cls = self.index.classes.get(f"{summary.module}.{cls_name}")
+        if found_cls is None:
+            return None
+        # the attribute's type may be assigned in any method of the class
+        # or its bases
+        for mod_summary, info in self.index.class_mro(*found_cls):
+            ctor = info.attr_types.get(call.attr_root)
+            if ctor is None:
+                continue
+            target_cls = self.index.resolve_class(mod_summary, ctor)
+            if target_cls is None:
+                return None
+            resolved = self.index.find_method(
+                target_cls[0], target_cls[1], call.target
+            )
+            if resolved is None:
+                return None
+            target_summary, target = resolved
+            return Resolution(
+                key=f"{target_summary.module}::{target.qual}", bound=True
+            )
+        return None
+
+    def _resolve_name(
+        self, summary: ModuleSummary, target: str
+    ) -> Resolution | None:
+        parts = target.split(".")
+        if len(parts) == 1:
+            # module-local function or class
+            direct = self.index.functions.get(f"{summary.module}::{target}")
+            if direct is not None:
+                return Resolution(
+                    key=f"{summary.module}::{target}", bound=False
+                )
+            return self._constructor(summary, target)
+        # `ClassName.method(...)` with a module-local class
+        if len(parts) == 2:
+            local_cls = self.index.classes.get(f"{summary.module}.{parts[0]}")
+            if local_cls is not None:
+                resolved = self.index.find_method(
+                    local_cls[0], local_cls[1], parts[1]
+                )
+                if resolved is None:
+                    return None
+                mod_summary, fn = resolved
+                return Resolution(
+                    key=f"{mod_summary.module}::{fn.qual}", bound=False
+                )
+        # dotted: try every module/tail split, longest module first
+        for split in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:split])
+            tail = parts[split:]
+            target_summary = self.index.by_module.get(module)
+            if target_summary is None:
+                continue
+            if len(tail) == 1:
+                key = f"{module}::{tail[0]}"
+                if key in self.index.functions:
+                    return Resolution(key=key, bound=False)
+                return self._constructor(target_summary, tail[0])
+            if len(tail) == 2:
+                found_cls = self.index.classes.get(f"{module}.{tail[0]}")
+                if found_cls is None:
+                    return None
+                resolved = self.index.find_method(
+                    found_cls[0], found_cls[1], tail[1]
+                )
+                if resolved is None:
+                    return None
+                mod_summary, fn = resolved
+                # unbound `Class.method(obj, ...)`: caller passes self
+                return Resolution(
+                    key=f"{mod_summary.module}::{fn.qual}", bound=False
+                )
+            return None
+        return None
+
+    def _constructor(
+        self, summary: ModuleSummary, cls_name: str
+    ) -> Resolution | None:
+        found_cls = self.index.classes.get(f"{summary.module}.{cls_name}")
+        if found_cls is None:
+            return None
+        resolved = self.index.find_method(found_cls[0], found_cls[1], "__init__")
+        if resolved is None:
+            return None
+        mod_summary, fn = resolved
+        return Resolution(key=f"{mod_summary.module}::{fn.qual}", bound=True)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def map_forwarded_args(
+        call: CallInfo, callee: FunctionInfo, bound: bool
+    ) -> list[tuple[str, str]]:
+        """``(callee parameter, caller bare name)`` pairs for every
+        argument forwarded as a plain name.
+
+        Positional arguments that run past the callee's named parameters
+        (swallowed by ``*args``) and ``**kwargs``-absorbed keywords are
+        omitted — the taint rule treats those as opaque uses.
+        """
+        pairs: list[tuple[str, str]] = []
+        offset = 1 if bound and callee.is_method else 0
+        for i, name in enumerate(call.pos):
+            if name is None:
+                continue
+            idx = i + offset
+            if idx < len(callee.params):
+                pairs.append((callee.params[idx], name))
+        param_set = set(callee.params)
+        for kw, name in call.kws:
+            if name is None:
+                continue
+            if kw in param_set:
+                pairs.append((kw, name))
+        return pairs

@@ -4,9 +4,15 @@ Exit-code contract (relied on by CI and pre-commit):
 
 * ``0`` — no unbaselined findings (or report-only mode without
   ``--strict``);
-* ``1`` — unbaselined findings and ``--strict``;
+* ``1`` — unbaselined findings (or retired baseline entries) and
+  ``--strict``;
 * ``2`` — usage or I/O error (unknown rule id, missing path, corrupt
   baseline file).
+
+``--project`` enables pass 2 (whole-program rules) and, with it, the
+content-hash cache: a warm run re-parses only files whose bytes changed
+(``files_parsed`` in the JSON/text stats is the cache-miss count CI
+asserts on).
 """
 
 from __future__ import annotations
@@ -23,12 +29,25 @@ from repro.analysis.baseline import (
     partition_findings,
     write_baseline,
 )
+from repro.analysis.cache import (
+    CACHE_DIR_DEFAULT,
+    AnalysisCache,
+    analyzer_fingerprint,
+)
 from repro.analysis.engine import analyze_paths
-from repro.analysis.rules import ALL_RULES, select_rules
+from repro.analysis.rules import (
+    ALL_RULES,
+    PROJECT_RULES,
+    all_rule_ids,
+    select_project_rules,
+    select_rules,
+)
+from repro.analysis.run import ProjectRunResult, analyze_project_paths
+from repro.analysis.sarif import to_sarif
 
 __all__ = ["main", "build_parser"]
 
-OUTPUT_SCHEMA_VERSION = 1
+OUTPUT_SCHEMA_VERSION = 2
 DEFAULT_BASELINE = "analysis-baseline.json"
 
 
@@ -39,7 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Static determinism & concurrency sanitizer: enforces the "
             "repo's replay invariants (seeded RNG flow, no wall-clock in "
             "the simulator, no float == on sim time, async/lock/wire "
-            "hygiene) as AST checks."
+            "hygiene) as AST checks; --project adds the whole-program "
+            "pass (lock-order cycles, seed-taint flow, wire-schema "
+            "drift)."
         ),
     )
     parser.add_argument(
@@ -52,7 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
              "run only reports",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--project", action="store_true",
+        help="run the whole-program pass (LOCK002/SEED002/WIRE002) on "
+             "top of the per-file rules; enables the content-hash cache",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)",
     )
     parser.add_argument(
@@ -77,6 +103,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--exclude", action="append", default=[], metavar="GLOB",
+        help="skip files matching this glob (against the posix path or "
+             "basename; repeatable)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="per-file analysis cache location (default: "
+             f"{CACHE_DIR_DEFAULT} when --project is on; passing this "
+             "flag enables the cache on its own)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-hash cache for this run",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
@@ -92,6 +133,11 @@ def _list_rules(out: TextIO) -> None:
         )
         out.write(f"{rule.id}  [{scope}]  {rule.title}\n")
         out.write(f"        {rule.rationale}\n")
+    for project_rule in PROJECT_RULES:
+        out.write(
+            f"{project_rule.id}  [whole-program]  {project_rule.title}\n"
+        )
+        out.write(f"        {project_rule.rationale}\n")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -105,21 +151,52 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     try:
         rules = select_rules(args.select, args.ignore)
+        project_rules = (
+            select_project_rules(args.select, args.ignore)
+            if args.project
+            else ()
+        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    use_cache = (
+        (args.project or args.cache_dir is not None) and not args.no_cache
+    )
+    cache = None
+    if use_cache:
+        fingerprint = analyzer_fingerprint(
+            sorted({r.id for r in rules} | {r.id for r in project_rules})
+        )
+        cache = AnalysisCache(
+            Path(args.cache_dir or CACHE_DIR_DEFAULT), fingerprint
+        )
+
     try:
-        findings, scanned = analyze_paths(args.paths, rules)
+        if args.project or cache is not None:
+            result = analyze_project_paths(
+                args.paths, rules, project_rules,
+                cache=cache, exclude=args.exclude,
+            )
+        else:
+            findings, scanned = analyze_paths(
+                args.paths, rules, exclude=args.exclude
+            )
+            result = ProjectRunResult(
+                findings=findings,
+                files_scanned=scanned,
+                files_parsed=scanned,
+            )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     baseline_path = Path(args.baseline)
     if args.write_baseline:
-        write_baseline(baseline_path, findings)
+        write_baseline(baseline_path, result.findings)
         print(
-            f"wrote {len(findings)} finding(s) to baseline {baseline_path}",
+            f"wrote {len(result.findings)} finding(s) to baseline "
+            f"{baseline_path}",
             file=sys.stderr,
         )
         return 0
@@ -131,32 +208,48 @@ def main(argv: Sequence[str] | None = None) -> int:
     except (ValueError, json.JSONDecodeError, KeyError, TypeError) as exc:
         print(f"error: corrupt baseline {baseline_path}: {exc}", file=sys.stderr)
         return 2
-    new, grandfathered, stale = partition_findings(
-        findings, baseline if baseline is not None else Counter()
+    new, grandfathered, stale, retired = partition_findings(
+        result.findings,
+        baseline if baseline is not None else Counter(),
+        known_rules=all_rule_ids(),
     )
 
     if args.format == "json":
         payload = {
             "version": OUTPUT_SCHEMA_VERSION,
-            "files_scanned": scanned,
+            "files_scanned": result.files_scanned,
+            "files_parsed": result.files_parsed,
+            "files_cached": result.files_cached,
+            "project": bool(args.project),
             "findings": [f.to_json() for f in new],
             "baselined": len(grandfathered),
             "stale_baseline_entries": stale,
+            "retired_baseline_entries": retired,
             "strict": bool(args.strict),
         }
         out.write(json.dumps(payload, indent=2) + "\n")
+    elif args.format == "sarif":
+        out.write(
+            json.dumps(to_sarif(new, rules, project_rules), indent=2) + "\n"
+        )
     else:
         for finding in new:
             out.write(finding.render() + "\n")
         for key in stale:
             out.write(f"stale baseline entry (delete it): {key}\n")
+        for key in retired:
+            out.write(
+                f"retired baseline entry (rule no longer exists): {key}\n"
+            )
         status = "ok" if not new else f"{len(new)} finding(s)"
         out.write(
-            f"{status}: {scanned} file(s) scanned, {len(new)} new, "
-            f"{len(grandfathered)} baselined, {len(stale)} stale baseline "
+            f"{status}: {result.files_scanned} file(s) scanned "
+            f"({result.files_parsed} parsed, {result.files_cached} "
+            f"cached), {len(new)} new, {len(grandfathered)} baselined, "
+            f"{len(stale)} stale / {len(retired)} retired baseline "
             "entrie(s)\n"
         )
 
-    if new and args.strict:
+    if args.strict and (new or retired):
         return 1
     return 0

@@ -14,25 +14,71 @@ pre-commit, and the test suite with zero extra dependencies.
 from __future__ import annotations
 
 import ast
+import fnmatch
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path, PurePosixPath
-from typing import Any, ClassVar, Iterable, Iterator, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    ClassVar,
+    Iterable,
+    Iterator,
+    Sequence,
+)
 
 from repro.analysis.suppress import line_suppressions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.project import ProjectIndex
 
 __all__ = [
     "Finding",
     "Module",
     "Rule",
+    "ProjectRule",
     "analyze_source",
     "analyze_paths",
+    "decode_source",
     "iter_python_files",
+    "parse_module",
+    "repro_package_of",
+    "run_file_rules",
     "PARSE_RULE_ID",
 ]
 
-#: Pseudo-rule id attached to files the engine cannot parse at all.
+#: Pseudo-rule id attached to files the engine cannot parse (or read) at
+#: all.  A PARSE000 finding is a *diagnostic*: the strict CI run keeps
+#: going and fails at the end like any other finding, instead of
+#: crashing mid-scan.
 PARSE_RULE_ID = "PARSE000"
+
+#: Directory names never descended into, on top of hidden directories
+#: (leading ``.``, which already covers ``.repro-analysis-cache``):
+#: bytecode caches and the run-cache quarantine (forensic copies of
+#: corrupt entries — not source code).
+SKIP_DIR_NAMES = frozenset({
+    "__pycache__", "quarantine", ".repro-analysis-cache",
+})
+
+
+def repro_package_of(path: str) -> tuple[str, ...] | None:
+    """Path components below the ``repro`` package, or ``None``.
+
+    Path-only (no parse needed), so the project driver can still scope a
+    file that failed to parse.
+    """
+    parts = PurePosixPath(path).parts
+    if "repro" not in parts:
+        return None
+    idx = parts.index("repro")
+    tail = parts[idx + 1 :]
+    if not tail:
+        return None
+    last = tail[-1]
+    if last.endswith(".py"):
+        tail = tail[:-1] + (last[:-3],)
+    return tail
 
 
 @dataclass(frozen=True, order=True)
@@ -84,17 +130,7 @@ class Module:
         ``src/repro/sim/rng.py`` → ``("sim", "rng")``; a file outside the
         ``repro`` tree (tests, scripts) → ``None``.
         """
-        parts = PurePosixPath(self.path).parts
-        if "repro" not in parts:
-            return None
-        idx = parts.index("repro")
-        tail = parts[idx + 1 :]
-        if not tail:
-            return None
-        last = tail[-1]
-        if last.endswith(".py"):
-            tail = tail[:-1] + (last[:-3],)
-        return tail
+        return repro_package_of(self.path)
 
     def in_packages(self, packages: Iterable[str]) -> bool:
         """Whether this module lives under any ``repro.<package>``.
@@ -210,32 +246,75 @@ class Rule(ABC):
         )
 
 
+class ProjectRule(ABC):
+    """One *whole-program* invariant check (pass 2).
+
+    Unlike :class:`Rule`, which sees one module's AST, a ProjectRule
+    sees the :class:`~repro.analysis.project.ProjectIndex` — every
+    module's summary plus the cross-module registries — and reports
+    findings line-anchored at a concrete witness site, so suppressions
+    and the baseline work identically for both passes.
+    """
+
+    id: ClassVar[str]
+    title: ClassVar[str]
+    rationale: ClassVar[str]
+
+    @abstractmethod
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        """Yield every violation across the project (suppressions are
+        applied by the driver, per witness line)."""
+
+    def finding_at(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=path, line=line, col=col, rule=self.id, message=message
+        )
+
+
 # ----------------------------------------------------------------------
 # driving
 # ----------------------------------------------------------------------
-def analyze_source(
-    path: str, source: str, rules: Sequence[Rule]
-) -> list[Finding]:
-    """All unsuppressed findings for one in-memory source file.
+def decode_source(data: bytes) -> str:
+    """Bytes → analyzable text: strips a UTF-8 BOM (which would otherwise
+    be a syntax error as ``\\ufeff``) and replaces undecodable bytes so a
+    stray binary file yields a parse diagnostic, not a crash."""
+    return data.decode("utf-8-sig", errors="replace")
 
-    ``path`` also carries the scoping information (which rules apply), so
-    tests can exercise package-scoped rules on virtual paths like
-    ``src/repro/sim/fixture.py`` without touching the real tree.
+
+def parse_module(path: str, source: str) -> tuple[Module | None, Finding | None]:
+    """Parse one source file; on failure return a PARSE000 diagnostic.
+
+    ``ast.parse`` raises ``SyntaxError`` for malformed code and
+    ``ValueError`` for e.g. null bytes; both become findings so a broken
+    file fails the strict run with a location instead of killing it.
     """
+    posix = PurePosixPath(path).as_posix()
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=PurePosixPath(path).as_posix(),
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                rule=PARSE_RULE_ID,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    mod = Module(path, source, tree)
-    suppressed = line_suppressions(mod.lines)
+        return None, Finding(
+            path=posix,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule=PARSE_RULE_ID,
+            message=f"file does not parse: {exc.msg}",
+        )
+    except ValueError as exc:
+        return None, Finding(
+            path=posix, line=1, col=0, rule=PARSE_RULE_ID,
+            message=f"file does not parse: {exc}",
+        )
+    return Module(path, source, tree), None
+
+
+def run_file_rules(
+    mod: Module,
+    rules: Sequence[Rule],
+    suppressed: dict[int, frozenset[str]],
+) -> list[Finding]:
+    """All unsuppressed per-file findings for one parsed module."""
     findings: set[Finding] = set()
     for rule in rules:
         if not rule.applies(mod):
@@ -250,22 +329,59 @@ def analyze_source(
     return sorted(findings)
 
 
-def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
-    """Every ``*.py`` under the given files/directories, sorted, skipping
-    hidden directories and ``__pycache__``."""
+def analyze_source(
+    path: str, source: str, rules: Sequence[Rule]
+) -> list[Finding]:
+    """All unsuppressed findings for one in-memory source file.
+
+    ``path`` also carries the scoping information (which rules apply), so
+    tests can exercise package-scoped rules on virtual paths like
+    ``src/repro/sim/fixture.py`` without touching the real tree.
+    """
+    mod, parse_failure = parse_module(path, source)
+    if mod is None:
+        assert parse_failure is not None
+        return [parse_failure]
+    return run_file_rules(mod, rules, line_suppressions(mod.lines))
+
+
+def _excluded(path: Path, exclude: Sequence[str]) -> bool:
+    """``--exclude`` glob match, against the posix path and basename."""
+    posix = path.as_posix()
+    return any(
+        fnmatch.fnmatch(posix, pattern) or fnmatch.fnmatch(path.name, pattern)
+        for pattern in exclude
+    )
+
+
+def iter_python_files(
+    paths: Sequence[str | Path], *, exclude: Sequence[str] = ()
+) -> Iterator[Path]:
+    """Every ``*.py`` under the given files/directories, sorted.
+
+    Skips hidden directories (including ``.repro-analysis-cache/``),
+    ``__pycache__`` and run-cache ``quarantine/`` directories, and any
+    path matching an ``--exclude`` glob (matched against both the posix
+    path and the basename).  A file passed *explicitly* is analyzed even
+    if hidden (pre-commit passes staged filenames), but ``--exclude``
+    still applies.
+    """
     seen: set[Path] = set()
     for raw in paths:
         p = Path(raw)
         if p.is_file():
-            if p.suffix == ".py" and p not in seen:
+            if p.suffix == ".py" and p not in seen and not _excluded(p, exclude):
                 seen.add(p)
                 yield p
         elif p.is_dir():
             for sub in sorted(p.rglob("*.py")):
                 if any(
-                    part.startswith(".") or part == "__pycache__"
+                    part in SKIP_DIR_NAMES
+                    or (part.startswith(".") and part not in (".", ".."))
                     for part in sub.parts
                 ):
+                    continue
+                if _excluded(sub, exclude):
                     continue
                 if sub not in seen:
                     seen.add(sub)
@@ -275,13 +391,25 @@ def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
 
 
 def analyze_paths(
-    paths: Sequence[str | Path], rules: Sequence[Rule]
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule],
+    *,
+    exclude: Sequence[str] = (),
 ) -> tuple[list[Finding], int]:
     """Analyze files/trees on disk; returns (findings, files scanned)."""
     findings: list[Finding] = []
     scanned = 0
-    for file in iter_python_files(paths):
+    for file in iter_python_files(paths, exclude=exclude):
         scanned += 1
-        text = file.read_text(encoding="utf-8", errors="replace")
-        findings.extend(analyze_source(file.as_posix(), text, rules))
+        try:
+            data = file.read_bytes()
+        except OSError as exc:
+            findings.append(Finding(
+                path=file.as_posix(), line=1, col=0, rule=PARSE_RULE_ID,
+                message=f"file cannot be read: {exc}",
+            ))
+            continue
+        findings.extend(
+            analyze_source(file.as_posix(), decode_source(data), rules)
+        )
     return sorted(findings), scanned

@@ -1,0 +1,1093 @@
+"""Pass 1 of the whole-program analyzer: per-module summaries.
+
+:func:`summarize_module` reduces one parsed :class:`~repro.analysis.engine.Module`
+to a :class:`ModuleSummary` — the symbol table, import table, class and
+dataclass registry, and per-function facts (call sites with forwarded
+parameters, lock acquisitions with the held-set at each site, parameter
+uses) that pass 2's :class:`~repro.analysis.engine.ProjectRule`\\ s need.
+
+Summaries are plain JSON-serializable data (``to_json``/``from_json``)
+so the content-hash cache (:mod:`repro.analysis.cache`) can persist them
+per file: a warm run rebuilds the whole :class:`ProjectIndex` without
+re-parsing a single unchanged file.
+
+Everything here is *approximate* in the usual static-analysis sense:
+call targets are resolved through import aliases, ``self.method``
+dispatch, and ``self.attr = ClassName(...)`` attribute types; dynamic
+dispatch, monkey-patching and higher-order calls resolve to "unknown"
+and the project rules treat unknown conservatively (assume used / assume
+no lock taken) so approximation produces false *negatives*, never noisy
+false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.analysis.engine import Module
+
+__all__ = [
+    "SUMMARY_VERSION",
+    "AcquireInfo",
+    "AttrLoad",
+    "CallInfo",
+    "ClassInfo",
+    "FieldInfo",
+    "FunctionInfo",
+    "IdLiteralSite",
+    "ModuleSummary",
+    "ProjectIndex",
+    "module_dotted_name",
+    "summarize_module",
+]
+
+#: Bumped whenever the summary shape changes; part of the cache fingerprint.
+SUMMARY_VERSION = 1
+
+#: Constructors whose result is a mutual-exclusion lock for LOCK002.
+#: ``asyncio.Lock`` is included: coroutines deadlock on lock-order
+#: inversions exactly like threads do.
+LOCK_CONSTRUCTORS = frozenset({
+    "threading.Lock", "threading.RLock", "asyncio.Lock",
+})
+
+#: ``<prefix>`` of a structured string id (``fed-``, ``job-``): a short
+#: lowercase word plus one separator, immediately followed by an
+#: interpolated value.
+_ID_PREFIX = re.compile(r"([a-z][a-z0-9_.]{0,15}[-_])$")
+_ID_PARSE_CONST = re.compile(r"^([a-z][a-z0-9_.]{0,15}[-_])$")
+
+
+# ----------------------------------------------------------------------
+# summary data model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FieldInfo:
+    """One dataclass field."""
+
+    name: str
+    annotation: str
+    has_default: bool
+    lineno: int
+    col: int
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name, "annotation": self.annotation,
+            "has_default": self.has_default,
+            "lineno": self.lineno, "col": self.col,
+        }
+
+    @staticmethod
+    def from_json(data: Mapping[str, Any]) -> "FieldInfo":
+        return FieldInfo(
+            name=str(data["name"]), annotation=str(data["annotation"]),
+            has_default=bool(data["has_default"]),
+            lineno=int(data["lineno"]), col=int(data["col"]),
+        )
+
+
+@dataclass(frozen=True)
+class AcquireInfo:
+    """One lock acquisition site with the locks already held there.
+
+    ``token`` is either ``"self.<attr>"`` (canonicalized against the
+    enclosing class by LOCK002) or an ``"@<dotted>"`` module-global.
+    """
+
+    token: str
+    lineno: int
+    col: int
+    held: tuple[str, ...]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "token": self.token, "lineno": self.lineno, "col": self.col,
+            "held": list(self.held),
+        }
+
+    @staticmethod
+    def from_json(data: Mapping[str, Any]) -> "AcquireInfo":
+        return AcquireInfo(
+            token=str(data["token"]), lineno=int(data["lineno"]),
+            col=int(data["col"]),
+            held=tuple(str(t) for t in data["held"]),
+        )
+
+
+@dataclass(frozen=True)
+class CallInfo:
+    """One call site, reduced to what the interprocedural rules need."""
+
+    #: Resolution hint: ``"name"`` (dotted path through the import
+    #: table), ``"self"`` (``self.method()``), ``"selfattr"``
+    #: (``self.<attr>.method()``) or ``"unknown"``.
+    scope: str
+    #: For ``name``: the dotted target; for ``self``: the method name;
+    #: for ``selfattr``: the method name (the attribute is ``attr_root``).
+    target: str
+    attr_root: str
+    lineno: int
+    col: int
+    #: Bare caller-local name forwarded per positional argument
+    #: (``None`` for any richer expression).
+    pos: tuple[str | None, ...]
+    #: Keyword → bare forwarded name (same convention).
+    kws: tuple[tuple[str, str | None], ...]
+    #: ``*args`` / ``**kwargs`` expansion present (mapping unknowable).
+    star: bool
+    #: Every plain name read anywhere in the arguments.
+    names_in_args: tuple[str, ...]
+    #: Lock tokens held at this call site (for LOCK002 propagation).
+    held: tuple[str, ...]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "scope": self.scope, "target": self.target,
+            "attr_root": self.attr_root,
+            "lineno": self.lineno, "col": self.col,
+            "pos": list(self.pos),
+            "kws": [[k, v] for k, v in self.kws],
+            "star": self.star,
+            "names_in_args": list(self.names_in_args),
+            "held": list(self.held),
+        }
+
+    @staticmethod
+    def from_json(data: Mapping[str, Any]) -> "CallInfo":
+        return CallInfo(
+            scope=str(data["scope"]), target=str(data["target"]),
+            attr_root=str(data["attr_root"]),
+            lineno=int(data["lineno"]), col=int(data["col"]),
+            pos=tuple(
+                None if p is None else str(p) for p in data["pos"]
+            ),
+            kws=tuple(
+                (str(k), None if v is None else str(v))
+                for k, v in data["kws"]
+            ),
+            star=bool(data["star"]),
+            names_in_args=tuple(str(n) for n in data["names_in_args"]),
+            held=tuple(str(t) for t in data["held"]),
+        )
+
+
+@dataclass(frozen=True)
+class AttrLoad:
+    """``<name>.<attr>`` read where ``<name>`` is a plain local name."""
+
+    base: str
+    attr: str
+    lineno: int
+    col: int
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "base": self.base, "attr": self.attr,
+            "lineno": self.lineno, "col": self.col,
+        }
+
+    @staticmethod
+    def from_json(data: Mapping[str, Any]) -> "AttrLoad":
+        return AttrLoad(
+            base=str(data["base"]), attr=str(data["attr"]),
+            lineno=int(data["lineno"]), col=int(data["col"]),
+        )
+
+
+@dataclass(frozen=True)
+class IdLiteralSite:
+    """One structured-id literal: ``f"fed-{n:05d}"`` or a parse of it."""
+
+    kind: str  # "build" | "parse"
+    prefix: str
+    spec: str
+    lineno: int
+    col: int
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind, "prefix": self.prefix, "spec": self.spec,
+            "lineno": self.lineno, "col": self.col,
+        }
+
+    @staticmethod
+    def from_json(data: Mapping[str, Any]) -> "IdLiteralSite":
+        return IdLiteralSite(
+            kind=str(data["kind"]), prefix=str(data["prefix"]),
+            spec=str(data["spec"]),
+            lineno=int(data["lineno"]), col=int(data["col"]),
+        )
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method (``qual`` is ``"f"`` or ``"Class.m"``)."""
+
+    qual: str
+    name: str
+    lineno: int
+    col: int
+    params: list[str]
+    has_vararg: bool
+    has_kwarg: bool
+    is_method: bool
+    is_public: bool
+    is_abstract: bool
+    is_trivial: bool
+    param_annotations: dict[str, str]
+    var_annotations: dict[str, str]
+    #: Params read anywhere *other than* as a bare forwarded call
+    #: argument (arithmetic, attribute access, stores, returns, …).
+    generic_uses: list[str]
+    #: Every local name assigned (or deleted) in the body — a rebound
+    #: parameter no longer has its annotated type.
+    stores: list[str]
+    calls: list[CallInfo]
+    acquires: list[AcquireInfo]
+    attr_loads: list[AttrLoad]
+
+    @property
+    def cls(self) -> str | None:
+        """Enclosing class name, or ``None`` for a module-level function."""
+        if "." in self.qual:
+            return self.qual.rsplit(".", 1)[0]
+        return None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "qual": self.qual, "name": self.name,
+            "lineno": self.lineno, "col": self.col,
+            "params": list(self.params),
+            "has_vararg": self.has_vararg, "has_kwarg": self.has_kwarg,
+            "is_method": self.is_method, "is_public": self.is_public,
+            "is_abstract": self.is_abstract, "is_trivial": self.is_trivial,
+            "param_annotations": dict(self.param_annotations),
+            "var_annotations": dict(self.var_annotations),
+            "generic_uses": list(self.generic_uses),
+            "stores": list(self.stores),
+            "calls": [c.to_json() for c in self.calls],
+            "acquires": [a.to_json() for a in self.acquires],
+            "attr_loads": [a.to_json() for a in self.attr_loads],
+        }
+
+    @staticmethod
+    def from_json(data: Mapping[str, Any]) -> "FunctionInfo":
+        return FunctionInfo(
+            qual=str(data["qual"]), name=str(data["name"]),
+            lineno=int(data["lineno"]), col=int(data["col"]),
+            params=[str(p) for p in data["params"]],
+            has_vararg=bool(data["has_vararg"]),
+            has_kwarg=bool(data["has_kwarg"]),
+            is_method=bool(data["is_method"]),
+            is_public=bool(data["is_public"]),
+            is_abstract=bool(data["is_abstract"]),
+            is_trivial=bool(data["is_trivial"]),
+            param_annotations={
+                str(k): str(v) for k, v in data["param_annotations"].items()
+            },
+            var_annotations={
+                str(k): str(v) for k, v in data["var_annotations"].items()
+            },
+            generic_uses=[str(u) for u in data["generic_uses"]],
+            stores=[str(s) for s in data["stores"]],
+            calls=[CallInfo.from_json(c) for c in data["calls"]],
+            acquires=[AcquireInfo.from_json(a) for a in data["acquires"]],
+            attr_loads=[AttrLoad.from_json(a) for a in data["attr_loads"]],
+        )
+
+
+@dataclass
+class ClassInfo:
+    """One class: bases, methods, dataclass fields, typed attributes."""
+
+    name: str
+    lineno: int
+    col: int
+    bases: list[str]
+    is_dataclass: bool
+    fields: list[FieldInfo]
+    methods: list[str]
+    properties: list[str]
+    #: ``self.<attr> = ClassName(...)`` → qualified constructor name.
+    attr_types: dict[str, str]
+    #: Attributes assigned a lock constructor anywhere in the class.
+    lock_attrs: list[str]
+    #: Constant keys of the dict literal ``to_wire`` returns, if static.
+    wire_keys: list[str] | None
+    wire_keys_lineno: int
+    #: Elements of a ``known = {...}`` set literal inside ``from_wire``.
+    from_wire_known: list[str] | None
+    from_wire_lineno: int
+
+    def field_names(self) -> list[str]:
+        return [f.name for f in self.fields]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name, "lineno": self.lineno, "col": self.col,
+            "bases": list(self.bases),
+            "is_dataclass": self.is_dataclass,
+            "fields": [f.to_json() for f in self.fields],
+            "methods": list(self.methods),
+            "properties": list(self.properties),
+            "attr_types": dict(self.attr_types),
+            "lock_attrs": list(self.lock_attrs),
+            "wire_keys": self.wire_keys,
+            "wire_keys_lineno": self.wire_keys_lineno,
+            "from_wire_known": self.from_wire_known,
+            "from_wire_lineno": self.from_wire_lineno,
+        }
+
+    @staticmethod
+    def from_json(data: Mapping[str, Any]) -> "ClassInfo":
+        return ClassInfo(
+            name=str(data["name"]),
+            lineno=int(data["lineno"]), col=int(data["col"]),
+            bases=[str(b) for b in data["bases"]],
+            is_dataclass=bool(data["is_dataclass"]),
+            fields=[FieldInfo.from_json(f) for f in data["fields"]],
+            methods=[str(m) for m in data["methods"]],
+            properties=[str(p) for p in data["properties"]],
+            attr_types={
+                str(k): str(v) for k, v in data["attr_types"].items()
+            },
+            lock_attrs=[str(a) for a in data["lock_attrs"]],
+            wire_keys=(
+                None if data["wire_keys"] is None
+                else [str(k) for k in data["wire_keys"]]
+            ),
+            wire_keys_lineno=int(data["wire_keys_lineno"]),
+            from_wire_known=(
+                None if data["from_wire_known"] is None
+                else [str(k) for k in data["from_wire_known"]]
+            ),
+            from_wire_lineno=int(data["from_wire_lineno"]),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Everything pass 2 knows about one source file."""
+
+    path: str
+    module: str
+    package: tuple[str, ...] | None
+    imports: dict[str, str]
+    module_locks: list[str]
+    functions: list[FunctionInfo]
+    classes: list[ClassInfo]
+    id_sites: list[IdLiteralSite]
+    parse_failed: bool = False
+
+    def in_packages(self, packages: Sequence[str]) -> bool:
+        """Same dotted-prefix scoping as :meth:`Module.in_packages`."""
+        if self.package is None:
+            return False
+        for entry in packages:
+            prefix = tuple(entry.split("."))
+            if self.package[: len(prefix)] == prefix:
+                return True
+        return False
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "version": SUMMARY_VERSION,
+            "path": self.path,
+            "module": self.module,
+            "package": list(self.package) if self.package is not None else None,
+            "imports": dict(self.imports),
+            "module_locks": list(self.module_locks),
+            "functions": [f.to_json() for f in self.functions],
+            "classes": [c.to_json() for c in self.classes],
+            "id_sites": [s.to_json() for s in self.id_sites],
+            "parse_failed": self.parse_failed,
+        }
+
+    @staticmethod
+    def from_json(data: Mapping[str, Any]) -> "ModuleSummary":
+        if data.get("version") != SUMMARY_VERSION:
+            raise ValueError(
+                f"summary version {data.get('version')!r} != {SUMMARY_VERSION}"
+            )
+        return ModuleSummary(
+            path=str(data["path"]),
+            module=str(data["module"]),
+            package=(
+                None if data["package"] is None
+                else tuple(str(p) for p in data["package"])
+            ),
+            imports={str(k): str(v) for k, v in data["imports"].items()},
+            module_locks=[str(n) for n in data["module_locks"]],
+            functions=[FunctionInfo.from_json(f) for f in data["functions"]],
+            classes=[ClassInfo.from_json(c) for c in data["classes"]],
+            id_sites=[IdLiteralSite.from_json(s) for s in data["id_sites"]],
+            parse_failed=bool(data.get("parse_failed", False)),
+        )
+
+
+def module_dotted_name(path: str, package: tuple[str, ...] | None) -> str:
+    """Dotted module name: ``repro.serve.router`` for repro files, a
+    path-derived pseudo-name (``tests.serve.test_x``) otherwise."""
+    if package is not None:
+        parts: tuple[str, ...] = ("repro",) + package
+    else:
+        pure = PurePosixPath(path)
+        parts = tuple(
+            p for p in pure.with_suffix("").parts if p not in ("/", ".", "src")
+        )
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else "<root>"
+
+
+# ----------------------------------------------------------------------
+# extraction
+# ----------------------------------------------------------------------
+def _param_names(args: ast.arguments) -> tuple[list[str], bool, bool]:
+    names = [
+        a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    ]
+    return names, args.vararg is not None, args.kwarg is not None
+
+
+def _annotation_text(mod: Module, node: ast.expr | None) -> str | None:
+    """Annotation as a qualified dotted string where resolvable."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.strip()
+    qualified = mod.qualified_name(node)
+    if qualified is not None:
+        return qualified
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on exprs
+        return None
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_abstract(mod: Module, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for deco in fn.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        qualified = mod.qualified_name(target)
+        if qualified in ("abc.abstractmethod", "abstractmethod"):
+            return True
+    return False
+
+
+def _is_property(mod: Module, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for deco in fn.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        qualified = mod.qualified_name(target)
+        if qualified in (
+            "property", "functools.cached_property", "cached_property",
+        ):
+            return True
+    return False
+
+
+def _is_trivial_body(body: Sequence[ast.stmt]) -> bool:
+    """Docstring / ``pass`` / ``...`` / ``raise`` only — an interface
+    stub, not an implementation that drops its inputs."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Raise)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        return False
+    return True
+
+
+class _FunctionExtractor:
+    """Collects calls (with held locks), acquisitions, and name facts
+    from one function body without descending into nested defs."""
+
+    def __init__(
+        self,
+        mod: Module,
+        summary: "ModuleSummary",
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: ast.ClassDef | None,
+        lock_attrs: frozenset[str],
+    ):
+        self.mod = mod
+        self.summary = summary
+        self.fn = fn
+        self.cls = cls
+        self.lock_attrs = lock_attrs
+        self.calls: list[CallInfo] = []
+        self.acquires: list[AcquireInfo] = []
+        self.var_annotations: dict[str, str] = {}
+        self.generic_uses: list[str] = []
+        self.stores: list[str] = []
+        self.attr_loads: list[AttrLoad] = []
+        self._bare_arg_nodes: set[int] = set()
+        self._names: list[ast.Name] = []
+
+    # -- lock tokens ---------------------------------------------------
+    def _lock_token(self, node: ast.expr) -> str | None:
+        """Canonical-ish token for a lock expression, or ``None``.
+
+        ``self._lock`` → ``"self._lock"`` when the class declares the
+        attribute as a lock; a plain/dotted name → ``"@<qualified>"``
+        when it resolves to a module-level lock of *this* module or is a
+        dotted import (cross-module globals are validated by LOCK002).
+        """
+        attr = _self_attr(node)
+        if attr is not None:
+            return f"self.{attr}" if attr in self.lock_attrs else None
+        qualified = self.mod.qualified_name(node)
+        if qualified is None:
+            return None
+        if "." not in qualified:
+            if qualified in self.summary.module_locks:
+                return f"@{self.summary.module}.{qualified}"
+            return None
+        return f"@{qualified}"
+
+    # -- traversal -----------------------------------------------------
+    def run(self) -> None:
+        self._walk_block(self.fn.body, [])
+        bare = self._bare_arg_nodes
+        params = set(_param_names(self.fn.args)[0])
+        if self.fn.args.vararg is not None:
+            params.add(self.fn.args.vararg.arg)
+        if self.fn.args.kwarg is not None:
+            params.add(self.fn.args.kwarg.arg)
+        self.generic_uses = sorted({
+            name.id
+            for name in self._names
+            if isinstance(name.ctx, ast.Load)
+            and name.id in params
+            and id(name) not in bare
+        })
+        self.stores = sorted({
+            name.id
+            for name in self._names
+            if isinstance(name.ctx, (ast.Store, ast.Del))
+        })
+
+    def _walk_block(self, stmts: Sequence[ast.stmt], held: list[str]) -> None:
+        held = list(held)
+        for stmt in stmts:
+            token = self._acquire_release_stmt(stmt)
+            if token is not None:
+                verb, tok = token
+                if verb == "acquire":
+                    self.acquires.append(AcquireInfo(
+                        token=tok, lineno=stmt.lineno, col=stmt.col_offset,
+                        held=tuple(held),
+                    ))
+                    held.append(tok)
+                elif tok in held:
+                    held.remove(tok)
+                continue
+            self._walk_stmt(stmt, held)
+
+    def _acquire_release_stmt(self, stmt: ast.stmt) -> tuple[str, str] | None:
+        """``x.acquire()`` / ``x.release()`` statement on a known lock."""
+        if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+            return None
+        call = stmt.value
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        if call.func.attr not in ("acquire", "release"):
+            return None
+        token = self._lock_token(call.func.value)
+        if token is None:
+            return None
+        return ("acquire" if call.func.attr == "acquire" else "release", token)
+
+    def _walk_stmt(self, stmt: ast.stmt, held: list[str]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # separate execution context
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            tokens: list[str] = []
+            for item in stmt.items:
+                self._walk_expr(item.context_expr, held)
+                token = self._lock_token(item.context_expr)
+                if token is not None:
+                    self.acquires.append(AcquireInfo(
+                        token=token,
+                        lineno=item.context_expr.lineno,
+                        col=item.context_expr.col_offset,
+                        held=tuple(held + tokens),
+                    ))
+                    tokens.append(token)
+            self._walk_block(stmt.body, held + tokens)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                text = _annotation_text(self.mod, stmt.annotation)
+                if text is not None:
+                    self.var_annotations[stmt.target.id] = text
+        for expr in ast.iter_child_nodes(stmt):
+            if isinstance(expr, ast.expr):
+                self._walk_expr(expr, held)
+            elif isinstance(expr, ast.stmt):
+                self._walk_block([expr], held)
+            elif isinstance(expr, (ast.excepthandler, ast.match_case)):
+                for sub in ast.iter_child_nodes(expr):
+                    if isinstance(sub, ast.stmt):
+                        self._walk_block([sub], held)
+                    elif isinstance(sub, ast.expr):
+                        self._walk_expr(sub, held)
+
+    def _walk_expr(self, expr: ast.expr, held: list[str]) -> None:
+        stack: list[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda, ast.ClassDef)):
+                continue
+            if isinstance(node, ast.Call):
+                self._record_call(node, held)
+            elif isinstance(node, ast.Name):
+                self._names.append(node)
+            elif isinstance(node, ast.Attribute):
+                if (
+                    isinstance(node.ctx, ast.Load)
+                    and isinstance(node.value, ast.Name)
+                ):
+                    self.attr_loads.append(AttrLoad(
+                        base=node.value.id, attr=node.attr,
+                        lineno=node.lineno, col=node.col_offset,
+                    ))
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- call sites ----------------------------------------------------
+    def _record_call(self, node: ast.Call, held: list[str]) -> None:
+        scope, target, attr_root = self._resolve_callee(node.func)
+        pos: list[str | None] = []
+        star = False
+        names_in_args: set[str] = set()
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                star = True
+                pos.append(None)
+            elif isinstance(arg, ast.Name):
+                pos.append(arg.id)
+                self._bare_arg_nodes.add(id(arg))
+                names_in_args.add(arg.id)
+            else:
+                pos.append(None)
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Name):
+                    names_in_args.add(sub.id)
+        kws: list[tuple[str, str | None]] = []
+        for kw in node.keywords:
+            if kw.arg is None:
+                star = True
+                for sub in ast.walk(kw.value):
+                    if isinstance(sub, ast.Name):
+                        names_in_args.add(sub.id)
+                continue
+            if isinstance(kw.value, ast.Name):
+                kws.append((kw.arg, kw.value.id))
+                self._bare_arg_nodes.add(id(kw.value))
+                names_in_args.add(kw.value.id)
+            else:
+                kws.append((kw.arg, None))
+            for sub in ast.walk(kw.value):
+                if isinstance(sub, ast.Name):
+                    names_in_args.add(sub.id)
+        self.calls.append(CallInfo(
+            scope=scope, target=target, attr_root=attr_root,
+            lineno=node.lineno, col=node.col_offset,
+            pos=tuple(pos), kws=tuple(kws), star=star,
+            names_in_args=tuple(sorted(names_in_args)),
+            held=tuple(held),
+        ))
+
+    def _resolve_callee(self, func: ast.expr) -> tuple[str, str, str]:
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name) and value.id == "self":
+                return ("self", func.attr, "")
+            inner = _self_attr(value)
+            if inner is not None:
+                return ("selfattr", func.attr, inner)
+        qualified = self.mod.qualified_name(func)
+        if qualified is not None:
+            return ("name", qualified, "")
+        return ("unknown", "", "")
+
+
+def _class_lock_attrs(mod: Module, cls: ast.ClassDef) -> frozenset[str]:
+    attrs: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        if mod.qualified_name(node.value.func) not in LOCK_CONSTRUCTORS:
+            continue
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                attrs.add(attr)
+    return frozenset(attrs)
+
+
+def _is_dataclass(mod: Module, cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        qualified = mod.qualified_name(target)
+        if qualified in ("dataclasses.dataclass", "dataclass"):
+            return True
+    return False
+
+
+def _dataclass_fields(mod: Module, cls: ast.ClassDef) -> list[FieldInfo]:
+    fields: list[FieldInfo] = []
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        annotation = _annotation_text(mod, stmt.annotation) or ""
+        if annotation.startswith("ClassVar") or annotation.startswith(
+            "typing.ClassVar"
+        ):
+            continue
+        fields.append(FieldInfo(
+            name=stmt.target.id,
+            annotation=annotation,
+            has_default=stmt.value is not None,
+            lineno=stmt.lineno,
+            col=stmt.col_offset,
+        ))
+    return fields
+
+
+def _wire_dict_keys(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str] | None:
+    """Constant keys of the dict literal a ``to_wire`` returns, if any."""
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Return) or not isinstance(node.value, ast.Dict):
+            continue
+        keys: list[str] = []
+        for key in node.value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.append(key.value)
+            else:
+                return None  # dynamic keys: not statically checkable
+        return keys
+    return None
+
+
+def _from_wire_known(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str] | None:
+    """Elements of a ``known = {...}`` set-of-constants inside from_wire."""
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Set):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "known" for t in node.targets
+        ):
+            continue
+        names: list[str] = []
+        for elt in node.value.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                names.append(elt.value)
+            else:
+                return None
+        return names
+    return None
+
+
+def _extract_class(
+    mod: Module, summary: ModuleSummary, cls: ast.ClassDef
+) -> ClassInfo:
+    lock_attrs = _class_lock_attrs(mod, cls)
+    methods: list[str] = []
+    properties: list[str] = []
+    attr_types: dict[str, str] = {}
+    wire_keys: list[str] | None = None
+    wire_keys_lineno = cls.lineno
+    from_wire_known: list[str] | None = None
+    from_wire_lineno = cls.lineno
+    for stmt in cls.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if _is_property(mod, stmt):
+            properties.append(stmt.name)
+        else:
+            methods.append(stmt.name)
+        if stmt.name == "to_wire":
+            wire_keys = _wire_dict_keys(stmt)
+            wire_keys_lineno = stmt.lineno
+        elif stmt.name == "from_wire":
+            from_wire_known = _from_wire_known(stmt)
+            from_wire_lineno = stmt.lineno
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            ctor = mod.qualified_name(node.value.func)
+            if ctor is None:
+                continue
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None and attr not in attr_types:
+                    attr_types[attr] = ctor
+    bases = [
+        b for b in (mod.qualified_name(base) for base in cls.bases)
+        if b is not None
+    ]
+    return ClassInfo(
+        name=cls.name, lineno=cls.lineno, col=cls.col_offset,
+        bases=bases,
+        is_dataclass=_is_dataclass(mod, cls),
+        fields=_dataclass_fields(mod, cls) if _is_dataclass(mod, cls) else [],
+        methods=methods, properties=properties,
+        attr_types=attr_types,
+        lock_attrs=sorted(lock_attrs),
+        wire_keys=wire_keys, wire_keys_lineno=wire_keys_lineno,
+        from_wire_known=from_wire_known, from_wire_lineno=from_wire_lineno,
+    )
+
+
+def _extract_function(
+    mod: Module,
+    summary: ModuleSummary,
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    cls: ast.ClassDef | None,
+    lock_attrs: frozenset[str],
+) -> FunctionInfo:
+    params, has_vararg, has_kwarg = _param_names(fn.args)
+    extractor = _FunctionExtractor(mod, summary, fn, cls, lock_attrs)
+    extractor.run()
+    param_annotations: dict[str, str] = {}
+    for arg in (*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs):
+        text = _annotation_text(mod, arg.annotation)
+        if text is not None:
+            param_annotations[arg.arg] = text
+    qual = fn.name if cls is None else f"{cls.name}.{fn.name}"
+    return FunctionInfo(
+        qual=qual, name=fn.name, lineno=fn.lineno, col=fn.col_offset,
+        params=params, has_vararg=has_vararg, has_kwarg=has_kwarg,
+        is_method=cls is not None,
+        is_public=not fn.name.startswith("_") or fn.name == "__init__",
+        is_abstract=_is_abstract(mod, fn),
+        is_trivial=_is_trivial_body(fn.body),
+        param_annotations=param_annotations,
+        var_annotations=extractor.var_annotations,
+        generic_uses=extractor.generic_uses,
+        stores=extractor.stores,
+        calls=extractor.calls,
+        acquires=extractor.acquires,
+        attr_loads=extractor.attr_loads,
+    )
+
+
+def _extract_id_sites(mod: Module) -> list[IdLiteralSite]:
+    sites: list[IdLiteralSite] = []
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.JoinedStr):
+            values = node.values
+            for i, part in enumerate(values):
+                if not isinstance(part, ast.FormattedValue):
+                    continue
+                if i == 0 or not isinstance(values[i - 1], ast.Constant):
+                    continue
+                prev = values[i - 1]
+                assert isinstance(prev, ast.Constant)
+                if not isinstance(prev.value, str):
+                    continue
+                match = _ID_PREFIX.search(prev.value)
+                if match is None:
+                    continue
+                spec = ""
+                if isinstance(part.format_spec, ast.JoinedStr):
+                    spec_parts = part.format_spec.values
+                    if len(spec_parts) == 1 and isinstance(
+                        spec_parts[0], ast.Constant
+                    ):
+                        spec = str(spec_parts[0].value)
+                sites.append(IdLiteralSite(
+                    kind="build", prefix=match.group(1), spec=spec,
+                    lineno=node.lineno, col=node.col_offset,
+                ))
+        elif isinstance(node, ast.Call):
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in ("startswith", "removeprefix"):
+                continue
+            if len(node.args) != 1:
+                continue
+            arg = node.args[0]
+            if not isinstance(arg, ast.Constant) or not isinstance(
+                arg.value, str
+            ):
+                continue
+            match = _ID_PARSE_CONST.match(arg.value)
+            if match is None:
+                continue
+            sites.append(IdLiteralSite(
+                kind="parse", prefix=match.group(1), spec="",
+                lineno=node.lineno, col=node.col_offset,
+            ))
+    return sites
+
+
+def summarize_module(mod: Module) -> ModuleSummary:
+    """Reduce one parsed module to its :class:`ModuleSummary`."""
+    package = mod.repro_package
+    summary = ModuleSummary(
+        path=mod.path,
+        module=module_dotted_name(mod.path, package),
+        package=package,
+        imports=dict(mod.imports),
+        module_locks=[],
+        functions=[],
+        classes=[],
+        id_sites=[],
+    )
+    # module-level locks first: function extraction resolves against them
+    for stmt in mod.tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not isinstance(stmt.value, ast.Call):
+            continue
+        if mod.qualified_name(stmt.value.func) not in LOCK_CONSTRUCTORS:
+            continue
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                summary.module_locks.append(target.id)
+    for stmt in mod.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            summary.functions.append(
+                _extract_function(mod, summary, stmt, None, frozenset())
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            info = _extract_class(mod, summary, stmt)
+            summary.classes.append(info)
+            lock_attrs = frozenset(info.lock_attrs)
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    summary.functions.append(
+                        _extract_function(mod, summary, sub, stmt, lock_attrs)
+                    )
+    summary.id_sites = _extract_id_sites(mod)
+    return summary
+
+
+def parse_failure_summary(path: str, package: tuple[str, ...] | None) -> ModuleSummary:
+    """Stub summary for a file that does not parse (PARSE000 carries the
+    diagnostic; the project pass just skips the module's contents)."""
+    return ModuleSummary(
+        path=path,
+        module=module_dotted_name(path, package),
+        package=package,
+        imports={},
+        module_locks=[],
+        functions=[],
+        classes=[],
+        id_sites=[],
+        parse_failed=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# the whole-program index
+# ----------------------------------------------------------------------
+class ProjectIndex:
+    """Pass 2's view of the program: every summary, cross-linked.
+
+    Function keys are ``"<dotted module>::<qual>"``
+    (``repro.serve.server::SchedulingService.submit``); class keys are
+    dotted (``repro.serve.protocol.JobRequest``).
+    """
+
+    def __init__(self, summaries: Sequence[ModuleSummary]):
+        self.modules: dict[str, ModuleSummary] = {
+            s.path: s for s in summaries
+        }
+        self.by_module: dict[str, ModuleSummary] = {}
+        self.functions: dict[str, tuple[ModuleSummary, FunctionInfo]] = {}
+        self.classes: dict[str, tuple[ModuleSummary, ClassInfo]] = {}
+        for summary in summaries:
+            # first writer wins on pseudo-name collisions (non-repro files)
+            self.by_module.setdefault(summary.module, summary)
+            for fn in summary.functions:
+                self.functions.setdefault(
+                    f"{summary.module}::{fn.qual}", (summary, fn)
+                )
+            for cls in summary.classes:
+                self.classes.setdefault(
+                    f"{summary.module}.{cls.name}", (summary, cls)
+                )
+
+    def iter_summaries(self) -> Iterator[ModuleSummary]:
+        for path in sorted(self.modules):
+            yield self.modules[path]
+
+    # ------------------------------------------------------------------
+    def resolve_class(
+        self, summary: ModuleSummary, name: str
+    ) -> tuple[ModuleSummary, ClassInfo] | None:
+        """A class reference as written in ``summary`` → its ClassInfo.
+
+        ``name`` may be dotted-qualified (already import-resolved) or a
+        module-local bare name.
+        """
+        if "." not in name:
+            return self.classes.get(f"{summary.module}.{name}")
+        found = self.classes.get(name)
+        if found is not None:
+            return found
+        # `import repro.serve.protocol as protocol` style chains resolve
+        # to module.Class already; re-exports (package __init__) do not —
+        # try the tail against every module suffix match
+        head, _, tail = name.rpartition(".")
+        target = self.by_module.get(head)
+        if target is not None:
+            return self.classes.get(f"{target.module}.{tail}")
+        return None
+
+    def class_mro(
+        self, summary: ModuleSummary, cls: ClassInfo
+    ) -> list[tuple[ModuleSummary, ClassInfo]]:
+        """The class plus every project-resolvable ancestor (approximate
+        linearization, cycle-safe)."""
+        out: list[tuple[ModuleSummary, ClassInfo]] = []
+        seen: set[str] = set()
+        work: list[tuple[ModuleSummary, ClassInfo]] = [(summary, cls)]
+        while work:
+            mod_summary, info = work.pop(0)
+            key = f"{mod_summary.module}.{info.name}"
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append((mod_summary, info))
+            for base in info.bases:
+                resolved = self.resolve_class(mod_summary, base)
+                if resolved is not None:
+                    work.append(resolved)
+        return out
+
+    def find_method(
+        self, summary: ModuleSummary, cls: ClassInfo, method: str
+    ) -> tuple[ModuleSummary, FunctionInfo] | None:
+        """Locate ``method`` on ``cls`` or its resolvable ancestors."""
+        for mod_summary, info in self.class_mro(summary, cls):
+            found = self.functions.get(
+                f"{mod_summary.module}::{info.name}.{method}"
+            )
+            if found is not None:
+                return found
+        return None

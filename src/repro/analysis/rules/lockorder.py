@@ -1,0 +1,219 @@
+"""LOCK002 — cross-module lock-order deadlock detection.
+
+A lockdep in miniature: every ``with lock:`` / ``lock.acquire()`` site
+(pass 1 recorded each with the set of locks already held there) becomes
+an edge *held → acquired* in a global lock-order digraph; calls made
+while holding a lock propagate the callee's transitive acquisitions as
+edges too, so an inversion split across modules — thread A takes
+``router._lock`` then calls into the shard which takes ``shard._lock``,
+thread B the other way round — still closes a cycle.  Any cycle in the
+digraph is a potential deadlock; the finding carries a witness site for
+*every* edge of the cycle so both acquisition orders are reviewable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Iterator
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.engine import Finding, ProjectRule
+from repro.analysis.project import FunctionInfo, ModuleSummary, ProjectIndex
+
+__all__ = ["Lock002LockOrderCycle"]
+
+
+@dataclass(frozen=True)
+class _Edge:
+    """Lock ``a`` held while lock ``b`` is acquired, with the witness."""
+
+    a: str
+    b: str
+    path: str
+    lineno: int
+    col: int
+    label: str
+
+
+class _LockGraph:
+    """Canonical lock ids + ordering edges for one project."""
+
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        self.graph = CallGraph(index)
+        #: (a, b) → first witness edge seen for that ordering.
+        self.edges: dict[tuple[str, str], _Edge] = {}
+        #: function key → canonical lock ids it (transitively) acquires,
+        #: each with one representative witness label.
+        self._acquired: dict[str, dict[str, str]] = {}
+        self._on_stack: set[str] = set()
+
+    # -- canonical lock identity ---------------------------------------
+    def canon(self, summary: ModuleSummary, fn: FunctionInfo, token: str) -> str | None:
+        """Pass-1 token → project-wide lock id, or ``None`` if unknown.
+
+        ``self.<attr>`` gets class identity (``module.Class.attr`` — one
+        id per *class*, the granularity lock-order discipline is stated
+        at); ``@<dotted>`` must name a module-level lock of a summarized
+        module, otherwise the token is dropped (conservative: unknown
+        objects produce no edges, hence no false cycles).
+        """
+        if token.startswith("self."):
+            cls = fn.cls
+            if cls is None:
+                return None
+            return f"{summary.module}.{cls}.{token[len('self.'):]}"
+        if token.startswith("@"):
+            dotted = token[1:]
+            module, _, name = dotted.rpartition(".")
+            target = self.index.by_module.get(module)
+            if target is not None and name in target.module_locks:
+                return f"{target.module}.{name}"
+            return None
+        return None
+
+    # -- transitive acquisitions ---------------------------------------
+    def acquired_by(self, key: str) -> dict[str, str]:
+        """Locks the function at ``key`` acquires, directly or through
+        resolvable calls (memoized; call cycles resolve optimistically)."""
+        cached = self._acquired.get(key)
+        if cached is not None:
+            return cached
+        if key in self._on_stack:
+            return {}
+        found = self.index.functions.get(key)
+        if found is None:
+            self._acquired[key] = {}
+            return {}
+        summary, fn = found
+        self._on_stack.add(key)
+        out: dict[str, str] = {}
+        for acq in fn.acquires:
+            lock = self.canon(summary, fn, acq.token)
+            if lock is not None:
+                out.setdefault(
+                    lock, f"{fn.qual} ({summary.path}:{acq.lineno})"
+                )
+        for call in fn.calls:
+            resolution = self.graph.resolve_call(summary, fn, call)
+            if resolution is None:
+                continue
+            for lock, where in self.acquired_by(resolution.key).items():
+                out.setdefault(
+                    lock,
+                    f"{fn.qual} ({summary.path}:{call.lineno}) -> {where}",
+                )
+        self._on_stack.discard(key)
+        self._acquired[key] = out
+        return out
+
+    # -- edge collection -----------------------------------------------
+    def build(self) -> None:
+        for summary in self.index.iter_summaries():
+            for fn in summary.functions:
+                self._edges_of(summary, fn)
+
+    def _add_edge(self, edge: _Edge) -> None:
+        if edge.a != edge.b:
+            self.edges.setdefault((edge.a, edge.b), edge)
+
+    def _edges_of(self, summary: ModuleSummary, fn: FunctionInfo) -> None:
+        for acq in fn.acquires:
+            b = self.canon(summary, fn, acq.token)
+            if b is None:
+                continue
+            for held in acq.held:
+                a = self.canon(summary, fn, held)
+                if a is None:
+                    continue
+                self._add_edge(_Edge(
+                    a=a, b=b, path=summary.path,
+                    lineno=acq.lineno, col=acq.col,
+                    label=f"{fn.qual} ({summary.path}:{acq.lineno})",
+                ))
+        for call in fn.calls:
+            if not call.held:
+                continue
+            resolution = self.graph.resolve_call(summary, fn, call)
+            if resolution is None:
+                continue
+            for b, where in self.acquired_by(resolution.key).items():
+                for held in call.held:
+                    a = self.canon(summary, fn, held)
+                    if a is None:
+                        continue
+                    self._add_edge(_Edge(
+                        a=a, b=b, path=summary.path,
+                        lineno=call.lineno, col=call.col,
+                        label=(
+                            f"{fn.qual} ({summary.path}:{call.lineno}) "
+                            f"-> {where}"
+                        ),
+                    ))
+
+    # -- cycles ----------------------------------------------------------
+    def cycles(self) -> list[list[_Edge]]:
+        """One representative cycle per distinct lock set, deterministic."""
+        adjacency: dict[str, list[str]] = {}
+        for a, b in self.edges:
+            adjacency.setdefault(a, []).append(b)
+        for targets in adjacency.values():
+            targets.sort()
+        found: dict[tuple[str, ...], list[_Edge]] = {}
+        for start in sorted(adjacency):
+            cycle = self._cycle_from(start, adjacency)
+            if cycle is None:
+                continue
+            key = tuple(sorted(edge.a for edge in cycle))
+            found.setdefault(key, cycle)
+        return [found[key] for key in sorted(found)]
+
+    def _cycle_from(
+        self, start: str, adjacency: dict[str, list[str]]
+    ) -> list[_Edge] | None:
+        """Shortest path back to ``start`` (BFS), as its edge list."""
+        parents: dict[str, str] = {}
+        queue = [start]
+        seen = {start}
+        while queue:
+            node = queue.pop(0)
+            for nxt in adjacency.get(node, ()):
+                if nxt == start:
+                    path = [node]
+                    while path[-1] != start:
+                        path.append(parents[path[-1]])
+                    order = list(reversed(path)) + [start]
+                    return [
+                        self.edges[(order[i], order[i + 1])]
+                        for i in range(len(order) - 1)
+                    ]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    parents[nxt] = node
+                    queue.append(nxt)
+        return None
+
+
+class Lock002LockOrderCycle(ProjectRule):
+    id: ClassVar[str] = "LOCK002"
+    title: ClassVar[str] = "inconsistent lock acquisition order across modules"
+    rationale: ClassVar[str] = (
+        "two code paths that take the same pair of locks in opposite "
+        "orders deadlock under the right interleaving; the inversion is "
+        "invisible per-file because the two orders usually live in "
+        "different modules joined by a call chain."
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        lock_graph = _LockGraph(project)
+        lock_graph.build()
+        for cycle in lock_graph.cycles():
+            witness = cycle[0]
+            order = " -> ".join([edge.a for edge in cycle] + [cycle[0].a])
+            paths = "; ".join(
+                f"{edge.a} then {edge.b} at {edge.label}" for edge in cycle
+            )
+            yield self.finding_at(
+                witness.path, witness.lineno, witness.col,
+                f"lock-order cycle {order}: {paths}",
+            )

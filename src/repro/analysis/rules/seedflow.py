@@ -1,0 +1,225 @@
+"""SEED002 — a seed accepted by a public entry point must be *used*.
+
+SEED001 checks that entry points drawing randomness accept a seed;
+SEED002 checks the dual bug it cannot see: the entry point accepts
+``seed=``/``rng=``, threads it through a couple of call layers, and some
+helper silently drops it — the caller believes the run is replayable
+while the RNG is seeded from something else entirely.
+
+The taint query is interprocedural over pass-1 summaries: a parameter
+counts as *used* when it is read generically (stored, compared,
+arithmetic, attribute access), passed to an RNG sink
+(``repro.sim.rng.stream``/``pyrandom`` and the stdlib/NumPy
+constructors), or forwarded as a bare argument into a callee that uses
+its corresponding parameter (checked recursively through the call
+graph).  Unknown callees, ``*args``/``**kwargs`` expansion, and
+call-graph cycles all resolve to "used" — the rule prefers false
+negatives to noise.  The finding anchors at the function that actually
+drops the seed when that function is itself reportable, otherwise at the
+public entry point with the forwarding chain in the message.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import ClassVar, Iterator
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.engine import Finding, ProjectRule
+from repro.analysis.project import CallInfo, FunctionInfo, ModuleSummary, ProjectIndex
+from repro.analysis.rules.determinism import SEEDED_PACKAGES
+
+__all__ = ["Seed002DroppedSeed"]
+
+_SEED_PARAM = re.compile(r"^(seed|seeds|rng|random_state|.*_seed|.*_rng)$")
+
+#: Callees whose mere receipt of the value *is* the use.
+_RNG_SINKS = frozenset({
+    "repro.sim.rng.stream",
+    "repro.sim.rng.pyrandom",
+    "random.Random",
+    "random.seed",
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+    "numpy.random.seed",
+})
+
+
+def _bare_forwards(call: CallInfo, param: str) -> bool:
+    return param in call.pos or any(v == param for _, v in call.kws)
+
+
+class _TaintQuery:
+    """Memoized "does this function use this parameter?" oracle."""
+
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        self.graph = CallGraph(index)
+        self._memo: dict[tuple[str, str], bool] = {}
+        self._on_stack: set[tuple[str, str]] = set()
+
+    def uses(self, key: str, param: str) -> bool:
+        memo_key = (key, param)
+        if memo_key in self._memo:
+            return self._memo[memo_key]
+        if memo_key in self._on_stack:
+            return True  # recursion: optimistically assume used
+        found = self.index.functions.get(key)
+        if found is None:
+            return True
+        summary, fn = found
+        self._on_stack.add(memo_key)
+        try:
+            result = self._uses_uncached(summary, fn, key, param)
+        finally:
+            self._on_stack.discard(memo_key)
+        self._memo[memo_key] = result
+        return result
+
+    def _uses_uncached(
+        self, summary: ModuleSummary, fn: FunctionInfo, key: str, param: str
+    ) -> bool:
+        if param in fn.generic_uses:
+            return True
+        for call in fn.calls:
+            if call.star and param in call.names_in_args:
+                return True
+            if not _bare_forwards(call, param):
+                continue
+            if call.scope == "name" and call.target in _RNG_SINKS:
+                return True
+            resolution = self.graph.resolve_call(summary, fn, call)
+            if resolution is None:
+                return True  # unknown callee: assume it uses the value
+            callee = self.graph.callee(resolution.key)
+            if callee is None:
+                return True
+            _, callee_fn = callee
+            if callee_fn.is_abstract or callee_fn.is_trivial:
+                return True  # interface stub: implementations unknown
+            pairs = CallGraph.map_forwarded_args(
+                call, callee_fn, resolution.bound
+            )
+            mapped = [cp for cp, name in pairs if name == param]
+            if not mapped:
+                return True  # swallowed by *args/**kwargs: opaque
+            if any(self.uses(resolution.key, cp) for cp in mapped):
+                return True
+        return False
+
+    def drop_chain(self, key: str, param: str) -> str | None:
+        """First forwarding hop whose callee drops the value, described."""
+        found = self.index.functions.get(key)
+        if found is None:
+            return None
+        summary, fn = found
+        for call in fn.calls:
+            if not _bare_forwards(call, param):
+                continue
+            resolution = self.graph.resolve_call(summary, fn, call)
+            if resolution is None:
+                continue
+            callee = self.graph.callee(resolution.key)
+            if callee is None:
+                continue
+            _, callee_fn = callee
+            pairs = CallGraph.map_forwarded_args(
+                call, callee_fn, resolution.bound
+            )
+            mapped = [cp for cp, name in pairs if name == param]
+            if mapped and not any(
+                self.uses(resolution.key, cp) for cp in mapped
+            ):
+                return (
+                    f"forwarded to {self.graph.describe(resolution.key)} "
+                    f"which drops `{mapped[0]}`"
+                )
+        return None
+
+
+class Seed002DroppedSeed(ProjectRule):
+    id: ClassVar[str] = "SEED002"
+    title: ClassVar[str] = "seed parameter accepted but dropped"
+    rationale: ClassVar[str] = (
+        "an entry point that takes seed/rng and never lets it reach an "
+        "RNG advertises replayability it does not have; runs differ "
+        "between invocations while the caller pins the seed."
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        query = _TaintQuery(project)
+        dropped: dict[str, tuple[ModuleSummary, FunctionInfo, list[str]]] = {}
+        for summary in project.iter_summaries():
+            if not summary.in_packages(SEEDED_PACKAGES):
+                continue
+            for fn in summary.functions:
+                if not fn.is_public or fn.is_abstract or fn.is_trivial:
+                    continue
+                if self._overrides_base(project, summary, fn):
+                    continue
+                key = f"{summary.module}::{fn.qual}"
+                if project.functions.get(key) != (summary, fn):
+                    continue  # shadowed duplicate definition
+                params = [
+                    p for p in fn.params
+                    if _SEED_PARAM.match(p) and not query.uses(key, p)
+                ]
+                if params:
+                    dropped[key] = (summary, fn, params)
+
+        for key in sorted(dropped):
+            summary, fn, params = dropped[key]
+            for param in params:
+                chain = query.drop_chain(key, param)
+                if chain is not None and self._chain_target_reported(
+                    query, key, param, dropped
+                ):
+                    continue  # anchor at the dropping function instead
+                detail = f" ({chain})" if chain else ""
+                yield self.finding_at(
+                    summary.path, fn.lineno, fn.col,
+                    f"`{fn.qual}` accepts seed parameter `{param}` but it "
+                    f"never reaches an RNG{detail} — the caller's seed is "
+                    "silently ignored",
+                )
+
+    @staticmethod
+    def _overrides_base(
+        project: ProjectIndex, summary: ModuleSummary, fn: FunctionInfo
+    ) -> bool:
+        """Method redeclares a resolvable base method: its signature is
+        pinned by the interface, so an unused-but-required seed
+        parameter is the base's contract, not this function's bug."""
+        cls_name = fn.cls
+        if cls_name is None:
+            return False
+        found_cls = project.classes.get(f"{summary.module}.{cls_name}")
+        if found_cls is None:
+            return False
+        for mod_summary, info in project.class_mro(*found_cls)[1:]:
+            if fn.name in info.methods:
+                return True
+        return False
+
+    @staticmethod
+    def _chain_target_reported(
+        query: _TaintQuery,
+        key: str,
+        param: str,
+        dropped: dict[str, tuple[ModuleSummary, FunctionInfo, list[str]]],
+    ) -> bool:
+        """Whether the dropping callee gets its own finding (avoid
+        reporting one dropped seed twice along a forwarding chain)."""
+        found = query.index.functions.get(key)
+        if found is None:
+            return False
+        summary, fn = found
+        for call in fn.calls:
+            if not _bare_forwards(call, param):
+                continue
+            resolution = query.graph.resolve_call(summary, fn, call)
+            if resolution is None:
+                continue
+            if resolution.key in dropped:
+                return True
+        return False

@@ -1,0 +1,228 @@
+"""WIRE002 — wire-schema drift between protocol dataclasses and their users.
+
+The protocol dataclasses in ``repro.serve.protocol`` (and the federation
+tier's protocol module, if any) are the single source of truth for what
+goes over the wire.  Four things can silently drift away from them:
+
+* ``to_wire`` returning a dict whose keys no longer match the field set;
+* ``from_wire``'s ``known = {...}`` allow-list missing a field (new
+  field rejected as "unknown") or keeping a deleted one;
+* a construction site — client, loadgen, router, federation service —
+  passing a keyword that is not a field, or omitting a required field;
+* code annotated to receive a protocol object reading an attribute the
+  dataclass no longer has.
+
+On top of the field checks, the structured job-id convention is checked
+across ``repro.serve``: every id prefix that some module *parses*
+(``x.startswith("fed-")``) must be *built* somewhere (``f"fed-{n:05d}"``),
+and all build sites of one prefix must agree on the format spec — the
+two-level ``fed-`` / ``job-`` convention routes by exactly these
+prefixes, so a renamed or re-padded id strands jobs.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Iterator
+
+from repro.analysis.engine import Finding, ProjectRule
+from repro.analysis.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleSummary,
+    ProjectIndex,
+)
+
+__all__ = ["Wire002SchemaDrift"]
+
+#: Modules whose dataclasses define the wire schema.
+_PROTOCOL_MODULE_SUFFIX = ".protocol"
+_PROTOCOL_PACKAGE = ("serve",)
+
+
+def _protocol_classes(
+    project: ProjectIndex,
+) -> dict[str, tuple[ModuleSummary, ClassInfo]]:
+    """Dotted class name → protocol dataclass, for serve protocol modules."""
+    out: dict[str, tuple[ModuleSummary, ClassInfo]] = {}
+    for summary in project.iter_summaries():
+        if not summary.in_packages(_PROTOCOL_PACKAGE):
+            continue
+        if not summary.module.endswith(_PROTOCOL_MODULE_SUFFIX):
+            continue
+        for cls in summary.classes:
+            if cls.is_dataclass:
+                out[f"{summary.module}.{cls.name}"] = (summary, cls)
+    return out
+
+
+class Wire002SchemaDrift(ProjectRule):
+    id: ClassVar[str] = "WIRE002"
+    title: ClassVar[str] = "protocol dataclass and its users disagree"
+    rationale: ClassVar[str] = (
+        "serialization, deserialization, construction and access sites "
+        "all hard-code the protocol field set; any one drifting from the "
+        "dataclass definition corrupts or rejects live traffic instead "
+        "of failing in review."
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        registry = _protocol_classes(project)
+        for name in sorted(registry):
+            yield from self._check_serializers(name, *registry[name])
+        for summary in project.iter_summaries():
+            for fn in summary.functions:
+                yield from self._check_constructions(
+                    project, registry, summary, fn
+                )
+                yield from self._check_attr_access(
+                    project, registry, summary, fn
+                )
+        yield from self._check_id_convention(project)
+
+    # -- to_wire / from_wire vs the field set ---------------------------
+    def _check_serializers(
+        self, name: str, summary: ModuleSummary, cls: ClassInfo
+    ) -> Iterator[Finding]:
+        fields = set(cls.field_names())
+        if cls.wire_keys is not None and set(cls.wire_keys) != fields:
+            missing = sorted(fields - set(cls.wire_keys))
+            extra = sorted(set(cls.wire_keys) - fields)
+            yield self.finding_at(
+                summary.path, cls.wire_keys_lineno, 0,
+                f"`{cls.name}.to_wire` keys drift from the dataclass "
+                f"fields (missing: {missing or 'none'}, "
+                f"extra: {extra or 'none'})",
+            )
+        if cls.from_wire_known is not None and set(cls.from_wire_known) != fields:
+            missing = sorted(fields - set(cls.from_wire_known))
+            extra = sorted(set(cls.from_wire_known) - fields)
+            yield self.finding_at(
+                summary.path, cls.from_wire_lineno, 0,
+                f"`{cls.name}.from_wire` known-field set drifts from the "
+                f"dataclass fields (missing: {missing or 'none'}, "
+                f"extra: {extra or 'none'})",
+            )
+
+    # -- construction sites ---------------------------------------------
+    def _check_constructions(
+        self,
+        project: ProjectIndex,
+        registry: dict[str, tuple[ModuleSummary, ClassInfo]],
+        summary: ModuleSummary,
+        fn: FunctionInfo,
+    ) -> Iterator[Finding]:
+        for call in fn.calls:
+            if call.scope != "name":
+                continue
+            resolved = project.resolve_class(summary, call.target)
+            if resolved is None:
+                continue
+            cls_key = f"{resolved[0].module}.{resolved[1].name}"
+            found = registry.get(cls_key)
+            if found is None:
+                continue
+            cls = found[1]
+            fields = cls.field_names()
+            field_set = set(fields)
+            for kw, _ in call.kws:
+                if kw not in field_set:
+                    yield self.finding_at(
+                        summary.path, call.lineno, call.col,
+                        f"`{cls.name}(...)` called with unknown field "
+                        f"`{kw}` — not in the protocol dataclass",
+                    )
+            if call.star:
+                continue  # *args/**kwargs: cannot prove a field missing
+            supplied = set(fields[: len(call.pos)])
+            supplied.update(kw for kw, _ in call.kws)
+            required = {
+                f.name for f in cls.fields if not f.has_default
+            }
+            missing = sorted(required - supplied)
+            if missing:
+                yield self.finding_at(
+                    summary.path, call.lineno, call.col,
+                    f"`{cls.name}(...)` misses required protocol "
+                    f"field(s) {missing}",
+                )
+
+    # -- annotated attribute access --------------------------------------
+    def _check_attr_access(
+        self,
+        project: ProjectIndex,
+        registry: dict[str, tuple[ModuleSummary, ClassInfo]],
+        summary: ModuleSummary,
+        fn: FunctionInfo,
+    ) -> Iterator[Finding]:
+        typed: dict[str, ClassInfo] = {}
+        annotations = {**fn.param_annotations, **fn.var_annotations}
+        for name, annotation in annotations.items():
+            if name in fn.stores and name not in fn.var_annotations:
+                continue  # rebound parameter: annotation no longer holds
+            resolved = project.resolve_class(summary, annotation)
+            if resolved is None:
+                continue
+            cls_key = f"{resolved[0].module}.{resolved[1].name}"
+            found = registry.get(cls_key)
+            if found is not None:
+                typed[name] = found[1]
+        if not typed:
+            return
+        for load in fn.attr_loads:
+            cls = typed.get(load.base)
+            if cls is None:
+                continue
+            if load.attr.startswith("__"):
+                continue
+            allowed = (
+                set(cls.field_names())
+                | set(cls.methods)
+                | set(cls.properties)
+            )
+            if load.attr not in allowed:
+                yield self.finding_at(
+                    summary.path, load.lineno, load.col,
+                    f"`{load.base}.{load.attr}` reads a field the "
+                    f"protocol dataclass `{cls.name}` does not define",
+                )
+
+    # -- structured id prefixes ------------------------------------------
+    def _check_id_convention(self, project: ProjectIndex) -> Iterator[Finding]:
+        builds: dict[str, list[tuple[ModuleSummary, str, int, int]]] = {}
+        parses: dict[str, list[tuple[ModuleSummary, int, int]]] = {}
+        for summary in project.iter_summaries():
+            if not summary.in_packages(_PROTOCOL_PACKAGE):
+                continue
+            for site in summary.id_sites:
+                if site.kind == "build":
+                    builds.setdefault(site.prefix, []).append(
+                        (summary, site.spec, site.lineno, site.col)
+                    )
+                else:
+                    parses.setdefault(site.prefix, []).append(
+                        (summary, site.lineno, site.col)
+                    )
+        for prefix in sorted(parses):
+            if prefix in builds:
+                continue
+            for summary, lineno, col in parses[prefix]:
+                yield self.finding_at(
+                    summary.path, lineno, col,
+                    f"id prefix `{prefix}` is parsed here but no serve "
+                    "module builds it — renamed or retired convention",
+                )
+        for prefix in sorted(builds):
+            sites = builds[prefix]
+            specs = {spec for _, spec, _, _ in sites}
+            if len(specs) <= 1:
+                continue
+            canonical = sorted(specs)[0]
+            for summary, spec, lineno, col in sites:
+                if spec != canonical:
+                    yield self.finding_at(
+                        summary.path, lineno, col,
+                        f"id prefix `{prefix}` built with format spec "
+                        f"`{spec or '<none>'}` here but "
+                        f"`{canonical or '<none>'}` elsewhere — ids will "
+                        "not sort/parse consistently",
+                    )

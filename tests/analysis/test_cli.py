@@ -117,11 +117,15 @@ class TestJsonOutput:
         assert main(["src", "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert set(payload) == {
-            "version", "files_scanned", "findings", "baselined",
-            "stale_baseline_entries", "strict",
+            "version", "files_scanned", "files_parsed", "files_cached",
+            "project", "findings", "baselined",
+            "stale_baseline_entries", "retired_baseline_entries", "strict",
         }
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["files_scanned"] == 1
+        assert payload["files_parsed"] == 1
+        assert payload["files_cached"] == 0
+        assert payload["project"] is False
         assert payload["strict"] is False
         (finding,) = payload["findings"]
         assert finding["rule"] == "DET001"

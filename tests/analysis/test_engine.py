@@ -1,10 +1,19 @@
-"""Engine mechanics: suppression semantics, parse failures, name
-resolution, package scoping, ordering."""
+"""Engine mechanics: suppression semantics, parse failures, encoding
+edge cases, file iteration, name resolution, package scoping, ordering."""
 
 import ast
+import os
+
+import pytest
 
 from repro.analysis import analyze_source, select_rules
-from repro.analysis.engine import PARSE_RULE_ID, Module
+from repro.analysis.engine import (
+    PARSE_RULE_ID,
+    Module,
+    analyze_paths,
+    decode_source,
+    iter_python_files,
+)
 from repro.analysis.suppress import line_suppressions
 from tests.analysis.conftest import OUTSIDE, SIM
 
@@ -68,6 +77,88 @@ class TestParseFailure:
         findings = check(SIM, "def broken(:\n")
         assert [f.rule for f in findings] == [PARSE_RULE_ID]
         assert "does not parse" in findings[0].message
+
+    def test_null_bytes_become_parse000_not_a_crash(self, check):
+        findings = check(SIM, "x = 1\0\n")
+        assert [f.rule for f in findings] == [PARSE_RULE_ID]
+
+    def test_empty_file_is_clean(self, check):
+        assert check(SIM, "") == []
+
+
+class TestEncodingEdgeCases:
+    def test_bom_is_stripped(self):
+        assert decode_source(b"\xef\xbb\xbfx = 1\n") == "x = 1\n"
+
+    def test_undecodable_bytes_replaced_not_fatal(self):
+        text = decode_source(b"x = 1  # caf\xe9\n")
+        assert text.startswith("x = 1")
+
+    def test_bom_file_analyzes_clean_on_disk(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "sim"
+        target.mkdir(parents=True)
+        (target / "bom.py").write_bytes(b"\xef\xbb\xbfx = 1\n")
+        findings, scanned = analyze_paths([tmp_path / "src"], select_rules())
+        assert scanned == 1
+        assert findings == []
+
+    def test_binary_file_reports_diagnostic_not_crash(self, tmp_path):
+        (tmp_path / "junk.py").write_bytes(b"\x00\x01\x02\xff")
+        findings, scanned = analyze_paths([tmp_path], select_rules())
+        assert scanned == 1
+        assert [f.rule for f in findings] == [PARSE_RULE_ID]
+
+    @pytest.mark.skipif(os.geteuid() == 0, reason="root ignores file modes")
+    def test_unreadable_file_reports_diagnostic(self, tmp_path):
+        target = tmp_path / "locked.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        target.chmod(0)
+        try:
+            findings, scanned = analyze_paths([tmp_path], select_rules())
+        finally:
+            target.chmod(0o644)
+        assert scanned == 1
+        assert [f.rule for f in findings] == [PARSE_RULE_ID]
+        assert "cannot be read" in findings[0].message
+
+
+class TestFileIteration:
+    @pytest.fixture
+    def tree(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("", encoding="utf-8")
+        (tmp_path / "pkg" / "b.py").write_text("", encoding="utf-8")
+        for skipped in ("__pycache__", "quarantine", ".repro-analysis-cache", ".git"):
+            (tmp_path / "pkg" / skipped).mkdir()
+            (tmp_path / "pkg" / skipped / "x.py").write_text("", encoding="utf-8")
+        return tmp_path
+
+    def test_skip_directories_never_descended(self, tree):
+        names = [p.name for p in iter_python_files([tree])]
+        assert names == ["a.py", "b.py"]
+
+    def test_exclude_glob_on_basename(self, tree):
+        names = [
+            p.name for p in iter_python_files([tree], exclude=["a.py"])
+        ]
+        assert names == ["b.py"]
+
+    def test_exclude_glob_on_path(self, tree):
+        assert list(iter_python_files([tree], exclude=["*/pkg/*"])) == []
+
+    def test_explicit_file_honors_exclude(self, tree):
+        target = tree / "pkg" / "a.py"
+        assert list(iter_python_files([target], exclude=["a.py"])) == []
+        assert list(iter_python_files([target])) == [target]
+
+    def test_scanning_dot_works(self, tree, monkeypatch):
+        monkeypatch.chdir(tree)
+        names = [p.name for p in iter_python_files(["."])]
+        assert names == ["a.py", "b.py"]
+
+    def test_missing_path_raises(self, tree):
+        with pytest.raises(FileNotFoundError):
+            list(iter_python_files([tree / "nope"]))
 
 
 class TestNameResolution:

@@ -1,0 +1,280 @@
+"""Pass-1 summaries, the ProjectIndex, and call-graph resolution."""
+
+import ast
+
+import pytest
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.engine import Module
+from repro.analysis.project import (
+    ModuleSummary,
+    ProjectIndex,
+    module_dotted_name,
+    summarize_module,
+)
+from tests.analysis.conftest import OUTSIDE, SERVE, SIM
+
+
+def summarize(path, source):
+    return summarize_module(Module(path, source, ast.parse(source)))
+
+
+def build_index(files):
+    return ProjectIndex([summarize(p, s) for p, s in files.items()])
+
+
+class TestModuleNames:
+    def test_repro_paths_get_dotted_names(self):
+        assert module_dotted_name(SIM, ("sim", "fixture")) == "repro.sim.fixture"
+
+    def test_outside_paths_get_pseudo_names(self):
+        assert module_dotted_name(OUTSIDE, None) == "scripts.fixture"
+
+    def test_init_collapses_to_the_package(self):
+        assert (
+            module_dotted_name("src/repro/serve/__init__.py", ("serve", "__init__"))
+            == "repro.serve"
+        )
+
+
+class TestSummaries:
+    def test_functions_classes_and_fields(self):
+        summary = summarize(SERVE, (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Req:\n"
+            "    benchmark: str\n"
+            "    seeds: int = 1\n"
+            "    def to_wire(self):\n"
+            "        return {'benchmark': self.benchmark, 'seeds': self.seeds}\n"
+            "def submit(req):\n"
+            "    return req\n"
+        ))
+        (cls,) = summary.classes
+        assert cls.is_dataclass
+        assert cls.field_names() == ["benchmark", "seeds"]
+        assert [f.has_default for f in cls.fields] == [False, True]
+        assert cls.wire_keys == ["benchmark", "seeds"]
+        assert {f.qual for f in summary.functions} == {"Req.to_wire", "submit"}
+
+    def test_module_and_class_locks(self):
+        summary = summarize(SERVE, (
+            "import threading\n"
+            "GUARD = threading.Lock()\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.RLock()\n"
+        ))
+        assert summary.module_locks == ["GUARD"]
+        assert summary.classes[0].lock_attrs == ["_lock"]
+
+    def test_acquires_record_held_sets(self):
+        summary = summarize(SERVE, (
+            "import threading\n"
+            "A = threading.Lock()\n"
+            "B = threading.Lock()\n"
+            "def f():\n"
+            "    with A:\n"
+            "        with B:\n"
+            "            pass\n"
+        ))
+        fn = next(f for f in summary.functions if f.qual == "f")
+        tokens = [(a.token, a.held) for a in fn.acquires]
+        assert tokens == [
+            ("@repro.serve.fixture.A", ()),
+            ("@repro.serve.fixture.B", ("@repro.serve.fixture.A",)),
+        ]
+
+    def test_acquire_release_statements_tracked(self):
+        summary = summarize(SERVE, (
+            "import threading\n"
+            "A = threading.Lock()\n"
+            "B = threading.Lock()\n"
+            "def f():\n"
+            "    A.acquire()\n"
+            "    A.release()\n"
+            "    B.acquire()\n"
+        ))
+        fn = next(f for f in summary.functions if f.qual == "f")
+        held_at_b = [a.held for a in fn.acquires if a.token.endswith(".B")]
+        assert held_at_b == [()]  # A was released before B
+
+    def test_generic_use_vs_bare_forward(self):
+        summary = summarize(SIM, (
+            "def f(seed, other):\n"
+            "    g(seed)\n"
+            "    return other + 1\n"
+        ))
+        fn = summary.functions[0]
+        assert fn.generic_uses == ["other"]
+        (call,) = fn.calls
+        assert call.pos == ("seed",)
+
+    def test_stores_track_rebinding(self):
+        summary = summarize(SIM, "def f(x):\n    x = x.upper()\n    return x\n")
+        assert summary.functions[0].stores == ["x"]
+
+    def test_json_round_trip(self):
+        summary = summarize(SERVE, (
+            "import threading\n"
+            "L = threading.Lock()\n"
+            "class C:\n"
+            "    def m(self, seed):\n"
+            "        with L:\n"
+            "            self.helper(seed)\n"
+            "    def helper(self, seed):\n"
+            "        return seed\n"
+            "jid = f'job-{1:05d}'\n"
+        ))
+        restored = ModuleSummary.from_json(summary.to_json())
+        assert restored.to_json() == summary.to_json()
+
+    def test_version_mismatch_rejected(self):
+        data = summarize(SIM, "x = 1\n").to_json()
+        data["version"] = -1
+        with pytest.raises(ValueError):
+            ModuleSummary.from_json(data)
+
+    def test_id_sites_extracted(self):
+        summary = summarize(SERVE, (
+            "def build(n):\n"
+            "    return f'fed-{n:05d}'\n"
+            "def parse(s):\n"
+            "    return s.startswith('fed-')\n"
+        ))
+        kinds = {(s.kind, s.prefix, s.spec) for s in summary.id_sites}
+        assert kinds == {("build", "fed-", "05d"), ("parse", "fed-", "")}
+
+
+class TestCallGraph:
+    def test_dotted_module_function_resolves(self):
+        index = build_index({
+            "src/repro/serve/a.py": (
+                "from repro.serve import b\n"
+                "def f():\n"
+                "    b.g()\n"
+            ),
+            "src/repro/serve/b.py": "def g():\n    pass\n",
+        })
+        graph = CallGraph(index)
+        summary = index.by_module["repro.serve.a"]
+        fn = summary.functions[0]
+        resolution = graph.resolve_call(summary, fn, fn.calls[0])
+        assert resolution.key == "repro.serve.b::g"
+        assert resolution.bound is False
+
+    def test_self_method_resolves_through_base_class(self):
+        index = build_index({
+            "src/repro/serve/base.py": (
+                "class Base:\n"
+                "    def helper(self):\n"
+                "        pass\n"
+            ),
+            "src/repro/serve/sub.py": (
+                "from repro.serve.base import Base\n"
+                "class Sub(Base):\n"
+                "    def run(self):\n"
+                "        self.helper()\n"
+            ),
+        })
+        graph = CallGraph(index)
+        summary = index.by_module["repro.serve.sub"]
+        fn = next(f for f in summary.functions if f.qual == "Sub.run")
+        resolution = graph.resolve_call(summary, fn, fn.calls[0])
+        assert resolution.key == "repro.serve.base::Base.helper"
+        assert resolution.bound is True
+
+    def test_self_attr_call_through_inferred_type(self):
+        index = build_index({
+            "src/repro/serve/owner.py": (
+                "from repro.serve.worker import Worker\n"
+                "class Owner:\n"
+                "    def __init__(self):\n"
+                "        self.w = Worker()\n"
+                "    def run(self):\n"
+                "        self.w.step()\n"
+            ),
+            "src/repro/serve/worker.py": (
+                "class Worker:\n"
+                "    def step(self):\n"
+                "        pass\n"
+            ),
+        })
+        graph = CallGraph(index)
+        summary = index.by_module["repro.serve.owner"]
+        fn = next(f for f in summary.functions if f.qual == "Owner.run")
+        resolution = graph.resolve_call(summary, fn, fn.calls[0])
+        assert resolution.key == "repro.serve.worker::Worker.step"
+
+    def test_constructor_resolves_to_init(self):
+        index = build_index({
+            "src/repro/serve/x.py": (
+                "class C:\n"
+                "    def __init__(self, n):\n"
+                "        self.n = n\n"
+                "def make():\n"
+                "    return C(1)\n"
+            ),
+        })
+        graph = CallGraph(index)
+        summary = index.by_module["repro.serve.x"]
+        fn = next(f for f in summary.functions if f.qual == "make")
+        resolution = graph.resolve_call(summary, fn, fn.calls[0])
+        assert resolution.key == "repro.serve.x::C.__init__"
+        assert resolution.bound is True
+
+    def test_unknown_targets_resolve_to_none(self):
+        index = build_index({
+            "src/repro/serve/x.py": (
+                "def f(cb):\n"
+                "    cb()\n"
+            ),
+        })
+        graph = CallGraph(index)
+        summary = index.by_module["repro.serve.x"]
+        fn = summary.functions[0]
+        assert graph.resolve_call(summary, fn, fn.calls[0]) is None
+
+    def test_forwarded_arg_mapping_with_bound_offset(self):
+        index = build_index({
+            "src/repro/serve/x.py": (
+                "class C:\n"
+                "    def m(self, seed, extra=None):\n"
+                "        pass\n"
+                "    def run(self, seed):\n"
+                "        self.m(seed, extra=seed)\n"
+            ),
+        })
+        graph = CallGraph(index)
+        summary = index.by_module["repro.serve.x"]
+        run = next(f for f in summary.functions if f.qual == "C.run")
+        resolution = graph.resolve_call(summary, run, run.calls[0])
+        _, callee = graph.callee(resolution.key)
+        pairs = CallGraph.map_forwarded_args(
+            run.calls[0], callee, resolution.bound
+        )
+        assert ("seed", "seed") in pairs
+        assert ("extra", "seed") in pairs
+
+
+class TestProjectIndex:
+    def test_first_writer_wins_on_pseudo_name_collisions(self):
+        index = build_index({
+            "scripts/tool.py": "def f():\n    pass\n",
+            "src/scripts/tool.py": "def g():\n    pass\n",
+        })
+        # "src" is stripped from pseudo-names, so both paths collide
+        assert index.by_module["scripts.tool"].path == "scripts/tool.py"
+
+    def test_mro_is_cycle_safe(self):
+        index = build_index({
+            "src/repro/serve/x.py": (
+                "class A(B):\n"
+                "    pass\n"
+                "class B(A):\n"
+                "    pass\n"
+            ),
+        })
+        summary = index.by_module["repro.serve.x"]
+        mro = index.class_mro(summary, summary.classes[0])
+        assert [cls.name for _, cls in mro] == ["A", "B"]

@@ -1,8 +1,10 @@
 """Meta-test: the shipped tree satisfies its own static invariants.
 
-This is the same gate CI runs (``python -m repro.analysis src tests
-scripts --strict``), expressed as a test so a violation fails fast in any
-local pytest run — and so the analyzer cannot silently rot.
+This is the same gate CI runs (``python -m repro.analysis --project src
+tests scripts --strict``), expressed as a test so a violation fails fast
+in any local pytest run — and so the analyzer cannot silently rot.  Both
+passes run: the per-file rules and the whole-program LOCK002 / SEED002 /
+WIRE002 pass (uncached — the meta-test must not depend on cache state).
 
 Policy assertions ride along: the deterministic core (``sim/``,
 ``core/``, ``serve/``, ``exp/``) must have *zero* baseline entries —
@@ -13,8 +15,10 @@ import json
 from collections import Counter
 from pathlib import Path
 
-from repro.analysis import ALL_RULES, analyze_paths
+from repro.analysis import ALL_RULES, PROJECT_RULES
 from repro.analysis.baseline import load_baseline, partition_findings
+from repro.analysis.rules import all_rule_ids
+from repro.analysis.run import analyze_project_paths
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 BASELINE = REPO_ROOT / "analysis-baseline.json"
@@ -25,19 +29,26 @@ NO_BASELINE_PACKAGES = ("repro/sim/", "repro/core/", "repro/serve/", "repro/exp/
 
 
 def _scan():
-    findings, scanned = analyze_paths(SCAN_ROOTS, ALL_RULES)
-    assert scanned > 150, "scan missed most of the tree — path setup broken?"
-    return findings
+    result = analyze_project_paths(SCAN_ROOTS, ALL_RULES, PROJECT_RULES)
+    assert result.files_scanned > 150, (
+        "scan missed most of the tree — path setup broken?"
+    )
+    return result.findings
 
 
 def test_tree_has_no_unbaselined_findings():
     findings = _scan()
     baseline = load_baseline(BASELINE) if BASELINE.exists() else Counter()
-    new, _grandfathered, stale = partition_findings(findings, baseline)
+    new, _grandfathered, stale, retired = partition_findings(
+        findings, baseline, known_rules=all_rule_ids()
+    )
     assert not new, "unbaselined findings:\n" + "\n".join(
         f.render() for f in new
     )
     assert not stale, "stale baseline entries (delete them):\n" + "\n".join(stale)
+    assert not retired, (
+        "baseline entries for retired rule ids:\n" + "\n".join(retired)
+    )
 
 
 def test_core_packages_have_no_baseline_entries():

@@ -1,0 +1,222 @@
+"""LOCK002: lock-order cycles across modules, with FP guards."""
+
+
+def lock002(project_check, files):
+    return [f for f in project_check(files, select="LOCK002")]
+
+
+class TestTruePositives:
+    def test_same_class_inversion(self, project_check):
+        findings = lock002(project_check, {
+            "src/repro/serve/x.py": """
+                import threading
+
+                class X:
+                    def __init__(self):
+                        self._lx = threading.Lock()
+                        self._ly = threading.Lock()
+                    def fwd(self):
+                        with self._lx:
+                            with self._ly:
+                                pass
+                    def rev(self):
+                        with self._ly:
+                            with self._lx:
+                                pass
+            """,
+        })
+        (finding,) = findings
+        assert finding.rule == "LOCK002"
+        assert "repro.serve.x.X._lx" in finding.message
+        assert "repro.serve.x.X._ly" in finding.message
+
+    def test_cross_module_cycle_reports_both_witness_paths(self, project_check):
+        """The seeded deadlock: module a takes A then calls into b which
+        takes B; module b takes B then calls into a which takes A.  The
+        finding must carry a witness path for each direction."""
+        findings = lock002(project_check, {
+            "src/repro/serve/a.py": """
+                import threading
+                from repro.serve import b
+
+                LOCK_A = threading.Lock()
+
+                def fa():
+                    with LOCK_A:
+                        b.fb_inner()
+
+                def fa_inner():
+                    with LOCK_A:
+                        pass
+            """,
+            "src/repro/serve/b.py": """
+                import threading
+                from repro.serve import a
+
+                LOCK_B = threading.Lock()
+
+                def fb():
+                    with LOCK_B:
+                        a.fa_inner()
+
+                def fb_inner():
+                    with LOCK_B:
+                        pass
+            """,
+        })
+        (finding,) = findings
+        message = finding.message
+        # one witness per direction, each naming its call chain
+        assert "repro.serve.a.LOCK_A then repro.serve.b.LOCK_B" in message
+        assert "repro.serve.b.LOCK_B then repro.serve.a.LOCK_A" in message
+        assert "fa (src/repro/serve/a.py:" in message
+        assert "-> fb_inner (src/repro/serve/b.py:" in message
+        assert "fb (src/repro/serve/b.py:" in message
+        assert "-> fa_inner (src/repro/serve/a.py:" in message
+
+    def test_acquire_statement_sites_count(self, project_check):
+        findings = lock002(project_check, {
+            "src/repro/serve/x.py": """
+                import threading
+
+                A = threading.Lock()
+                B = threading.Lock()
+
+                def fwd():
+                    A.acquire()
+                    B.acquire()
+                    B.release()
+                    A.release()
+
+                def rev():
+                    B.acquire()
+                    A.acquire()
+                    A.release()
+                    B.release()
+            """,
+        })
+        assert len(findings) == 1
+
+    def test_one_finding_per_distinct_cycle(self, project_check):
+        findings = lock002(project_check, {
+            "src/repro/serve/x.py": """
+                import threading
+
+                A = threading.Lock()
+                B = threading.Lock()
+
+                def f1():
+                    with A:
+                        with B:
+                            pass
+
+                def f2():
+                    with B:
+                        with A:
+                            pass
+
+                def f3():
+                    with B:
+                        with A:
+                            pass
+            """,
+        })
+        assert len(findings) == 1  # same lock set, one report
+
+
+class TestFalsePositiveGuards:
+    def test_consistent_order_everywhere_is_clean(self, project_check):
+        assert lock002(project_check, {
+            "src/repro/serve/x.py": """
+                import threading
+
+                A = threading.Lock()
+                B = threading.Lock()
+
+                def f1():
+                    with A:
+                        with B:
+                            pass
+
+                def f2():
+                    with A:
+                        with B:
+                            pass
+            """,
+        }) == []
+
+    def test_release_resets_the_held_set(self, project_check):
+        assert lock002(project_check, {
+            "src/repro/serve/x.py": """
+                import threading
+
+                A = threading.Lock()
+                B = threading.Lock()
+
+                def f1():
+                    A.acquire()
+                    A.release()
+                    B.acquire()
+                    B.release()
+
+                def f2():
+                    B.acquire()
+                    B.release()
+                    A.acquire()
+                    A.release()
+            """,
+        }) == []
+
+    def test_unknown_lock_objects_make_no_edges(self, project_check):
+        # locks held in local variables are unresolvable: silence, not noise
+        assert lock002(project_check, {
+            "src/repro/serve/x.py": """
+                import threading
+
+                def f1(la, lb):
+                    with la:
+                        with lb:
+                            pass
+
+                def f2(la, lb):
+                    with lb:
+                        with la:
+                            pass
+            """,
+        }) == []
+
+    def test_non_lock_context_managers_ignored(self, project_check):
+        assert lock002(project_check, {
+            "src/repro/serve/x.py": """
+                import threading
+
+                A = threading.Lock()
+
+                def f(path):
+                    with open(path) as fh:
+                        with A:
+                            fh.read()
+            """,
+        }) == []
+
+    def test_witness_suppressible_with_noqa(self, project_check):
+        findings = lock002(project_check, {
+            "src/repro/serve/x.py": """
+                import threading
+
+                A = threading.Lock()
+                B = threading.Lock()
+
+                def fwd():
+                    with A:
+                        with B:  # repro: noqa LOCK002 -- known-benign order
+                            pass
+
+                def rev():
+                    with B:
+                        with A:
+                            pass
+            """,
+        })
+        # the cycle's witness anchors at the suppressed line → filtered
+        assert findings == []

@@ -1,0 +1,181 @@
+"""SEED002: accepted seeds must reach an RNG, with FP guards."""
+
+
+def seed002(project_check, files):
+    return [f for f in project_check(files, select="SEED002")]
+
+
+class TestTruePositives:
+    def test_seed_never_used_at_all(self, project_check):
+        findings = seed002(project_check, {
+            "src/repro/exp/runner.py": """
+                def run(benchmark, seed):
+                    print(benchmark)
+            """,
+        })
+        (finding,) = findings
+        assert finding.rule == "SEED002"
+        assert "`run` accepts seed parameter `seed`" in finding.message
+
+    def test_seed_forwarded_then_dropped(self, project_check):
+        """The bug SEED001 cannot see: the entry point dutifully threads
+        the seed into a helper, and the helper ignores it."""
+        findings = seed002(project_check, {
+            "src/repro/exp/runner.py": """
+                def run(benchmark, seed):
+                    _go(benchmark, seed)
+
+                def _go(benchmark, seed):
+                    print(benchmark)
+            """,
+        })
+        (finding,) = findings
+        assert finding.line == 2  # anchored at the public entry point
+        assert "which drops `seed`" in finding.message
+
+    def test_drop_across_modules(self, project_check):
+        findings = seed002(project_check, {
+            "src/repro/exp/entry.py": """
+                from repro.exp import helper
+
+                def campaign(spec, seed):
+                    helper.execute(spec, seed)
+            """,
+            "src/repro/exp/helper.py": """
+                def execute(spec, seed):
+                    return spec
+            """,
+        })
+        # the dropping function is itself public and in scope: one
+        # finding there, not two along the chain
+        (finding,) = findings
+        assert finding.path == "src/repro/exp/helper.py"
+        assert "`execute`" in finding.message
+
+    def test_rng_param_counts_like_seed(self, project_check):
+        findings = seed002(project_check, {
+            "src/repro/sim/x.py": """
+                def sample(rng, n):
+                    return n
+            """,
+        })
+        assert len(findings) == 1
+
+
+class TestFalsePositiveGuards:
+    def test_rng_sink_is_a_use(self, project_check):
+        assert seed002(project_check, {
+            "src/repro/sim/x.py": """
+                from repro.sim.rng import stream
+
+                def run(seed):
+                    return stream(seed, "x")
+            """,
+        }) == []
+
+    def test_generic_use_counts(self, project_check):
+        assert seed002(project_check, {
+            "src/repro/sim/x.py": """
+                def run(seed):
+                    return seed + 1
+            """,
+        }) == []
+
+    def test_storing_on_self_counts(self, project_check):
+        assert seed002(project_check, {
+            "src/repro/serve/x.py": """
+                class S:
+                    def __init__(self, seed):
+                        self._seed = seed
+            """,
+        }) == []
+
+    def test_unknown_callee_assumed_to_use(self, project_check):
+        assert seed002(project_check, {
+            "src/repro/exp/x.py": """
+                import numpy
+
+                def run(seed):
+                    numpy.something(seed)
+            """,
+        }) == []
+
+    def test_star_args_are_opaque(self, project_check):
+        assert seed002(project_check, {
+            "src/repro/exp/x.py": """
+                def run(seed, args):
+                    _go(*args, seed=seed)
+
+                def _go(*args, **kwargs):
+                    print(args)
+            """,
+        }) == []
+
+    def test_abstract_and_trivial_functions_skipped(self, project_check):
+        assert seed002(project_check, {
+            "src/repro/runtime/x.py": """
+                from abc import ABC, abstractmethod
+
+                class Policy(ABC):
+                    @abstractmethod
+                    def pick(self, rng):
+                        ...
+
+                def stub(seed):
+                    raise NotImplementedError
+            """,
+        }) == []
+
+    def test_override_of_base_method_skipped(self, project_check):
+        """An override's signature is the base's contract; a no-op
+        implementation legitimately ignores the rng it must accept."""
+        assert seed002(project_check, {
+            "src/repro/runtime/x.py": """
+                from abc import ABC, abstractmethod
+
+                class Policy(ABC):
+                    @abstractmethod
+                    def pick(self, rng):
+                        ...
+
+                class NoopPolicy(Policy):
+                    def pick(self, rng):
+                        return None
+            """,
+        }) == []
+
+    def test_private_and_out_of_scope_functions_skipped(self, project_check):
+        assert seed002(project_check, {
+            "src/repro/exp/x.py": """
+                def _internal(seed):
+                    pass
+            """,
+            "scripts/tool.py": """
+                def run(seed):
+                    pass
+            """,
+        }) == []
+
+    def test_forward_into_used_chain_is_clean(self, project_check):
+        assert seed002(project_check, {
+            "src/repro/exp/entry.py": """
+                from repro.exp import helper
+
+                def campaign(spec, seed):
+                    helper.execute(spec, seed)
+            """,
+            "src/repro/exp/helper.py": """
+                from repro.sim.rng import pyrandom
+
+                def execute(spec, seed):
+                    return pyrandom(seed, spec)
+            """,
+        }) == []
+
+    def test_noqa_at_entry_point_suppresses(self, project_check):
+        assert seed002(project_check, {
+            "src/repro/exp/x.py": """
+                def run(benchmark, seed):  # repro: noqa SEED002 -- api compat shim
+                    print(benchmark)
+            """,
+        }) == []

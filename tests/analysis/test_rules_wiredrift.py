@@ -1,0 +1,233 @@
+"""WIRE002: protocol dataclass vs user-site schema drift, with FP guards."""
+
+PROTOCOL = "src/repro/serve/protocol.py"
+CLIENT = "src/repro/serve/client.py"
+
+PROTOCOL_OK = """
+    from dataclasses import dataclass
+    from typing import Any, Mapping
+
+    @dataclass(frozen=True)
+    class Req:
+        benchmark: str
+        seeds: int = 1
+
+        def to_wire(self) -> dict[str, Any]:
+            return {"benchmark": self.benchmark, "seeds": self.seeds}
+
+        @classmethod
+        def from_wire(cls, data: Mapping[str, Any]) -> "Req":
+            known = {"benchmark", "seeds"}
+            return cls(**{k: v for k, v in data.items() if k in known})
+"""
+
+
+def wire002(project_check, files):
+    return [f for f in project_check(files, select="WIRE002")]
+
+
+class TestSerializerDrift:
+    def test_to_wire_key_drift(self, project_check):
+        findings = wire002(project_check, {
+            PROTOCOL: """
+                from dataclasses import dataclass
+                from typing import Any
+
+                @dataclass(frozen=True)
+                class Req:
+                    benchmark: str
+                    seeds: int = 1
+
+                    def to_wire(self) -> dict[str, Any]:
+                        return {"benchmark": self.benchmark, "seedz": self.seeds}
+            """,
+        })
+        (finding,) = findings
+        assert "to_wire" in finding.message
+        assert "missing: ['seeds']" in finding.message
+        assert "extra: ['seedz']" in finding.message
+
+    def test_from_wire_known_set_drift(self, project_check):
+        findings = wire002(project_check, {
+            PROTOCOL: """
+                from dataclasses import dataclass
+                from typing import Any, Mapping
+
+                @dataclass(frozen=True)
+                class Req:
+                    benchmark: str
+                    seeds: int = 1
+                    tenant: str = "anon"
+
+                    def to_wire(self) -> dict[str, Any]:
+                        return {"benchmark": self.benchmark, "seeds": self.seeds,
+                                "tenant": self.tenant}
+
+                    @classmethod
+                    def from_wire(cls, data: Mapping[str, Any]) -> "Req":
+                        known = {"benchmark", "seeds"}
+                        return cls(**{k: v for k, v in data.items() if k in known})
+            """,
+        })
+        (finding,) = findings
+        assert "from_wire" in finding.message
+        assert "missing: ['tenant']" in finding.message
+
+    def test_matching_serializers_are_clean(self, project_check):
+        assert wire002(project_check, {PROTOCOL: PROTOCOL_OK}) == []
+
+
+class TestConstructionSites:
+    def test_unknown_keyword_flagged(self, project_check):
+        findings = wire002(project_check, {
+            PROTOCOL: PROTOCOL_OK,
+            CLIENT: """
+                from repro.serve.protocol import Req
+
+                def submit():
+                    return Req(benchmark="b", tenant="x")
+            """,
+        })
+        (finding,) = findings
+        assert finding.path == CLIENT
+        assert "unknown field `tenant`" in finding.message
+
+    def test_missing_required_field_flagged(self, project_check):
+        findings = wire002(project_check, {
+            PROTOCOL: PROTOCOL_OK,
+            CLIENT: """
+                from repro.serve.protocol import Req
+
+                def submit():
+                    return Req(seeds=3)
+            """,
+        })
+        (finding,) = findings
+        assert "misses required protocol field(s) ['benchmark']" in finding.message
+
+    def test_positional_and_defaulted_construction_is_clean(self, project_check):
+        assert wire002(project_check, {
+            PROTOCOL: PROTOCOL_OK,
+            CLIENT: """
+                from repro.serve.protocol import Req
+
+                def submit():
+                    return Req("b")
+            """,
+        }) == []
+
+    def test_double_star_construction_is_opaque(self, project_check):
+        assert wire002(project_check, {
+            PROTOCOL: PROTOCOL_OK,
+            CLIENT: """
+                from repro.serve.protocol import Req
+
+                def submit(payload):
+                    return Req(**payload)
+            """,
+        }) == []
+
+    def test_unrelated_dataclasses_not_checked(self, project_check):
+        # same shape, but not in a serve protocol module
+        assert wire002(project_check, {
+            "src/repro/exp/spec.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class Spec:
+                    name: str
+            """,
+            "src/repro/exp/use.py": """
+                from repro.exp.spec import Spec
+
+                def make():
+                    return Spec(name="x", extra=1)
+            """,
+        }) == []
+
+
+class TestAttributeAccess:
+    def test_unknown_attribute_on_annotated_param(self, project_check):
+        findings = wire002(project_check, {
+            PROTOCOL: PROTOCOL_OK,
+            CLIENT: """
+                from repro.serve.protocol import Req
+
+                def peek(req: Req):
+                    return req.bench_mark
+            """,
+        })
+        (finding,) = findings
+        assert "`req.bench_mark`" in finding.message
+
+    def test_fields_methods_and_dunders_allowed(self, project_check):
+        assert wire002(project_check, {
+            PROTOCOL: PROTOCOL_OK,
+            CLIENT: """
+                from repro.serve.protocol import Req
+
+                def peek(req: Req):
+                    req.to_wire()
+                    req.__class__
+                    return req.benchmark
+            """,
+        }) == []
+
+    def test_rebound_parameter_not_checked(self, project_check):
+        assert wire002(project_check, {
+            PROTOCOL: PROTOCOL_OK,
+            CLIENT: """
+                from repro.serve.protocol import Req
+
+                def peek(req: Req):
+                    req = req.to_wire()
+                    return req.get("benchmark")
+            """,
+        }) == []
+
+
+class TestIdConvention:
+    def test_parsed_prefix_nobody_builds(self, project_check):
+        findings = wire002(project_check, {
+            CLIENT: """
+                def is_fed(job_id):
+                    return job_id.startswith("fed-")
+            """,
+        })
+        (finding,) = findings
+        assert "id prefix `fed-`" in finding.message
+        assert "no serve module builds it" in finding.message
+
+    def test_build_and_parse_agree(self, project_check):
+        assert wire002(project_check, {
+            "src/repro/serve/router.py": """
+                def make(n):
+                    return f"fed-{n:05d}"
+            """,
+            CLIENT: """
+                def is_fed(job_id):
+                    return job_id.startswith("fed-")
+            """,
+        }) == []
+
+    def test_inconsistent_format_specs_flagged(self, project_check):
+        findings = wire002(project_check, {
+            "src/repro/serve/router.py": """
+                def make(n):
+                    return f"fed-{n:05d}"
+            """,
+            "src/repro/serve/shard.py": """
+                def make(n):
+                    return f"fed-{n:03d}"
+            """,
+        })
+        (finding,) = findings
+        assert "format spec" in finding.message
+
+    def test_id_sites_outside_serve_ignored(self, project_check):
+        assert wire002(project_check, {
+            "src/repro/exp/tags.py": """
+                def parse(tag):
+                    return tag.startswith("run-")
+            """,
+        }) == []
