@@ -19,12 +19,19 @@ twice from scratch, and asserts the recovery invariants:
   placement, crash point, requeue and final state is a pure function of
   the seeds.
 
+Scenario shaping: ``--kill-at SHARD:PLACEMENTS`` (repeatable) schedules
+an exact crash point on the logical clock — the named shard dies after
+absorbing that many placements, overriding the probabilistic draw — and
+``--join-at N`` admits one extra shard live, once the router's placement
+counter reaches N (minimal ring remap; the joiner is covered by the same
+conservation and FIFO checks, and by the byte-identity comparison).
+
 The canonical report deliberately excludes wall-clock-dependent fields
 (latencies, throughput, uptime).  Exits non-zero on violation; CI runs
 this to keep the federated failure path exercised end-to-end.  Usage::
 
     PYTHONPATH=src python scripts/federation_smoke.py [--shards 3] \\
-        [--jobs 18] [--fault-seed 11]
+        [--jobs 18] [--fault-seed 11] [--kill-at shard-1:4] [--join-at 9]
 """
 
 import argparse
@@ -34,8 +41,24 @@ import sys
 
 from repro.exp.cliopts import add_machine_argument, resolve_machine
 from repro.exp.runner import ExperimentConfig
-from repro.serve.federation import FederationRouter, ShardFaultPlan, build_shards
+from repro.serve.federation import (
+    FederationRouter,
+    ShardFaultPlan,
+    build_shard,
+    build_shards,
+)
 from repro.serve.protocol import JobRequest
+
+
+def parse_kill_at(specs: list[str] | None) -> dict[str, int]:
+    """``shard-1:4`` → ``{"shard-1": 4}`` (placements on the shard's clock)."""
+    scheduled: dict[str, int] = {}
+    for spec in specs or []:
+        shard_id, sep, point = spec.rpartition(":")
+        if not sep or not shard_id or not point.isdigit():
+            raise SystemExit(f"--kill-at wants SHARD:PLACEMENTS, got {spec!r}")
+        scheduled[shard_id] = int(point)
+    return scheduled
 
 
 def check(cond: bool, message: str, failures: list) -> None:
@@ -53,7 +76,13 @@ def _spy_on_starts(shards):
     enter a shard's queue, and eviction only removes the newest).
     """
     starts = {shard.shard_id: [] for shard in shards}
+    _extend_spy(shards, starts)
+    return starts
+
+
+def _extend_spy(shards, starts):
     for shard in shards:
+        starts.setdefault(shard.shard_id, [])
         arbiter = shard.service.arbiter
         real_acquire = arbiter.acquire
 
@@ -63,7 +92,6 @@ def _spy_on_starts(shards):
             return await _real(job_id, nodes_wanted, preferred=preferred)
 
         arbiter.acquire = acquire
-    return starts
 
 
 async def federation_run(args: argparse.Namespace) -> dict:
@@ -78,11 +106,27 @@ async def federation_run(args: argparse.Namespace) -> dict:
     )
     starts = _spy_on_starts(shards)
     plan = ShardFaultPlan(args.shard_crash, seed=args.fault_seed,
-                          min_placements=2, max_placements=6)
+                          min_placements=2, max_placements=6,
+                          scheduled=parse_kill_at(args.kill_at))
     router = FederationRouter(shards, seed=args.ring_seed,
                               shard_fault_plan=plan)
     await router.start()
+    joined = False
     for i in range(args.jobs):
+        if (args.join_at is not None and not joined
+                and router.placements >= args.join_at):
+            joiner = build_shard(
+                f"shard-{args.shards}",
+                lambda: resolve_machine(args.machine),
+                config=ExperimentConfig(seeds=1, timesteps=args.timesteps,
+                                        with_noise=False, jobs=1,
+                                        cache_dir=None),
+                queue_capacity=max(args.jobs, 16),
+                workers=1,
+            )
+            _extend_spy([joiner], starts)
+            await router.join_shard(joiner)
+            joined = True
         await router.submit(
             JobRequest(benchmark=args.benchmark, timesteps=args.timesteps,
                        nodes=1, tenant=f"tenant-{i % 4}")
@@ -191,6 +235,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shard-crash", type=float, default=0.6)
     parser.add_argument("--fault-seed", type=int, default=11)
     parser.add_argument("--ring-seed", type=int, default=3)
+    parser.add_argument("--kill-at", action="append", default=None,
+                        metavar="SHARD:PLACEMENTS",
+                        help="schedule an exact crash: the named shard dies "
+                        "after absorbing PLACEMENTS placements (repeatable; "
+                        "overrides the probabilistic draw for that shard)")
+    parser.add_argument("--join-at", type=int, default=None, metavar="N",
+                        help="admit one extra shard live once the router's "
+                        "placement counter reaches N")
     add_machine_argument(parser, default="small")
     args = parser.parse_args(argv)
 

@@ -1,0 +1,337 @@
+"""Self-healing federation smoke: silent crash, detection, warm respawn.
+
+Runs two seeded scenarios — each twice, asserting byte-identical
+canonical reports — against a 3-shard fleet with the membership layer
+and a supervised respawn budget:
+
+**warm scenario** (the main path): a shard is scheduled to die *after*
+every tenant checkpointed at least once and after a heartbeat archived
+those checkpoints.  The crash is silent; the failure detector confirms
+it after the configured missed-poll thresholds; the displaced tenants'
+PTT state migrates to their new owners (``migrations_completed``, zero
+``migrations_dropped``); the stashed orphans are adopted; the supervisor
+respawns the shard at epoch 1; and one extra shard joins live mid-run.
+The acceptance criterion is checked exactly: fleet-wide cold bootstraps
+equal the number of distinct (tenant, benchmark) pairs — a cleanly
+migrated tenant **never re-bootstraps**.
+
+**early-crash scenario** (graceful degradation): the shard dies before
+the first heartbeat could archive anything, so its tenants' state is
+lost; recovery still conserves every job and the loss is tallied under
+``migrations_dropped`` — never silently.
+
+Shared invariants across both: fleet-wide job conservation summed over
+*every* shard incarnation (the dead epoch-0 instance and its respawn are
+separate snapshot entries), zero leaked leases on any incarnation, all
+jobs terminal, and byte-identical same-seed replays.  Usage::
+
+    PYTHONPATH=src python scripts/membership_smoke.py [--jobs 24]
+"""
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.exp.cliopts import add_machine_argument, resolve_machine
+from repro.exp.runner import ExperimentConfig
+from repro.serve.federation import (
+    FederationRouter,
+    Membership,
+    ShardFaultPlan,
+    ShardSupervisor,
+    build_shard,
+    build_shards,
+    respawn_factory,
+)
+from repro.serve.protocol import JobRequest
+
+
+def check(cond: bool, message: str, failures: list) -> None:
+    status = "ok" if cond else "FAIL"
+    print(f"[{status}] {message}")
+    if not cond:
+        failures.append(message)
+
+
+async def quiesce(router: FederationRouter) -> None:
+    """Wait (real time, but not reported) until nothing is in flight.
+
+    The smoke uses this between scenario phases so every tenant's
+    checkpoints exist *before* the crash point is derived; the reported
+    state is the deterministic fixed point, never the waiting itself.
+    """
+    while True:
+        states = router.job_states()
+        if states["queued"] == states["running"] == 0:
+            return
+        await asyncio.sleep(0.01)
+
+
+async def membership_run(args: argparse.Namespace, *, scenario: str) -> dict:
+    """One self-healing scenario; returns a canonical wall-clock-free report.
+
+    ``scenario="warm"``: half the jobs run to quiescence first (every
+    tenant checkpoints), then the victim's crash is scheduled two
+    placements ahead on its own clock — past at least one heartbeat
+    pull, so its tenants' state is archived when it dies.
+    ``scenario="early"``: the victim dies on its very first absorbed
+    placement, before anything could checkpoint — the loss path.
+    """
+    config = ExperimentConfig(seeds=1, timesteps=args.timesteps,
+                              with_noise=False, jobs=1, cache_dir=None)
+
+    def topology():
+        return resolve_machine(args.machine)
+
+    shards = build_shards(
+        args.shards, topology, config=config,
+        queue_capacity=max(args.jobs, 16), workers=1,
+    )
+    plan = ShardFaultPlan(0.0, seed=args.fault_seed)
+    membership = Membership(heartbeat_every=args.heartbeat_every,
+                            suspect_after=args.suspect_after,
+                            confirm_after=args.confirm_after)
+    supervisor = ShardSupervisor(
+        respawn_factory(topology, config=config,
+                        queue_capacity=max(args.jobs, 16), workers=1),
+        max_respawns=1,
+    )
+    router = FederationRouter(shards, seed=args.ring_seed,
+                              shard_fault_plan=plan,
+                              membership=membership, supervisor=supervisor)
+    await router.start()
+
+    def job(i: int) -> JobRequest:
+        return JobRequest(benchmark=args.benchmark, timesteps=args.timesteps,
+                          nodes=1, tenant=f"tenant-{i % args.tenants}")
+
+    first_batch = args.jobs // 2
+    if scenario == "warm":
+        for i in range(first_batch):
+            await router.submit(job(i))
+        await quiesce(router)
+        victim = router.shards[args.kill_shard]
+        # two placements ahead: the first one's heartbeat archives the
+        # victim's (now quiescent, dirty) checkpoints, the second kills it
+        plan.scheduled[args.kill_shard] = victim.placements + 2
+        remaining = range(first_batch, args.jobs)
+    else:
+        plan.scheduled[args.kill_shard] = 1
+        remaining = range(args.jobs)
+
+    joined = False
+    for i in remaining:
+        if (scenario == "warm" and not joined
+                and router.placements >= args.join_at):
+            joiner = build_shard(f"shard-{args.shards}", topology,
+                                 config=config,
+                                 queue_capacity=max(args.jobs, 16), workers=1)
+            await router.join_shard(joiner)
+            joined = True
+        await router.submit(job(i))
+    snapshot = await router.drain()
+
+    tenancy = {
+        iid: shard["tenancy"]
+        for iid, shard in snapshot["shards"].items()
+    }
+    return {
+        "decisions": plan.decisions(),
+        "crashed": list(plan.crashed),
+        "dead": snapshot["fleet"]["dead"],
+        "alive": snapshot["fleet"]["alive"],
+        "membership": snapshot["membership"],
+        "counters": {
+            "placements": router.placements,
+            "shard_deaths": router.shard_deaths,
+            "requeued_jobs": router.requeued_jobs,
+        },
+        "job_states": snapshot["router"]["job_states"],
+        "jobs": {
+            fed_id: {
+                "tenant": job["tenant"],
+                "shard": job["shard"],
+                "placements": job["placements"],
+                "state": job["state"],
+            }
+            for fed_id, job in snapshot["jobs"].items()
+        },
+        "shard_jobs": {
+            iid: {
+                key: value
+                for key, value in shard["jobs"].items()
+                if key not in ("latency", "throughput_jps")  # wall-clock
+            }
+            for iid, shard in snapshot["shards"].items()
+        },
+        "tenancy": tenancy,
+        "leases": {
+            iid: shard["nodes"]["leases"]
+            for iid, shard in snapshot["shards"].items()
+        },
+    }
+
+
+def verify_common(report: dict, label: str, args: argparse.Namespace,
+                  failures: list) -> None:
+    """Invariants both scenarios must hold."""
+    membership = report["membership"]
+    check(report["counters"]["shard_deaths"] >= 1,
+          f"{label}: the scheduled crash fired ({report['crashed']})", failures)
+    check(membership["deaths_confirmed"] >= 1,
+          f"{label}: the failure detector confirmed the death "
+          f"({membership['heartbeats']} heartbeat(s))", failures)
+    respawns = membership["respawns"] or {}
+    check(respawns.get("respawns_total", 0) >= 1,
+          f"{label}: the supervisor respawned the dead shard", failures)
+    check(membership["epochs"].get(args.kill_shard) == 1,
+          f"{label}: {args.kill_shard} is back at epoch 1", failures)
+    check(args.kill_shard in report["alive"],
+          f"{label}: the respawned incarnation is alive in the fleet", failures)
+    check(args.kill_shard in report["dead"],
+          f"{label}: the dead epoch-0 incarnation is still accounted for",
+          failures)
+
+    conserved = True
+    for iid, jobs in sorted(report["shard_jobs"].items()):
+        if jobs["submitted"] != (jobs["completed"] + jobs["failed"]
+                                 + jobs["active"] + jobs["queued"]
+                                 + jobs["evicted"]):
+            conserved = False
+    check(conserved,
+          f"{label}: conservation holds on every incarnation, including the "
+          f"respawned shard ({len(report['shard_jobs'])} instance snapshots)",
+          failures)
+
+    states = report["job_states"]
+    check(states["completed"] + states["failed"] == args.jobs,
+          f"{label}: all {args.jobs} jobs terminal through the router "
+          f"({states['completed']} completed, {states['failed']} failed)",
+          failures)
+    check(states["queued"] == states["running"] == 0,
+          f"{label}: the federation converged (nothing in flight)", failures)
+    # a job that *completed* on the victim before the silent crash stays
+    # attributed to the dead incarnation — only unfinished work must move
+    stranded = [
+        fed_id for fed_id, j in report["jobs"].items()
+        if j["shard"] in report["dead"]
+        and j["state"] not in ("completed", "failed")
+    ]
+    check(not stranded,
+          f"{label}: no unfinished job left on a dead incarnation", failures)
+
+    leaked = [
+        (iid, node)
+        for iid, leases in report["leases"].items()
+        for node, owner in leases.items()
+        if owner is not None
+    ]
+    check(not leaked, f"{label}: zero leaked leases across "
+          f"{len(report['leases'])} incarnation lease maps", failures)
+
+
+def verify_warm(report: dict, label: str, args: argparse.Namespace,
+                failures: list) -> None:
+    membership = report["membership"]
+    check(membership["migrations_completed"] >= 1,
+          f"{label}: displaced tenants migrated warm "
+          f"({membership['migrations_completed']} tenant(s))", failures)
+    check(membership["migrations_dropped"] == 0,
+          f"{label}: nothing was dropped (the crash came after checkpoints)",
+          failures)
+    for entry in membership["migration_log"]:
+        target = entry["to"]
+        pairs = (report["tenancy"].get(target, {})
+                 .get("state", {}).get("generations", {}))
+        check(any(key.startswith(entry["tenant"] + "/") for key in pairs),
+              f"{label}: {entry['tenant']} state landed on {target} "
+              f"({entry['docs']} doc(s))", failures)
+    distinct_pairs = min(args.jobs, args.tenants)  # one benchmark per tenant
+    cold = sum(t["cold_bootstraps"] for t in report["tenancy"].values())
+    warm = sum(t["warm_starts"] for t in report["tenancy"].values())
+    check(cold == distinct_pairs,
+          f"{label}: fleet-wide cold bootstraps == {distinct_pairs} distinct "
+          f"(tenant, benchmark) pairs — migrated tenants never re-bootstrap "
+          f"(cold={cold}, warm={warm})", failures)
+    check(membership["detector"]["counters"]["joins"] >= args.shards + 2,
+          f"{label}: live join + respawn rejoin both went through the "
+          "membership join path", failures)
+
+
+def verify_early(report: dict, label: str, args: argparse.Namespace,
+                 failures: list) -> None:
+    membership = report["membership"]
+    check(membership["migrations_dropped"] >= 1,
+          f"{label}: the pre-checkpoint crash was tallied as dropped "
+          f"({membership['migrations_dropped']} tenant(s))", failures)
+    check(membership["migrations_completed"] == 0,
+          f"{label}: nothing could migrate warm (no checkpoint existed)",
+          failures)
+    dropped = [e["tenant"] for e in membership["migration_log"]
+               if e["to"] is None]
+    alive_pairs = {
+        key
+        for iid, t in report["tenancy"].items()
+        if iid not in report["dead"]
+        for key in t.get("state", {}).get("generations", {})
+    }
+    check(all(any(key.startswith(t + "/") for key in alive_pairs)
+              for t in dropped),
+          f"{label}: every dropped tenant bootstrapped fresh on a survivor "
+          f"({dropped})", failures)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--jobs", type=int, default=24)
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--benchmark", default="matmul")
+    parser.add_argument("--timesteps", type=int, default=3)
+    parser.add_argument("--kill-shard", default="shard-1")
+    parser.add_argument("--join-at", type=int, default=12,
+                        help="router-clock placements before the live join "
+                        "(warm scenario)")
+    parser.add_argument("--heartbeat-every", type=int, default=1)
+    parser.add_argument("--suspect-after", type=int, default=1)
+    parser.add_argument("--confirm-after", type=int, default=2)
+    parser.add_argument("--fault-seed", type=int, default=11)
+    parser.add_argument("--ring-seed", type=int, default=3)
+    add_machine_argument(parser, default="small")
+    args = parser.parse_args(argv)
+
+    failures: list = []
+
+    print(f"-- warm scenario: checkpoint, then kill {args.kill_shard}; "
+          f"join at router-clock {args.join_at}")
+    warm1 = asyncio.run(membership_run(args, scenario="warm"))
+    verify_common(warm1, "warm run 1", args, failures)
+    verify_warm(warm1, "warm run 1", args, failures)
+    warm2 = asyncio.run(membership_run(args, scenario="warm"))
+    verify_common(warm2, "warm run 2", args, failures)
+    verify_warm(warm2, "warm run 2", args, failures)
+    a = json.dumps(warm1, sort_keys=True).encode()
+    b = json.dumps(warm2, sort_keys=True).encode()
+    check(a == b, "warm: the two seeded runs are byte-identical "
+          f"({len(a)} bytes of canonical report)", failures)
+
+    print("-- early-crash scenario: kill before the first checkpoint")
+    early1 = asyncio.run(membership_run(args, scenario="early"))
+    verify_common(early1, "early run 1", args, failures)
+    verify_early(early1, "early run 1", args, failures)
+    early2 = asyncio.run(membership_run(args, scenario="early"))
+    a = json.dumps(early1, sort_keys=True).encode()
+    b = json.dumps(early2, sort_keys=True).encode()
+    check(a == b, "early: the two seeded runs are byte-identical "
+          f"({len(a)} bytes of canonical report)", failures)
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print("\nmembership smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -612,8 +612,40 @@ class _FunctionExtractor:
             return None
         return ("acquire" if call.func.attr == "acquire" else "release", token)
 
+    def _closure_loads(self, node: ast.AST) -> None:
+        """Record names a nested def/lambda/class reads from this scope.
+
+        A nested execution context's calls and locks are its own
+        business, but a closure *capture* of an enclosing parameter is a
+        real use of that parameter (a factory closing over a seed, say),
+        so its free-name loads count toward ``generic_uses``.  Names the
+        nested scope binds itself (its params, its stores) are excluded.
+        """
+        bound: set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+                names, _, _ = _param_names(sub.args)
+                bound.update(names)
+                if sub.args.vararg is not None:
+                    bound.add(sub.args.vararg.arg)
+                if sub.args.kwarg is not None:
+                    bound.add(sub.args.kwarg.arg)
+            elif isinstance(sub, ast.Name) and isinstance(
+                sub.ctx, (ast.Store, ast.Del)
+            ):
+                bound.add(sub.id)
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Name)
+                and isinstance(sub.ctx, ast.Load)
+                and sub.id not in bound
+            ):
+                self._names.append(sub)
+
     def _walk_stmt(self, stmt: ast.stmt, held: list[str]) -> None:
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            self._closure_loads(stmt)
             return  # separate execution context
         if isinstance(stmt, (ast.With, ast.AsyncWith)):
             tokens: list[str] = []
@@ -653,6 +685,7 @@ class _FunctionExtractor:
             node = stack.pop()
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
                                  ast.Lambda, ast.ClassDef)):
+                self._closure_loads(node)
                 continue
             if isinstance(node, ast.Call):
                 self._record_call(node, held)

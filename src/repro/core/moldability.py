@@ -222,6 +222,79 @@ class MoldabilityController:
         self.drift_count = 0
         self.reexplorations += 1
 
+    # ------------------------------------------------------------------
+    # state export/restore (federation warm-state migration)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """JSON-safe snapshot of the exploration history.
+
+        Everything the lifecycle learned that is not in the PTT itself:
+        the phase, the recorded-execution count, the thread-search
+        position, the settled configuration and the drift counters.
+        Topology, distances and lease are *not* exported — they belong to
+        the machine, and a restore target supplies its own.
+        """
+        settled = None
+        if self.settled_config is not None:
+            settled = {
+                "threads": self.settled_config.num_threads,
+                "mask_bits": self.settled_config.node_mask.bits,
+                "policy": self.settled_config.steal_policy.value,
+            }
+        return {
+            "phase": self.phase.value,
+            "k": self.k,
+            "cur_threads": self.cur_threads,
+            "best_threads": self.best_threads,
+            "skip_search": self.skip_search,
+            "settled": settled,
+            "drift_count": self.drift_count,
+            "reexplorations": self.reexplorations,
+        }
+
+    def restore_state(self, doc: dict) -> None:
+        """Resume the lifecycle from :meth:`export_state` output.
+
+        The settled node mask is re-validated against *this* controller's
+        machine and lease: a configuration that no longer fits (different
+        node count, outside the lease) refuses to restore instead of
+        producing an unrunnable plan.
+        """
+        try:
+            phase = Phase(doc["phase"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed moldability state document: {exc}"
+            ) from exc
+        settled_doc = doc.get("settled")
+        settled = None
+        if settled_doc is not None:
+            mask = NodeMask(int(settled_doc["mask_bits"]), self.topology.num_nodes)
+            if self.allowed_nodes is not None and not mask.is_subset(
+                self.allowed_nodes
+            ):
+                raise ConfigurationError(
+                    f"settled mask {mask} escapes the lease {self.allowed_nodes}"
+                )
+            settled = TaskloopConfig(
+                int(settled_doc["threads"]),
+                mask,
+                StealPolicyMode(settled_doc["policy"]),
+            )
+        if phase is Phase.SETTLED and settled is None:
+            raise ConfigurationError(
+                "settled phase requires a settled configuration"
+            )
+        self.phase = phase
+        self.k = int(doc.get("k", 0))
+        self.cur_threads = int(doc.get("cur_threads", 0))
+        self.best_threads = int(doc.get("best_threads", 0))
+        self.skip_search = bool(doc.get("skip_search", False))
+        self.settled_config = settled
+        self.drift_count = int(doc.get("drift_count", 0))
+        self.reexplorations = int(doc.get("reexplorations", 0))
+        self.record_next = phase is not Phase.WARMUP
+
     def finish_trial(self, ptt: TaskloopPTT) -> None:
         """After the full-stealing trial: fix the final configuration."""
         if self.phase is not Phase.TRIAL:

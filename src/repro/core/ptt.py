@@ -20,9 +20,14 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["ExecStats", "TaskloopPTT", "PerformanceTraceTable"]
+__all__ = ["PTT_WIRE_VERSION", "ExecStats", "TaskloopPTT", "PerformanceTraceTable"]
 
 ConfigKey = tuple[int, int, str]  # (num_threads, node_mask_bits, steal_policy)
+
+#: Schema version of the PTT wire documents produced by
+#: :meth:`TaskloopPTT.to_wire`; importers refuse documents from a
+#: different schema instead of guessing at their fields.
+PTT_WIRE_VERSION = 1
 
 
 @dataclass
@@ -149,6 +154,127 @@ class TaskloopPTT:
             return 0
         return int(np.nanargmax(perf))
 
+    # ------------------------------------------------------------------
+    # wire serialization (federation warm-state migration)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> dict:
+        """Versioned JSON-safe document of this table's learned state.
+
+        Everything a new owner needs to resume warm: the timing entries
+        (Welford triples, so merged statistics stay exact), the per-node
+        throughput EMA (``NaN`` encoded as ``None`` — JSON has no NaN),
+        and the generation counter that guards against resurrecting
+        entries a later invalidation already declared dead.
+        """
+        return {
+            "version": PTT_WIRE_VERSION,
+            "num_nodes": self.num_nodes,
+            "generation": self.generation,
+            "executions": self.executions,
+            "node_perf_alpha": self.node_perf_alpha,
+            "node_perf": [
+                None if np.isnan(v) else float(v) for v in self.node_perf
+            ],
+            "entries": [
+                {
+                    "threads": threads,
+                    "mask_bits": mask_bits,
+                    "policy": policy,
+                    "count": stats.count,
+                    "mean": stats.mean,
+                    "m2": stats.m2,
+                    "min_time": stats.min_time,
+                }
+                for (threads, mask_bits, policy), stats in sorted(
+                    self.entries.items()
+                )
+                if stats.count > 0
+            ],
+        }
+
+    @classmethod
+    def from_wire(cls, doc: dict) -> "TaskloopPTT":
+        """Reconstruct a table from :meth:`to_wire` output.
+
+        Raises :class:`~repro.errors.ConfigurationError` on an unknown
+        schema version or a malformed document; never guesses.
+        """
+        if not isinstance(doc, dict):
+            raise ConfigurationError(
+                f"PTT wire document must be an object, got {type(doc).__name__}"
+            )
+        if doc.get("version") != PTT_WIRE_VERSION:
+            raise ConfigurationError(
+                f"unsupported PTT wire version {doc.get('version')!r} "
+                f"(this build speaks {PTT_WIRE_VERSION})"
+            )
+        num_nodes = doc.get("num_nodes")
+        if not isinstance(num_nodes, int) or num_nodes < 1:
+            raise ConfigurationError(
+                f"PTT wire document needs a positive 'num_nodes', got {num_nodes!r}"
+            )
+        perf_list = doc.get("node_perf")
+        if not isinstance(perf_list, list) or len(perf_list) != num_nodes:
+            raise ConfigurationError(
+                f"PTT wire 'node_perf' must list {num_nodes} values"
+            )
+        table = cls(
+            num_nodes=num_nodes,
+            executions=int(doc.get("executions", 0)),
+            node_perf_alpha=float(doc.get("node_perf_alpha", 0.5)),
+            generation=int(doc.get("generation", 0)),
+        )
+        table.node_perf = np.array(
+            [np.nan if v is None else float(v) for v in perf_list],
+            dtype=np.float64,
+        )
+        for entry in doc.get("entries", ()):
+            try:
+                key = (int(entry["threads"]), int(entry["mask_bits"]),
+                       str(entry["policy"]))
+                stats = ExecStats(
+                    count=int(entry["count"]),
+                    mean=float(entry["mean"]),
+                    m2=float(entry["m2"]),
+                    min_time=float(entry["min_time"]),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"malformed PTT wire entry {entry!r}: {exc}"
+                ) from exc
+            if stats.count < 1:
+                raise ConfigurationError(
+                    f"PTT wire entry {key} carries no observations"
+                )
+            table.entries[key] = stats
+        return table
+
+    def import_wire(self, doc: dict) -> bool:
+        """Adopt the state of a wire document into this table.
+
+        The *generation guard*: a document older than this table's
+        current generation describes entries an invalidation already
+        declared dead — importing it would resurrect stale timings on a
+        respawned shard — so it is refused (returns ``False``, table
+        untouched).  A document at or above the current generation
+        replaces the entries, EMA and counters wholesale and returns
+        ``True``.
+        """
+        incoming = TaskloopPTT.from_wire(doc)
+        if incoming.num_nodes != self.num_nodes:
+            raise ConfigurationError(
+                f"PTT wire document describes {incoming.num_nodes} node(s), "
+                f"this table has {self.num_nodes}"
+            )
+        if incoming.generation < self.generation:
+            return False
+        self.entries = incoming.entries
+        self.node_perf = incoming.node_perf
+        self.executions = incoming.executions
+        self.node_perf_alpha = incoming.node_perf_alpha
+        self.generation = incoming.generation
+        return True
+
 
 class PerformanceTraceTable:
     """All per-taskloop PTTs of one scheduler instance."""
@@ -178,3 +304,30 @@ class PerformanceTraceTable:
 
     def clear(self) -> None:
         self._tables.clear()
+
+    # ------------------------------------------------------------------
+    def to_wire(self) -> dict:
+        """Every callsite's table as one versioned document."""
+        return {
+            "version": PTT_WIRE_VERSION,
+            "num_nodes": self.num_nodes,
+            "tables": {uid: self._tables[uid].to_wire() for uid in self.uids()},
+        }
+
+    @classmethod
+    def from_wire(cls, doc: dict) -> "PerformanceTraceTable":
+        if not isinstance(doc, dict) or doc.get("version") != PTT_WIRE_VERSION:
+            raise ConfigurationError(
+                f"unsupported PTT wire version "
+                f"{doc.get('version') if isinstance(doc, dict) else doc!r}"
+            )
+        ptt = cls(int(doc["num_nodes"]))
+        for uid, table_doc in (doc.get("tables") or {}).items():
+            table = TaskloopPTT.from_wire(table_doc)
+            if table.num_nodes != ptt.num_nodes:
+                raise ConfigurationError(
+                    f"table {uid!r} describes {table.num_nodes} node(s), "
+                    f"the registry has {ptt.num_nodes}"
+                )
+            ptt._tables[str(uid)] = table
+        return ptt

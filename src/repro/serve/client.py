@@ -17,6 +17,11 @@ Resilience built in:
   :func:`repro.sim.rng.pyrandom` substream ``("serve.client", "retry")``
   — byte-identical replay by construction, never entropy-seeded.
   ``draining`` rejections are never retried: they cannot succeed.
+* :meth:`ServiceClient.reconnect` re-dials under a **capped attempt
+  budget** with the same full-jitter backoff; a permanently dead
+  endpoint fails fast with the typed :class:`ReconnectExhausted`
+  (carrying the attempt count and last error) instead of looping
+  forever against a machine that is never coming back.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import asyncio
 import random
 from typing import Any, Callable, Mapping
 
+from repro.errors import ServeError
 from repro.sim.rng import pyrandom
 
 from repro.serve.protocol import (
@@ -36,11 +42,29 @@ from repro.serve.protocol import (
     write_message,
 )
 
-__all__ = ["ServiceClient"]
+__all__ = ["ReconnectExhausted", "ServiceClient"]
 
 #: Connection-level failures worth a reconnect-and-retry (covers reset,
-#: refused, aborted and broken-pipe).
+#: refused, aborted and broken-pipe; ``OSError`` catches resolver and
+#: socket-level failures raised by ``open_connection`` itself).
 _CONNECTION_ERRORS = (ConnectionError,)
+_DIAL_ERRORS = (ConnectionError, OSError)
+
+
+class ReconnectExhausted(ServeError):
+    """The reconnect attempt budget ran out: the endpoint stayed dead.
+
+    Carries how many dials were attempted and the last connection error,
+    so callers (and the load generator's failure accounting) can tell a
+    dead endpoint from a transient blip without parsing messages.
+    """
+
+    code = "reconnect_exhausted"
+
+    def __init__(self, message: str, *, attempts: int, last_error: str):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
 
 
 class ServiceClient:
@@ -72,17 +96,50 @@ class ServiceClient:
         except (ConnectionResetError, BrokenPipeError):
             pass
 
-    async def reconnect(self) -> None:
+    async def reconnect(
+        self,
+        *,
+        max_attempts: int = 5,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], Any] = asyncio.sleep,
+    ) -> None:
         """Drop the current connection and dial the service again.
+
+        Dials up to ``max_attempts`` times with the same full-jitter
+        backoff schedule as :meth:`submit_with_retry` (the n-th retry
+        sleeps ``uniform(0, min(max_delay, base_delay * 2**n))``); when
+        the budget runs out, raises :class:`ReconnectExhausted` so
+        callers fail fast on a dead endpoint instead of spinning.
 
         Only available on clients built via :meth:`connect` (which know
         their address); raises :class:`ProtocolError` otherwise.
         """
         if self._host is None or self._port is None:
             raise ProtocolError("client has no remembered address to reconnect to")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if rng is None:
+            rng = pyrandom(0, "serve.client", "reconnect")
         await self.close()
-        self._reader, self._writer = await asyncio.open_connection(
-            self._host, self._port
+        last_error = "unknown"
+        for attempt in range(max_attempts):
+            if attempt > 0:
+                bound = min(max_delay, base_delay * (2.0 ** attempt))
+                await sleep(rng.uniform(0.0, bound))
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self._host, self._port
+                )
+                return
+            except _DIAL_ERRORS as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+        raise ReconnectExhausted(
+            f"gave up reconnecting to {self._host}:{self._port} "
+            f"after {max_attempts} attempts ({last_error})",
+            attempts=max_attempts,
+            last_error=last_error,
         )
 
     async def __aenter__(self) -> "ServiceClient":

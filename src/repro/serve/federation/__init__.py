@@ -18,7 +18,13 @@ each with its own topology, arbiter, fault plan and metrics — behind a
 * a seeded ``shard_crash`` fault
   (:class:`~repro.serve.federation.faults.ShardFaultPlan`) kills a whole
   shard mid-run: its leases are reclaimed, its jobs requeue through the
-  router, and the run replays byte-identically.
+  router, and the run replays byte-identically;
+* an optional **self-healing** layer: the logical-clock failure detector
+  (:class:`~repro.serve.federation.membership.Membership`) finds silent
+  crashes by missed heartbeat polls, displaced tenants' PTT checkpoints
+  migrate warm to their new owners, and the supervisor
+  (:class:`~repro.serve.federation.supervisor.ShardSupervisor`) respawns
+  confirmed-dead shards at a new epoch through the live-join path.
 
 The wire front-end
 (:class:`~repro.serve.federation.service.FederationService`) speaks the
@@ -30,10 +36,23 @@ generator drive a fleet unchanged.  Start one with::
 
 from repro.serve.federation.affinity import AffinityPolicy
 from repro.serve.federation.faults import SHARD_CRASH, ShardFaultPlan
+from repro.serve.federation.membership import (
+    Membership,
+    MemberRecord,
+    MembershipEvent,
+    MemberState,
+)
 from repro.serve.federation.ring import ConsistentHashRing, RingError
 from repro.serve.federation.router import FederatedJob, FederationRouter
 from repro.serve.federation.service import FederationService
-from repro.serve.federation.shard import ShardHandle, build_shards, shard_fault_seed
+from repro.serve.federation.shard import (
+    ShardHandle,
+    build_shard,
+    build_shards,
+    respawn_factory,
+    shard_fault_seed,
+)
+from repro.serve.federation.supervisor import RespawnRecord, ShardSupervisor
 
 __all__ = [
     "SHARD_CRASH",
@@ -42,9 +61,17 @@ __all__ = [
     "FederatedJob",
     "FederationRouter",
     "FederationService",
+    "MemberRecord",
+    "MemberState",
+    "Membership",
+    "MembershipEvent",
+    "RespawnRecord",
     "RingError",
     "ShardFaultPlan",
     "ShardHandle",
+    "ShardSupervisor",
+    "build_shard",
     "build_shards",
+    "respawn_factory",
     "shard_fault_seed",
 ]

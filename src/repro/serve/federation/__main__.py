@@ -7,6 +7,10 @@ Examples::
         --expose-shards          # each shard also gets its own port
     python -m repro.serve.federation --shards 3 --shard-crash 0.4 \\
         --fault-seed 7           # seeded chaos: a whole shard may die
+    python -m repro.serve.federation --shards 3 --shard-crash 0.4 \\
+        --respawn 2 --heartbeat-every 5 --suspect-after 2  # self-healing:
+        # crashes are found by missed heartbeats, tenants migrate warm,
+        # and the supervisor respawns the dead shard at a new epoch
 
 The router prints its bound address (and, with ``--expose-shards``, every
 shard's address) on startup; clients speak the same newline-JSON protocol
@@ -33,9 +37,11 @@ from repro.exp.cliopts import (
 )
 from repro.serve.faults import parse_fault_spec
 from repro.serve.federation.faults import ShardFaultPlan
+from repro.serve.federation.membership import Membership
 from repro.serve.federation.router import FederationRouter
 from repro.serve.federation.service import FederationService
-from repro.serve.federation.shard import build_shards
+from repro.serve.federation.shard import build_shards, respawn_factory
+from repro.serve.federation.supervisor import ShardSupervisor
 
 __all__ = ["main"]
 
@@ -88,6 +94,28 @@ def _build_parser() -> argparse.ArgumentParser:
                        "is drawn from (default 1 4)")
     chaos.add_argument("--fault-seed", type=int, default=0,
                        help="seed for both fault layers (default 0)")
+    healing = parser.add_argument_group("self-healing (membership layer)")
+    healing.add_argument("--membership", action="store_true",
+                         help="enable the logical-clock failure detector: "
+                         "seeded shard crashes turn silent and are found "
+                         "by missed heartbeats instead of router omniscience")
+    healing.add_argument("--heartbeat-every", type=int, default=5,
+                         metavar="PLACEMENTS",
+                         help="poll every shard each N router placements "
+                         "(the logical heartbeat period, default 5)")
+    healing.add_argument("--suspect-after", type=int, default=2,
+                         metavar="POLLS",
+                         help="missed polls before a shard is SUSPECT and "
+                         "stops taking new placements (default 2)")
+    healing.add_argument("--confirm-after", type=int, default=3,
+                         metavar="POLLS",
+                         help="missed polls before a death is confirmed and "
+                         "recovery runs (must exceed --suspect-after; "
+                         "default 3)")
+    healing.add_argument("--respawn", type=int, default=None, metavar="N",
+                         help="supervise confirmed-dead shards: respawn each "
+                         "up to N times at a new epoch with a fresh derived "
+                         "fault seed (implies --membership)")
     parser.add_argument("--snapshot-out", default=None, metavar="PATH",
                         help="after the drain, write the federated snapshot "
                         "to PATH (atomic tmp-file + rename write)")
@@ -121,12 +149,36 @@ def build_federation(args: argparse.Namespace) -> FederationService:
             min_placements=lo,
             max_placements=hi,
         )
+    membership = None
+    supervisor = None
+    if args.membership or args.respawn is not None:
+        membership = Membership(
+            heartbeat_every=args.heartbeat_every,
+            suspect_after=args.suspect_after,
+            confirm_after=args.confirm_after,
+        )
+        if args.respawn is not None:
+            supervisor = ShardSupervisor(
+                respawn_factory(
+                    lambda: resolve_machine(args.machine),
+                    config=config_from_args(args, seeds_default=1),
+                    queue_capacity=args.queue_capacity,
+                    workers=args.workers,
+                    max_attempts=args.max_attempts,
+                    default_deadline_s=args.default_deadline,
+                    fault_probabilities=probabilities,
+                    fault_seed=args.fault_seed,
+                ),
+                max_respawns=args.respawn,
+            )
     router = FederationRouter(
         shards,
         seed=args.ring_seed,
         vnodes=args.vnodes,
         high_water=args.high_water,
         shard_fault_plan=shard_plan,
+        membership=membership,
+        supervisor=supervisor,
     )
     return FederationService(router)
 
@@ -168,6 +220,16 @@ async def _serve(args: argparse.Namespace) -> int:
             f"{router['migrations']} migration(s), "
             f"{router['shard_deaths']} shard death(s)"
         )
+        membership = snapshot.get("membership")
+        if membership is not None:
+            respawns = membership.get("respawns") or {}
+            print(
+                f"self-healing: {membership['heartbeats']} heartbeat(s), "
+                f"{membership['deaths_confirmed']} confirmed death(s), "
+                f"{respawns.get('respawns_total', 0)} respawn(s), "
+                f"{membership['migrations_completed']} warm migration(s), "
+                f"{membership['migrations_dropped']} dropped"
+            )
         if args.snapshot_out:
             out = federation.persist_snapshot(args.snapshot_out)
             print(f"final federated snapshot written to {out}")
@@ -181,6 +243,11 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.shards < 1:
         raise SystemExit(f"--shards must be >= 1, got {args.shards}")
+    if args.confirm_after <= args.suspect_after:
+        raise SystemExit(
+            f"--confirm-after ({args.confirm_after}) must exceed "
+            f"--suspect-after ({args.suspect_after})"
+        )
     with contextlib.suppress(KeyboardInterrupt):
         return asyncio.run(_serve(args))
     return 0

@@ -46,6 +46,12 @@ class AffinityPolicy:
         """The tenant was placed on ``shard_id``: its PTT warms up there."""
         self._home[tenant] = shard_id
 
+    def rehome(self, tenant: str, shard_id: str) -> None:
+        """Warm migration: the tenant's checkpointed PTT state moved to
+        ``shard_id``, so that shard is its home *now* — before any new
+        placement happens — and the next submission goes straight there."""
+        self._home[tenant] = shard_id
+
     def forget_shard(self, shard_id: str) -> list[str]:
         """A shard died: every tenant homed there goes cold.
 

@@ -18,6 +18,8 @@ through :meth:`ShardFaultPlan.record_crash`.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from repro.errors import ServeError
 from repro.sim.rng import stream
 
@@ -37,6 +39,7 @@ class ShardFaultPlan:
         seed: int = 0,
         min_placements: int = 1,
         max_placements: int = 4,
+        scheduled: Mapping[str, int] | None = None,
     ):
         if not (0.0 <= float(crash_probability) <= 1.0):
             raise ServeError(
@@ -59,14 +62,29 @@ class ShardFaultPlan:
         self.max_placements = int(max_placements)
         self.crashed: list[str] = []
         self._decisions: dict[str, int | None] = {}
+        #: Explicit crash points (``--kill-at`` in the smoke scripts):
+        #: these override the probabilistic draw for the named shards,
+        #: so a scenario can say "shard-1 dies at placement 7" exactly.
+        self.scheduled: dict[str, int] = {}
+        for shard_id, point in (scheduled or {}).items():
+            if int(point) < 1:
+                raise ServeError(
+                    f"scheduled crash point for {shard_id!r} must be >= 1, "
+                    f"got {point}"
+                )
+            self.scheduled[str(shard_id)] = int(point)
 
     # ------------------------------------------------------------------
     def decide(self, shard_id: str) -> int | None:
         """The placement count at which ``shard_id`` dies, or ``None``.
 
         Memoised and seed-deterministic: the decision depends only on
-        ``(seed, shard_id)``.
+        ``(seed, shard_id)`` — unless an explicit schedule entry exists,
+        which wins outright (and costs no RNG draw, so scheduling one
+        shard never perturbs another's fate).
         """
+        if shard_id in self.scheduled:
+            return self.scheduled[shard_id]
         if shard_id not in self._decisions:
             rng = stream(self.seed, "fed.fault", shard_id)
             decision: int | None = None
@@ -89,7 +107,7 @@ class ShardFaultPlan:
     # ------------------------------------------------------------------
     def decisions(self) -> dict[str, int | None]:
         """Every decision made so far: shard id → crash point (or None)."""
-        return dict(sorted(self._decisions.items()))
+        return dict(sorted({**self._decisions, **self.scheduled}.items()))
 
     def to_wire(self) -> dict[str, object]:
         return {
@@ -99,6 +117,7 @@ class ShardFaultPlan:
             "min_placements": self.min_placements,
             "max_placements": self.max_placements,
             "decisions": self.decisions(),
+            "scheduled": dict(sorted(self.scheduled.items())),
             "crashed": list(self.crashed),
         }
 

@@ -21,6 +21,7 @@ The two properties the Hypothesis suite pins down:
 from __future__ import annotations
 
 import bisect
+import hashlib
 from typing import Iterable, Sequence
 
 from repro.errors import ServeError
@@ -141,6 +142,16 @@ class ConsistentHashRing:
         """Batch :meth:`owner` over many tenants (property-test helper)."""
         return {tenant: self.owner(tenant) for tenant in tenants}
 
+    def digest(self) -> str:
+        """A short deterministic digest of ``(seed, vnodes, member set)``.
+
+        Two routers agree on placement iff their digests match, so the
+        membership snapshot carries this as a one-token fingerprint of
+        the ring topology (cheap to compare across epochs and runs).
+        """
+        basis = f"{self.seed}:{self.vnodes}:" + ",".join(self.members)
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
     def describe(self) -> dict[str, object]:
         """JSON-able summary for the federated metrics snapshot."""
         return {
@@ -148,6 +159,7 @@ class ConsistentHashRing:
             "vnodes": self.vnodes,
             "members": self.members,
             "points": len(self._points),
+            "digest": self.digest(),
         }
 
     def __repr__(self) -> str:

@@ -16,17 +16,37 @@
    shard past the admission high-water mark sheds its *youngest* waiting
    jobs onto the ring's next choice.
 
+With a :class:`~repro.serve.federation.membership.Membership` attached,
+the fleet becomes **self-healing**.  Seeded crashes turn *silent*: the
+shard stops answering, its orphans stay stashed on the handle, and the
+router only learns of the death when the failure detector confirms it —
+after ``suspect_after`` missed heartbeat polls (SUSPECT, excluded from
+new placements) and then ``confirm_after`` (DEAD).  Confirmation
+triggers the recovery pipeline, in order: ring removal → **warm tenant
+state migration** (the archived PTT checkpoints pulled at earlier
+heartbeats are imported into each displaced tenant's new owner, and the
+affinity home is re-pointed there so the tenant's next job starts warm)
+→ stashed-orphan adoption (which lands on the freshly warmed owners) →
+supervised respawn through
+:class:`~repro.serve.federation.supervisor.ShardSupervisor`, readmitting
+the shard at ``epoch + 1`` via the normal join path.  Tenants whose
+shard died before their first checkpoint degrade gracefully to a fresh
+bootstrap and are tallied under ``migrations_dropped``.
+
 Job identity is two-level: clients see stable federation ids
 (``fed-00001``); each placement maps the fed id to the current
-``(shard, local job id)`` pair, and migration or shard death re-points
-the mapping without the client ever noticing.  The strict-FIFO
+``(instance, local job id)`` pair — *instance* being the epoch-qualified
+shard identity, so a respawn can never collide with its dead
+predecessor's job ids — and migration or shard death re-points the
+mapping without the client ever noticing.  The strict-FIFO
 no-starvation invariant holds *per shard* throughout: rebalance only
 ever removes queue tails, never overtakes a head-of-line waiter.
 
 Everything the router decides is a pure function of the submission
-sequence plus the seeds — placement order, crash points and migration
-targets never consult the wall clock — which is what makes a federated
-chaos run byte-reproducible.
+sequence plus the seeds — placement order, crash points, heartbeat
+rounds and migration targets are all counted in logical placements,
+never the wall clock — which is what makes a federated chaos run with
+mid-flight deaths, respawns and live joins byte-reproducible.
 """
 
 from __future__ import annotations
@@ -36,8 +56,10 @@ from typing import Any, Sequence
 
 from repro.serve.federation.affinity import AffinityPolicy
 from repro.serve.federation.faults import SHARD_CRASH, ShardFaultPlan
+from repro.serve.federation.membership import Membership
 from repro.serve.federation.ring import ConsistentHashRing
 from repro.serve.federation.shard import ShardHandle
+from repro.serve.federation.supervisor import ShardSupervisor
 from repro.serve.protocol import (
     AdmissionRejected,
     JobRequest,
@@ -53,7 +75,7 @@ class FederatedJob:
 
     fed_id: str
     tenant: str
-    shard_id: str
+    shard_id: str  # epoch-qualified instance id of the current holder
     local_job_id: str
     #: Every shard that ever held the job, in placement order (the first
     #: entry is the initial placement; later entries are migrations or
@@ -86,6 +108,8 @@ class FederationRouter:
         vnodes: int = 64,
         high_water: int | None = None,
         shard_fault_plan: ShardFaultPlan | None = None,
+        membership: Membership | None = None,
+        supervisor: ShardSupervisor | None = None,
     ):
         if not shards:
             raise ProtocolError("a federation needs at least one shard")
@@ -96,14 +120,34 @@ class FederationRouter:
             raise ProtocolError(
                 f"high_water must be a positive queue depth, got {high_water}"
             )
+        if supervisor is not None and membership is None:
+            raise ProtocolError(
+                "a supervisor needs a membership layer: without a failure "
+                "detector no death is ever confirmed, so nothing respawns"
+            )
+        #: Ring name → *current* incarnation.
         self.shards: dict[str, ShardHandle] = {s.shard_id: s for s in shards}
+        #: Epoch-qualified instance id → every incarnation ever admitted
+        #: (epoch 0 keeps the bare id, so pre-membership keys are stable).
+        self.instances: dict[str, ShardHandle] = {s.instance_id: s for s in shards}
         self.ring = ConsistentHashRing(ids, seed=seed, vnodes=vnodes)
         self.affinity = AffinityPolicy()
         self.high_water = high_water
         self.shard_fault_plan = shard_fault_plan
+        self.membership = membership
+        self.supervisor = supervisor
+        if membership is not None:
+            for shard_id in sorted(self.shards):
+                membership.register(
+                    shard_id, epoch=self.shards[shard_id].epoch, at=0
+                )
         self.jobs: dict[str, FederatedJob] = {}
         self._local_index: dict[tuple[str, str], str] = {}
         self._fed_counter = 0
+        #: Last-heartbeat PTT checkpoints: (tenant, benchmark) → wire doc.
+        #: This is the state that survives a shard death — anything the
+        #: shard learned *after* its last heartbeat dies with it.
+        self._state_archive: dict[tuple[str, str], dict[str, Any]] = {}
         # router-level counters (the federated snapshot's `router` section)
         self.placements = 0
         self.failover_placements = 0
@@ -111,6 +155,13 @@ class FederationRouter:
         self.shard_deaths = 0
         self.rebalanced_tenants = 0
         self.requeued_jobs = 0
+        # self-healing counters (the snapshot's `membership` section)
+        self.heartbeats = 0
+        self.migrations_completed = 0
+        self.migrations_dropped = 0
+        #: Every tenant-state migration decision, in order: tenant, the
+        #: adopting shard (None for a drop), and the documents moved.
+        self.migration_log: list[dict[str, Any]] = []
 
     # ------------------------------------------------------------------
     # shard roster
@@ -126,10 +177,14 @@ class FederationRouter:
         return {s.shard_id for s in self.live_shards if s.depth >= self.high_water}
 
     def _placement_order(self, tenant: str) -> list[ShardHandle]:
+        placeable = {s.shard_id for s in self.live_shards}
+        if self.membership is not None:
+            # SUSPECT shards stay on the ring but take no new placements
+            placeable -= set(self.membership.suspects())
         order = self.affinity.order(
             tenant,
             self.ring.preference(tenant),
-            alive={s.shard_id for s in self.live_shards},
+            alive=placeable,
             saturated=self._saturated_ids(),
         )
         return [self.shards[sid] for sid in order]
@@ -143,10 +198,107 @@ class FederationRouter:
             await shard.start(expose=expose_shards, host=host)
 
     async def drain(self) -> dict[str, Any]:
-        """Gracefully drain every live shard; returns the federated snapshot."""
+        """Gracefully drain every live shard; returns the federated snapshot.
+
+        With membership enabled, detection is flushed first: a shard that
+        crashed silently near the end of the run (after the last regular
+        heartbeat) is still confirmed, migrated and respawned before the
+        fleet drains, so no stashed orphan is ever left non-terminal.
+        """
+        if self.membership is not None:
+            while self._undetected_crashes():
+                await self._heartbeat()
         for shard in self.live_shards:
             await shard.service.drain()
         return self.metrics_snapshot()
+
+    async def pump_detection(self) -> None:
+        """Advance the failure detector outside the placement clock.
+
+        The logical clock normally ticks on placements, which starves
+        detection when closed-loop clients stop submitting because their
+        in-flight jobs are stranded on a silently-crashed shard: no new
+        placements, no heartbeats, no confirmation — a liveness deadlock.
+        Status traffic calls this to run one poll round whenever an
+        unconfirmed crash exists, so polling the very jobs a dead shard
+        stranded is what drives their recovery.
+        """
+        if self.membership is not None and self._undetected_crashes():
+            await self._heartbeat()
+
+    def _undetected_crashes(self) -> list[str]:
+        """Shards that are down but not yet confirmed by the detector."""
+        assert self.membership is not None
+        down = []
+        for shard_id in sorted(self.shards):
+            handle = self.shards[shard_id]
+            record = self.membership.get(shard_id)
+            if record is None or record.epoch != handle.epoch:
+                continue
+            if not handle.alive and record.state.value in ("alive", "suspect"):
+                down.append(shard_id)
+        return down
+
+    async def join_shard(
+        self,
+        handle: ShardHandle,
+        *,
+        expose: bool = False,
+        host: str = "127.0.0.1",
+    ) -> None:
+        """Live join: start a new shard and admit it to the fleet.
+
+        The ring gains its virtual nodes (minimal remap: only tenants the
+        new shard now owns move), and with membership enabled it starts
+        being heartbeat-polled immediately.
+        """
+        await handle.start(expose=expose, host=host)
+        self._admit(handle)
+
+    def _admit(self, handle: ShardHandle) -> None:
+        """Roster + ring + membership bookkeeping for a (re)joining shard."""
+        current = self.shards.get(handle.shard_id)
+        if current is not None and current.alive:
+            raise ProtocolError(
+                f"shard {handle.shard_id!r} is already in the fleet"
+            )
+        if handle.instance_id in self.instances:
+            raise ProtocolError(
+                f"instance {handle.instance_id!r} was already admitted once"
+            )
+        self.shards[handle.shard_id] = handle
+        self.instances[handle.instance_id] = handle
+        self.ring.add(handle.shard_id)
+        if self.membership is not None:
+            self.membership.register(
+                handle.shard_id, epoch=handle.epoch, at=self.placements
+            )
+
+    async def leave_shard(self, shard_id: str) -> None:
+        """Voluntary departure: clean handoff, nothing is lost.
+
+        The leaving shard's *complete* tenant state (not just the dirty
+        deltas) is archived before it stops, every displaced tenant
+        migrates warm, and its queued/running jobs are adopted by the
+        survivors.  ``migrations_dropped`` never moves on a leave — only
+        a crash can lose an un-checkpointed tenant.
+        """
+        handle = self.shards.get(shard_id)
+        if handle is None or not handle.alive:
+            raise ProtocolError(f"shard {shard_id!r} is not in the fleet")
+        if len(self.live_shards) <= 1:
+            raise ProtocolError(
+                "the last live shard cannot leave while the fleet holds jobs"
+            )
+        for doc in handle.service.tenant_state.export_all():
+            self._state_archive[(doc["tenant"], doc["benchmark"])] = doc
+        if self.membership is not None:
+            self.membership.leave(shard_id, at=self.placements)
+        orphans = await handle.kill()
+        self.ring.remove(shard_id)
+        displaced = self.affinity.forget_shard(shard_id)
+        self._migrate_tenants(displaced, count_dropped=False)
+        self._adopt_orphans(handle, orphans)
 
     # ------------------------------------------------------------------
     # placement
@@ -194,25 +346,31 @@ class FederationRouter:
         job = FederatedJob(
             fed_id=f"fed-{self._fed_counter:05d}",
             tenant=request.tenant,
-            shard_id=placed.shard_id,
+            shard_id=placed.instance_id,
             local_job_id=record.job_id,
-            placements=[placed.shard_id],
+            placements=[placed.instance_id],
         )
         self.jobs[job.fed_id] = job
-        self._local_index[(placed.shard_id, record.job_id)] = job.fed_id
+        self._local_index[(placed.instance_id, record.job_id)] = job.fed_id
         self.affinity.note_placement(request.tenant, placed.shard_id)
         self.placements += 1
         placed.placements += 1
 
         await self._apply_consequences(placed)
+        if self.membership is not None and self.membership.due(self.placements):
+            await self._heartbeat()
         return job
 
     async def _apply_consequences(self, shard: ShardHandle) -> None:
         """Seeded crash + saturation rebalance due after a placement.
 
-        Requeueing a crashed shard's orphans counts as placements on the
-        adopting shards, so one death can (deterministically) trigger the
-        next — the worklist runs until the fleet is quiescent.  The last
+        Without membership (PR 7 semantics) a due crash is applied
+        *loudly*: the router kills the shard and immediately requeues its
+        orphans, and those adoption placements can deterministically
+        trigger the next death — the worklist runs until the fleet is
+        quiescent.  With membership, a due crash is *silent*: the shard
+        just stops, and everything else — detection, migration, adoption,
+        respawn — happens later through the heartbeat path.  The last
         live shard never crashes: a federation with work in flight must
         keep at least one machine to conserve its jobs on.
         """
@@ -224,11 +382,16 @@ class FederationRouter:
             plan = self.shard_fault_plan
             if (
                 plan is not None
-                and plan.should_crash(current.shard_id, current.placements)
+                and plan.should_crash(current.instance_id, current.placements)
                 and len(self.live_shards) > 1
             ):
-                touched = await self._kill_shard(current)
-                worklist.extend(touched)
+                if self.membership is not None:
+                    plan.record_crash(current.instance_id)
+                    self.shard_deaths += 1
+                    await current.crash()
+                else:
+                    touched = await self._kill_shard(current)
+                    worklist.extend(touched)
         if self.high_water is not None:
             # scan the whole fleet, not just the placed shard: an adoption
             # burst can leave a *different* shard over the mark, and it
@@ -238,12 +401,114 @@ class FederationRouter:
                     self._rebalance(candidate)
 
     # ------------------------------------------------------------------
-    # shard death
+    # self-healing: heartbeats, confirmed deaths, respawn
+    # ------------------------------------------------------------------
+    async def _heartbeat(self) -> None:
+        """One failure-detector round at the current logical time.
+
+        Responsive shards piggyback their dirty PTT checkpoints on the
+        heartbeat reply (pulled into the router-side archive); shards
+        that stay silent accumulate missed polls until the detector
+        confirms them dead, at which point recovery runs.
+        """
+        assert self.membership is not None
+        self.heartbeats += 1
+        responders: list[str] = []
+        for shard_id in sorted(self.shards):
+            handle = self.shards[shard_id]
+            if not handle.alive:
+                continue
+            responders.append(shard_id)
+            for doc in handle.service.tenant_state.drain_dirty():
+                self._state_archive[(doc["tenant"], doc["benchmark"])] = doc
+        confirmed = self.membership.poll(responders, at=self.placements)
+        for record in confirmed:
+            await self._confirm_death(record.member_id, record.epoch)
+
+    async def _confirm_death(self, shard_id: str, epoch: int) -> None:
+        """Recovery pipeline for one confirmed-dead shard.
+
+        Order matters: the ring drops the member first (so ownership
+        re-resolves), then tenant state migrates and rehomes (so the
+        orphan adoptions that follow land on the freshly warmed owners),
+        and the supervised respawn runs last (the new incarnation starts
+        empty — its predecessor's tenants already live elsewhere, warm).
+        """
+        handle = self.shards[shard_id]
+        assert not handle.alive, "the detector confirmed a live shard dead"
+        self.ring.remove(shard_id)
+        displaced = self.affinity.forget_shard(shard_id)
+        self._migrate_tenants(displaced, count_dropped=True)
+        self._adopt_orphans(handle, handle.take_stashed_orphans())
+        if self.supervisor is not None:
+            respawned = await self.supervisor.respawn(
+                shard_id, dead_epoch=epoch, at=self.placements
+            )
+            if respawned is not None:
+                self._admit(respawned)
+
+    def _migrate_tenants(self, tenants: Sequence[str], *, count_dropped: bool) -> None:
+        """Move each displaced tenant's archived PTT state to its new owner.
+
+        A tenant with at least one archived checkpoint is imported into
+        the first shard of its (post-removal) placement order and rehomed
+        there — its next job starts warm.  A tenant with *no* archive
+        entries (the shard died before its first checkpoint) bootstraps
+        fresh; on a crash that is tallied under ``migrations_dropped``.
+        """
+        for tenant in sorted(set(tenants)):
+            docs = sorted(
+                (key, doc)
+                for key, doc in self._state_archive.items()
+                if key[0] == tenant
+            )
+            if not docs:
+                if count_dropped:
+                    self.migrations_dropped += 1
+                    self.migration_log.append(
+                        {"tenant": tenant, "to": None, "docs": 0}
+                    )
+                continue
+            order = self._placement_order(tenant)
+            if not order:
+                # fleet-wide outage: nowhere to put the state; keep it
+                # archived for the next shard to join
+                continue
+            target = order[0]
+            imported = 0
+            for _, doc in docs:
+                if target.service.import_tenant_state(doc):
+                    imported += 1
+            if imported:
+                self.affinity.rehome(tenant, target.shard_id)
+                self.migrations_completed += 1
+                self.migration_log.append(
+                    {"tenant": tenant, "to": target.shard_id, "docs": imported}
+                )
+            elif count_dropped:
+                self.migrations_dropped += 1
+                self.migration_log.append(
+                    {"tenant": tenant, "to": None, "docs": 0}
+                )
+
+    def _adopt_orphans(self, source: ShardHandle, orphans: Sequence[Any]) -> None:
+        """Requeue a dead/leaving shard's orphans in fed-submission order."""
+        touched: set[str] = set()
+        fed_order = sorted(
+            (self._local_index[(source.instance_id, r.job_id)], r) for r in orphans
+        )
+        for fed_id, orphan in fed_order:
+            self._adopt(self.jobs[fed_id], orphan.request)
+            touched.add(orphan.request.tenant)
+        self.rebalanced_tenants += len(touched)
+
+    # ------------------------------------------------------------------
+    # shard death (loud / pre-membership path)
     # ------------------------------------------------------------------
     async def _kill_shard(self, shard: ShardHandle) -> list[ShardHandle]:
         """Apply a due shard crash; returns the shards that adopted work."""
         if self.shard_fault_plan is not None:
-            self.shard_fault_plan.record_crash(shard.shard_id)
+            self.shard_fault_plan.record_crash(shard.instance_id)
         self.shard_deaths += 1
         orphans = await shard.kill()
         self.ring.remove(shard.shard_id)
@@ -251,7 +516,7 @@ class FederationRouter:
         adopted: list[ShardHandle] = []
         # requeue in fed-submission order so replays adopt identically
         fed_order = sorted(
-            (self._local_index[(shard.shard_id, r.job_id)], r) for r in orphans
+            (self._local_index[(shard.instance_id, r.job_id)], r) for r in orphans
         )
         for fed_id, orphan in fed_order:
             target = self._adopt(self.jobs[fed_id], orphan.request)
@@ -268,10 +533,10 @@ class FederationRouter:
         target = order[0]
         record = target.service.adopt(request)
         del self._local_index[(job.shard_id, job.local_job_id)]
-        job.shard_id = target.shard_id
+        job.shard_id = target.instance_id
         job.local_job_id = record.job_id
-        job.placements.append(target.shard_id)
-        self._local_index[(target.shard_id, record.job_id)] = job.fed_id
+        job.placements.append(target.instance_id)
+        self._local_index[(target.instance_id, record.job_id)] = job.fed_id
         self.affinity.note_placement(request.tenant, target.shard_id)
         self.requeued_jobs += 1
         target.placements += 1
@@ -302,7 +567,7 @@ class FederationRouter:
         evicted = shard.service.evict_queued(excess)
         moved_tenants: set[str] = set()
         for record in evicted:
-            fed_id = self._local_index[(shard.shard_id, record.job_id)]
+            fed_id = self._local_index[(shard.instance_id, record.job_id)]
             job = self.jobs[fed_id]
             # never bounce a job straight back: drop the source from its
             # home so the affinity order starts at the ring's next choice
@@ -326,11 +591,23 @@ class FederationRouter:
     # lookup & metrics
     # ------------------------------------------------------------------
     def status(self, fed_id: str) -> dict[str, Any]:
-        """The job's wire record, with federation identity spliced in."""
+        """The job's wire record, with federation identity spliced in.
+
+        During the silent-crash detection window a crashed shard's
+        non-terminal jobs live only in its stashed-orphan list (the dead
+        service deleted their records); a status poll in that window
+        answers from the stash — the job is pending recovery, not gone.
+        """
         job = self.jobs.get(fed_id)
         if job is None:
             raise ProtocolError(f"unknown job {fed_id!r}")
-        record = self.shards[job.shard_id].service.status(job.local_job_id)
+        handle = self.instances[job.shard_id]
+        try:
+            record = handle.service.status(job.local_job_id)
+        except ProtocolError:
+            record = self._stashed_record(handle, job.local_job_id)
+            if record is None:
+                raise
         wire = record.to_wire()
         wire["job_id"] = job.fed_id
         wire["shard"] = job.shard_id
@@ -338,19 +615,66 @@ class FederationRouter:
         wire["migrations"] = job.migrations
         return wire
 
+    @staticmethod
+    def _stashed_record(handle: ShardHandle, local_job_id: str):
+        """A crashed-but-unconfirmed shard's orphan, if it holds the job."""
+        if handle.alive:
+            return None
+        for record in handle.stashed_orphans:
+            if record.job_id == local_job_id:
+                return record
+        return None
+
     def job_states(self) -> dict[str, int]:
-        """Fed-level state tally (the conservation the smoke asserts)."""
+        """Fed-level state tally (the conservation the smoke asserts).
+
+        Stashed orphans awaiting death confirmation count as queued:
+        they are in flight toward re-admission, not finished.
+        """
         tally = {"queued": 0, "running": 0, "completed": 0, "failed": 0}
         for job in self.jobs.values():
-            record = self.shards[job.shard_id].service.records.get(job.local_job_id)
+            handle = self.instances[job.shard_id]
+            record = handle.service.records.get(job.local_job_id)
             if record is not None:
                 tally[record.state.value] += 1
+            elif self._stashed_record(handle, job.local_job_id) is not None:
+                tally["queued"] += 1
         return tally
 
-    def metrics_snapshot(self) -> dict[str, Any]:
-        """Router counters + ring + every shard's own snapshot."""
-        states = self.job_states()
+    def membership_snapshot(self) -> dict[str, Any] | None:
+        """The self-healing section: detector view, respawns, migrations."""
+        if self.membership is None:
+            return None
+        detector = self.membership.describe()
         return {
+            "detector": detector,
+            "heartbeats": self.heartbeats,
+            "suspects": self.membership.suspects(),
+            "deaths_confirmed": self.membership.deaths_confirmed,
+            "epochs": {
+                shard_id: self.shards[shard_id].epoch
+                for shard_id in sorted(self.shards)
+            },
+            "respawns": (
+                self.supervisor.describe() if self.supervisor is not None else None
+            ),
+            "migrations_completed": self.migrations_completed,
+            "migrations_dropped": self.migrations_dropped,
+            "migration_log": [dict(entry) for entry in self.migration_log],
+            "state_archive_entries": len(self._state_archive),
+            "ring_digest": self.ring.digest(),
+        }
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Router counters + ring + every shard instance's own snapshot.
+
+        The ``shards`` section is keyed by *instance id*, so a respawned
+        shard contributes two entries — its dead predecessor (counters
+        frozen at death) and the live incarnation — and fleet-wide
+        conservation sums across both.
+        """
+        states = self.job_states()
+        snapshot = {
             "router": {
                 "submitted": self._fed_counter,
                 "placements": self.placements,
@@ -373,21 +697,25 @@ class FederationRouter:
                 "shards": len(self.shards),
                 "alive": [s.shard_id for s in self.live_shards],
                 "dead": sorted(
-                    sid for sid, s in self.shards.items() if not s.alive
+                    iid for iid, s in self.instances.items() if not s.alive
                 ),
             },
             "shards": {
-                sid: self.shards[sid].service.metrics_snapshot()
-                for sid in sorted(self.shards)
+                iid: self.instances[iid].service.metrics_snapshot()
+                for iid in sorted(self.instances)
             },
             "jobs": {
                 fed_id: self._job_wire(job)
                 for fed_id, job in sorted(self.jobs.items())
             },
         }
+        membership = self.membership_snapshot()
+        if membership is not None:
+            snapshot["membership"] = membership
+        return snapshot
 
     def _job_wire(self, job: FederatedJob) -> dict[str, Any]:
         wire = job.to_wire()
-        record = self.shards[job.shard_id].service.records.get(job.local_job_id)
+        record = self.instances[job.shard_id].service.records.get(job.local_job_id)
         wire["state"] = record.state.value if record is not None else None
         return wire

@@ -1,7 +1,9 @@
 """The federation's wire front-end: one port, the whole fleet behind it.
 
 :class:`FederationService` speaks the *existing* newline-JSON protocol —
-``submit`` / ``status`` / ``metrics`` / ``drain`` / ``ping`` — so every
+``submit`` / ``status`` / ``metrics`` / ``drain`` / ``ping``, plus the
+federation-only ``membership`` op exposing the failure detector's view
+(member states, epochs, respawns, warm-migration counters) — so every
 client built for a single :class:`~repro.serve.server.SchedulingService`
 (the :class:`~repro.serve.client.ServiceClient`, the load generator, the
 smoke scripts) drives a federation unchanged; only the job ids
@@ -131,9 +133,20 @@ class FederationService:
                     job_id=job.fed_id, state=local["state"], shard=job.shard_id
                 )
             if op == "status":
+                # status traffic pumps detection: closed-loop clients
+                # polling stranded jobs would otherwise freeze the
+                # placement clock and the death would never confirm
+                await self.router.pump_detection()
                 return ok_response(job=self.router.status(message.get("job_id", "")))
             if op == "metrics":
                 return ok_response(metrics=self.router.metrics_snapshot())
+            if op == "membership":
+                snapshot = self.router.membership_snapshot()
+                if snapshot is None:
+                    raise ProtocolError(
+                        "this federation runs without a membership layer"
+                    )
+                return ok_response(membership=snapshot)
             if op == "drain":
                 snapshot = await self.drain()
                 return ok_response(metrics=snapshot)

@@ -129,6 +129,11 @@ class ServiceMetrics:
         self.requeued = 0
         self.deadline_exceeded = 0
         self.leases_reclaimed = 0
+        # tenancy counters: whether each job start found warm PTT state
+        # for its (tenant, benchmark) pair (federation warm migration's
+        # acceptance signal — a cleanly migrated tenant never re-bootstraps)
+        self.warm_starts = 0
+        self.cold_bootstraps = 0
         self._latencies = LatencyReservoir(reservoir_size, seed=reservoir_seed)
 
     # ------------------------------------------------------------------
@@ -168,6 +173,14 @@ class ServiceMetrics:
         """A lease was reclaimed from a dead owner."""
         self.leases_reclaimed += 1
 
+    def record_warm_start(self) -> None:
+        """A job started with warm PTT state for its tenant pair."""
+        self.warm_starts += 1
+
+    def record_cold_bootstrap(self) -> None:
+        """A job started with no warm state (fresh exploration)."""
+        self.cold_bootstraps += 1
+
     # ------------------------------------------------------------------
     @property
     def rejected_total(self) -> int:
@@ -199,6 +212,7 @@ class ServiceMetrics:
         waiting_for_lease: Sequence[str] = (),
         jobs: Mapping[str, Any] | None = None,
         faults_injected: Mapping[str, int] | None = None,
+        tenant_state: Mapping[str, Any] | None = None,
     ) -> dict[str, Any]:
         """The full JSON-able metrics snapshot.
 
@@ -238,6 +252,11 @@ class ServiceMetrics:
                 "deadline_exceeded": self.deadline_exceeded,
                 "leases_reclaimed": self.leases_reclaimed,
                 "faults_injected": dict(faults_injected or {}),
+            },
+            "tenancy": {
+                "warm_starts": self.warm_starts,
+                "cold_bootstraps": self.cold_bootstraps,
+                "state": dict(tenant_state or {}),
             },
             "nodes": {
                 "leases": {str(node): owner for node, owner in sorted(lease_map.items())},

@@ -79,6 +79,7 @@ from repro.serve.protocol import (
     read_message,
     write_message,
 )
+from repro.serve.tenantstate import TenantStateStore
 from repro.topology.machine import MachineTopology
 from repro.topology.presets import default_distances, zen4_9354
 from repro.workloads.registry import benchmark_names
@@ -122,9 +123,11 @@ class SchedulingService:
             )
         self.default_deadline_s = default_deadline_s
         self.records: dict[str, JobRecord] = {}
-        # per-(tenant, benchmark) PTT history: the fastest node observed in
-        # the tenant's previous job seeds the next lease's growth
-        self._ptt_hints: dict[tuple[str, str], int] = {}
+        # per-(tenant, benchmark) warm state: the fastest node observed in
+        # the tenant's previous jobs seeds the next lease's growth, and the
+        # full checkpoint (reconstructed PTT + generation) is what the
+        # federation migrates when the tenant is rehomed
+        self.tenant_state = TenantStateStore()
         self._workers = workers if workers is not None else self.topology.num_nodes
         if self._workers < 1:
             raise ConfigurationError(f"need at least one worker, got {self._workers}")
@@ -320,8 +323,6 @@ class SchedulingService:
         )
         for record in orphans:
             await self.arbiter.reclaim(record.job_id)
-            del self.records[record.job_id]
-            self.metrics.record_evicted()
         # defensive sweep: a lease whose record already went terminal would
         # be a bug elsewhere, but a dead shard must never pin nodes
         for job_id in list(self.arbiter.ledger.leases()):
@@ -330,6 +331,13 @@ class SchedulingService:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # the record deletions stay after every await above so the death
+        # is atomic to concurrent observers: a status poll interleaved
+        # with the reclaim loop sees either the old world or the fully
+        # dead one, never a half-emptied records table
+        for record in orphans:
+            del self.records[record.job_id]
+            self.metrics.record_evicted()
         return orphans
 
     def status(self, job_id: str) -> JobRecord:
@@ -361,7 +369,12 @@ class SchedulingService:
         req = record.request
         attempt = record.attempts  # 0-based index of this attempt
         plan = self.fault_plan
-        hint = self._ptt_hints.get((req.tenant, req.benchmark))
+        hint = self.tenant_state.hint(req.tenant, req.benchmark)
+        if attempt == 0:  # count once per job, not per retry
+            if hint is None:
+                self.metrics.record_cold_bootstrap()
+            else:
+                self.metrics.record_warm_start()
         try:
             mask = await self.arbiter.acquire(record.job_id, req.nodes, preferred=hint)
         except ReproError as exc:
@@ -535,7 +548,12 @@ class SchedulingService:
         }
 
     def _remember_fastest_node(self, req: JobRequest, runs: list[AppRunResult]) -> None:
-        """Record the job's fastest node as the tenant's next lease seed."""
+        """Checkpoint the tenant's warm state from the job's measurements.
+
+        The fastest observed node seeds the tenant's next lease; the full
+        taskloop history is folded into the (tenant, benchmark)
+        checkpoint the federation migrates when the tenant is rehomed.
+        """
         perfs = [
             tl.node_perf
             for run in runs
@@ -553,7 +571,25 @@ class SchedulingService:
         # never measured stay NaN and lose the argmax below.
         mean = np.where(valid, stacked, 0.0).sum(axis=0) / np.maximum(counts, 1)
         mean[counts == 0] = np.nan
-        self._ptt_hints[(req.tenant, req.benchmark)] = int(np.nanargmax(mean))
+        self.tenant_state.checkpoint(
+            req.tenant,
+            req.benchmark,
+            fastest_node=int(np.nanargmax(mean)),
+            runs=runs,
+            num_nodes=self.topology.num_nodes,
+        )
+
+    # ------------------------------------------------------------------
+    # tenant-state migration (federation)
+    # ------------------------------------------------------------------
+    def export_tenant_state(self, tenant: str) -> list[dict[str, Any]]:
+        """Every warm checkpoint of ``tenant``, as versioned wire documents."""
+        return self.tenant_state.export(tenant)
+
+    def import_tenant_state(self, doc: dict[str, Any]) -> bool:
+        """Adopt a migrated checkpoint; ``False`` when the generation
+        guard refused a stale document."""
+        return self.tenant_state.import_doc(doc)
 
     # ------------------------------------------------------------------
     # metrics
@@ -573,6 +609,7 @@ class SchedulingService:
             faults_injected=(
                 dict(self.fault_plan.injected) if self.fault_plan is not None else None
             ),
+            tenant_state=self.tenant_state.describe(),
         )
 
     def persist_snapshot(self, path: str | Path) -> Path:

@@ -90,6 +90,34 @@ class TestFalsePositiveGuards:
             """,
         }) == []
 
+    def test_closure_capture_counts(self, project_check):
+        """A factory closing over its seed param uses it — the nested
+        function is a separate execution context for lock analysis, but
+        the capture itself is a real use of the enclosing parameter."""
+        assert seed002(project_check, {
+            "src/repro/serve/x.py": """
+                def make_factory(seed):
+                    def factory(name):
+                        return _build(name, seed=seed)
+
+                    return factory
+
+                def _build(name, seed):
+                    return (name, seed * 2)
+            """,
+        }) == []
+
+    def test_shadowed_name_in_closure_is_not_a_capture(self, project_check):
+        assert len(seed002(project_check, {
+            "src/repro/serve/x.py": """
+                def make_factory(seed):
+                    def factory(seed):
+                        return seed + 1
+
+                    return factory
+            """,
+        })) == 1
+
     def test_unknown_callee_assumed_to_use(self, project_check):
         assert seed002(project_check, {
             "src/repro/exp/x.py": """

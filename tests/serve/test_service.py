@@ -246,7 +246,7 @@ def test_completed_job_seeds_the_tenants_next_lease():
         )
         while not first.state.terminal:
             await asyncio.sleep(0.01)
-        hint = service._ptt_hints.get(("alice", "matmul"))
+        hint = service.tenant_state.hint("alice", "matmul")
         assert hint in first.lease_nodes  # learned from the job's own PTT
         second = service.submit(
             JobRequest(benchmark="matmul", timesteps=3, nodes=2, tenant="alice")
